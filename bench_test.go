@@ -1,0 +1,265 @@
+package databreak
+
+import (
+	"fmt"
+	"testing"
+
+	"databreak/internal/asm"
+	"databreak/internal/bench"
+	"databreak/internal/elim"
+	"databreak/internal/machine"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+	"databreak/internal/workload"
+)
+
+// The benchmarks below regenerate the paper's evaluation. Each benchmark
+// executes the patched program on the simulated machine once per iteration
+// and reports, alongside the host time, the simulated overhead percentage —
+// the number the paper's tables print. Keep iterations low:
+//
+//	go test -bench=. -benchtime=1x -benchmem .
+//
+// regenerates every number once.
+
+// table1Programs is a representative subset (one per behaviour class) so a
+// default `go test -bench=.` stays fast; cmd/mrsbench runs the full suite.
+var table1Programs = []string{"eqntott", "gcc", "fpppp", "matrix300"}
+
+type built struct {
+	prog       *asm.Program
+	mcfg       monitor.Config
+	baseCycles int64
+}
+
+// buildFor patches and assembles a workload once (outside the timer).
+func buildFor(b *testing.B, name string, strat patch.Strategy) built {
+	b.Helper()
+	p, ok := workload.ByName(name, 1)
+	if !ok {
+		b.Fatalf("unknown workload %q", name)
+	}
+	cfg := bench.DefaultConfig()
+	u, err := benchCompile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := cfg.RunBaseline(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcfg := monitor.DefaultConfig
+	if strat == patch.Cache || strat == patch.CacheInline {
+		mcfg.Flags = true
+	}
+	res, err := patch.Apply(patch.Options{Strategy: strat, Monitor: mcfg}, u.Clone())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return built{prog: prog, mcfg: mcfg, baseCycles: base.Cycles}
+}
+
+func benchCompile(p workload.Program) (*asm.Unit, error) {
+	cfg := bench.DefaultConfig()
+	_ = cfg
+	return bench.Compile(p)
+}
+
+// runOnce executes the built program with one far monitored region.
+func runOnce(b *testing.B, bu built) int64 {
+	b.Helper()
+	m := machine.New(bench.DefaultConfig().Cache, bench.DefaultConfig().Costs)
+	bu.prog.Load(m)
+	svc, err := monitor.NewService(bu.mcfg, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.CreateRegion(bench.FarRegion, 4); err != nil {
+		b.Fatal(err)
+	}
+	svc.Reinstall()
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return m.Cycles()
+}
+
+// BenchmarkTable1 regenerates Table 1 rows: one sub-benchmark per
+// (program, write-check implementation), reporting overhead-%.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range table1Programs {
+		for _, strat := range bench.Table1Strategies {
+			b.Run(fmt.Sprintf("%s/%s", name, strat), func(b *testing.B) {
+				bu := buildFor(b, name, strat)
+				var cycles int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cycles = runOnce(b, bu)
+				}
+				b.ReportMetric(float64(cycles), "sim-cycles")
+				b.ReportMetric(100*(float64(cycles)-float64(bu.baseCycles))/float64(bu.baseCycles), "overhead-%")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Disabled regenerates the Disabled column: fully patched,
+// no breakpoints active.
+func BenchmarkTable1Disabled(b *testing.B) {
+	for _, name := range table1Programs {
+		b.Run(name, func(b *testing.B) {
+			bu := buildFor(b, name, patch.Bitmap)
+			var cycles int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := machine.New(bench.DefaultConfig().Cache, bench.DefaultConfig().Costs)
+				bu.prog.Load(m)
+				svc, err := monitor.NewService(bu.mcfg, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				svc.DisabledOverride = true
+				svc.Reinstall()
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				cycles = m.Cycles()
+			}
+			b.ReportMetric(100*(float64(cycles)-float64(bu.baseCycles))/float64(bu.baseCycles), "overhead-%")
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 rows: write-check elimination in Sym
+// and Full modes, reporting overhead-% and eliminated-%.
+func BenchmarkTable2(b *testing.B) {
+	for _, name := range table1Programs {
+		for _, mode := range []elim.Mode{elim.SymOnly, elim.Full} {
+			b.Run(fmt.Sprintf("%s/%s", name, mode), func(b *testing.B) {
+				p, _ := workload.ByName(name, 1)
+				cfg := bench.DefaultConfig()
+				u, err := bench.Compile(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				base, err := cfg.RunBaseline(u)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var run bench.Run
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					run, err = cfg.RunElim(u, mode, monitor.DefaultConfig)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(100*(float64(run.Cycles)-float64(base.Cycles))/float64(base.Cycles), "overhead-%")
+				if mode == elim.Full {
+					el := run.Counters[elim.CounterElimSym] +
+						run.Counters[elim.CounterElimLI] +
+						run.Counters[elim.CounterElimRange]
+					tot := el + run.Counters[patch.CounterChecks]
+					if tot > 0 {
+						b.ReportMetric(100*float64(el)/float64(tot), "eliminated-%")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the segment-cache locality curve for one
+// representative program, reporting the hit rate per segment size.
+func BenchmarkFigure3(b *testing.B) {
+	for _, segWords := range bench.Figure3Sizes {
+		b.Run(fmt.Sprintf("li/seg%dw", segWords), func(b *testing.B) {
+			p, _ := workload.ByName("li", 1)
+			cfg := bench.DefaultConfig()
+			u, err := bench.Compile(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mcfg := monitor.Config{SegWords: uint32(segWords), Flags: true}
+			var run bench.Run
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run, err = cfg.RunStrategy(u, patch.Cache, mcfg, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var total, miss uint64
+			for _, wt := range []patch.WriteType{
+				patch.WriteStack, patch.WriteBSS, patch.WriteHeap, patch.WriteBSSVar,
+			} {
+				total += run.Counters[patch.CacheTotalCounter(wt)]
+				miss += run.Counters[patch.CacheMissCounter(wt)]
+			}
+			if total > 0 {
+				b.ReportMetric(100*(1-float64(miss)/float64(total)), "hit-rate-%")
+			}
+		})
+	}
+}
+
+// BenchmarkStrategies regenerates the §1 comparison for one program:
+// trap factor, page protection, hash table, bitmap.
+func BenchmarkStrategies(b *testing.B) {
+	b.Run("doduc/hash-vs-bitmap", func(b *testing.B) {
+		p, _ := workload.ByName("doduc", 1)
+		cfg := bench.DefaultConfig()
+		u, err := bench.Compile(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := cfg.RunBaseline(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hash, bm bench.Run
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hash, err = cfg.RunStrategy(u, patch.HashCall, monitor.DefaultConfig, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bm, err = cfg.RunStrategy(u, patch.BitmapInlineRegisters, monitor.DefaultConfig, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(100*(float64(hash.Cycles)-float64(base.Cycles))/float64(base.Cycles), "hash-overhead-%")
+		b.ReportMetric(100*(float64(bm.Cycles)-float64(base.Cycles))/float64(base.Cycles), "bitmap-overhead-%")
+	})
+}
+
+// BenchmarkSimulator measures raw simulation speed (host ns per simulated
+// instruction) so harness run times are predictable.
+func BenchmarkSimulator(b *testing.B) {
+	p, _ := workload.ByName("fpppp", 1)
+	cfg := bench.DefaultConfig()
+	u, err := bench.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u.Clone())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.New(cfg.Cache, cfg.Costs)
+		prog.Load(m)
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		instrs = m.Instrs()
+	}
+	b.ReportMetric(float64(instrs), "sim-instrs")
+}

@@ -1,0 +1,125 @@
+// Command mrsbench regenerates the paper's tables and figures on the
+// simulated machine. See EXPERIMENTS.md for the mapping to the paper.
+//
+// Usage:
+//
+//	mrsbench -table 1          Table 1 (write check implementations)
+//	mrsbench -table 2          Table 2 (write check elimination)
+//	mrsbench -table fig3       Figure 3 (segment cache locality)
+//	mrsbench -table strategies §1 strategy comparison
+//	mrsbench -table breakeven  §3.3.3 break-even analysis
+//	mrsbench -table all        everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"databreak/internal/bench"
+	"databreak/internal/workload"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, fig3, strategies, breakeven, ablation, all")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	only := flag.String("program", "", "run a single benchmark by name")
+	verbose := flag.Bool("v", false, "progress output")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	programs := workload.All(*scale)
+	if *only != "" {
+		p, ok := workload.ByName(*only, *scale)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown program %q\n", *only)
+			os.Exit(1)
+		}
+		programs = []workload.Program{p}
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	runT1 := func() {
+		rows, err := bench.Table1(cfg, programs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Table 1: monitored region service overhead by write check implementation")
+		fmt.Print(bench.FormatTable1(rows))
+		fmt.Println()
+	}
+	runT2 := func() {
+		rows, err := bench.Table2(cfg, programs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Table 2: write check elimination")
+		fmt.Print(bench.FormatTable2(rows))
+		fmt.Println()
+	}
+	runF3 := func() {
+		series, err := bench.Figure3(cfg, programs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Figure 3: segment cache locality vs segment size (hit rate)")
+		fmt.Print(bench.FormatFigure3(series, programs))
+		fmt.Println()
+	}
+	runStrat := func() {
+		rows, err := bench.StrategyTable(cfg, programs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Strategy comparison (paper §1)")
+		fmt.Print(bench.FormatStrategyTable(rows))
+		fmt.Println()
+	}
+	runBE := func() {
+		fmt.Println("Break-even analysis (paper §3.3.3)")
+		fmt.Print(bench.FormatBreakEven())
+		fmt.Println()
+	}
+	runAbl := func() {
+		rows, err := bench.Ablation(cfg, programs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Ablations: read monitoring (§5) and the segment-flag bit")
+		fmt.Print(bench.FormatAblation(rows))
+		fmt.Println()
+	}
+
+	switch *table {
+	case "1":
+		runT1()
+	case "2":
+		runT2()
+	case "fig3":
+		runF3()
+	case "strategies":
+		runStrat()
+	case "breakeven":
+		runBE()
+	case "ablation":
+		runAbl()
+	case "all":
+		runT1()
+		runT2()
+		runF3()
+		runStrat()
+		runBE()
+		runAbl()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,158 @@
+// Command mrsrun is a minimal data-breakpoint debugger: it compiles a
+// mini-C program (or assembles a .s file), installs data breakpoints on
+// named global variables, runs the program under the monitored region
+// service, and reports every monitor hit — the paper's motivating query
+// "stop when field f of structure s is modified", end to end.
+//
+// Usage:
+//
+//	mrsrun -watch counter prog.c
+//	mrsrun -watch grid -strategy cache -v prog.c
+//	mrsrun -watch total -elim prog.c      (eliminated checks + PreMonitor)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"databreak/internal/asm"
+	"databreak/internal/cache"
+	"databreak/internal/elim"
+	"databreak/internal/machine"
+	"databreak/internal/minic"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+)
+
+func main() {
+	watch := flag.String("watch", "", "comma-separated global variables to watch")
+	strategy := flag.String("strategy", "bitmap-inline-registers",
+		"write check implementation: bitmap, bitmap-inline, bitmap-inline-registers, cache, cache-inline, hash")
+	useElim := flag.Bool("elim", false, "use write-check elimination (PreMonitor arms known writes)")
+	verbose := flag.Bool("v", false, "print cycle statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mrsrun [-watch v1,v2] [-strategy S | -elim] <prog.c|prog.s>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	src := string(data)
+	if strings.HasSuffix(path, ".c") {
+		src, err = minic.Compile(src)
+		if err != nil {
+			fail(err)
+		}
+	}
+	u, err := asm.Parse(path, src)
+	if err != nil {
+		fail(err)
+	}
+
+	strategies := map[string]patch.Strategy{
+		"bitmap": patch.Bitmap, "bitmap-inline": patch.BitmapInline,
+		"bitmap-inline-registers": patch.BitmapInlineRegisters,
+		"cache":                   patch.Cache, "cache-inline": patch.CacheInline,
+		"hash": patch.HashCall,
+	}
+
+	mcfg := monitor.DefaultConfig
+	var prog *asm.Program
+	var elimRes *elim.Result
+	if *useElim {
+		res, err := elim.Apply(elim.Options{Mode: elim.Full, Monitor: mcfg}, u)
+		if err != nil {
+			fail(err)
+		}
+		elimRes = res
+		prog, err = asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		strat, ok := strategies[strings.ToLower(*strategy)]
+		if !ok {
+			fail(fmt.Errorf("unknown strategy %q", *strategy))
+		}
+		if strat == patch.Cache || strat == patch.CacheInline {
+			mcfg.Flags = true
+		}
+		res, err := patch.Apply(patch.Options{Strategy: strat, Monitor: mcfg}, u)
+		if err != nil {
+			fail(err)
+		}
+		prog, err = asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+	prog.Load(m)
+	svc, err := monitor.NewService(mcfg, m)
+	if err != nil {
+		fail(err)
+	}
+	var rt *elim.Runtime
+	if elimRes != nil {
+		rt = elim.NewRuntime(m, prog, elimRes)
+	}
+
+	// Resolve watched symbols to monitored regions.
+	symOf := make(map[uint32]string)
+	if *watch != "" {
+		for _, name := range strings.Split(*watch, ",") {
+			name = strings.TrimSpace(name)
+			sym, ok := prog.LookupSym(name, "")
+			if !ok || sym.Kind != asm.SymGlobal {
+				fail(fmt.Errorf("no global variable %q (stack variables need a live frame)", name))
+			}
+			size := uint32(sym.Size)
+			if size == 0 {
+				size = 4
+			}
+			if rt != nil {
+				if err := rt.PreMonitorSymbol(svc, name); err != nil {
+					fail(err)
+				}
+			} else if err := svc.CreateRegion(sym.Addr, size); err != nil {
+				fail(err)
+			}
+			for o := uint32(0); o < size; o += 4 {
+				symOf[sym.Addr+o] = name
+			}
+			fmt.Fprintf(os.Stderr, "mrsrun: watching %s at %#x (+%d bytes)\n", name, sym.Addr, size)
+		}
+	}
+
+	svc.OnHit = func(h monitor.Hit) {
+		name := symOf[h.Addr&^3]
+		if name == "" {
+			name = "?"
+		}
+		val := m.ReadWord(h.Addr &^ 3)
+		fmt.Fprintf(os.Stderr, "mrsrun: HIT %s at %#x (new value %d) after %d instructions\n",
+			name, h.Addr, val, h.Instrs)
+	}
+
+	code, err := m.Run()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(m.Output())
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "mrsrun: exit=%d instrs=%d cycles=%d hits=%d\n",
+			code, m.Instrs(), m.Cycles(), len(svc.Hits))
+	}
+	os.Exit(int(code))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mrsrun:", err)
+	os.Exit(1)
+}

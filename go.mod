@@ -1,0 +1,3 @@
+module databreak
+
+go 1.22

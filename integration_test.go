@@ -1,0 +1,162 @@
+package databreak
+
+import (
+	"testing"
+
+	"databreak/internal/asm"
+	"databreak/internal/cache"
+	"databreak/internal/machine"
+	"databreak/internal/minic"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+)
+
+// TestMidRunBreakpointLifecycle drives the real debugger workflow: the
+// program runs, a data breakpoint is created mid-execution, hits arrive only
+// from then on, and deleting it stops them — all while the debuggee keeps
+// running. Overheads aside, this is the paper's whole point: monitored
+// regions can come and go at any time because the checks are always in
+// place and consult only the bitmap.
+func TestMidRunBreakpointLifecycle(t *testing.T) {
+	src := `
+int cell;
+int main() {
+	int round;
+	for (round = 0; round < 9; round = round + 1) {
+		cell = round;
+	}
+	return cell;
+}
+`
+	asmSrc, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := asm.Parse("mid.c", asmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := patch.Apply(patch.Options{Strategy: patch.BitmapInlineRegisters}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+	prog.Load(m)
+	svc, err := monitor.NewService(monitor.DefaultConfig, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, ok := prog.LookupSym("cell", "")
+	if !ok {
+		t.Fatal("no symbol cell")
+	}
+
+	// Phase 1: run until cell reaches 3 with no breakpoint — no hits.
+	for m.ReadWord(sym.Addr) < 3 && !m.Halted() {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(svc.Hits) != 0 {
+		t.Fatalf("hits before creation: %d", len(svc.Hits))
+	}
+
+	// Phase 2: create the breakpoint mid-run; the next writes must hit.
+	if err := svc.CreateRegion(sym.Addr, 4); err != nil {
+		t.Fatal(err)
+	}
+	for m.ReadWord(sym.Addr) < 6 && !m.Halted() {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := len(svc.Hits)
+	if mid == 0 {
+		t.Fatal("no hits while the region was live")
+	}
+
+	// Phase 3: delete it; the remaining writes must be silent again.
+	if err := svc.DeleteRegion(sym.Addr, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.Hits) != mid {
+		t.Fatalf("hits after deletion grew: %d -> %d", mid, len(svc.Hits))
+	}
+	if m.ExitCode() != 8 {
+		t.Fatalf("exit = %d, want 8", m.ExitCode())
+	}
+	// Every recorded hit names the watched word.
+	for _, h := range svc.Hits {
+		if h.Addr != sym.Addr {
+			t.Fatalf("stray hit at %#x", h.Addr)
+		}
+	}
+}
+
+// TestManyRegionsOverheadIndependence verifies the paper's abstract claim
+// directly: the overhead of checking is independent of the number of
+// monitored regions (as long as they are not being written).
+func TestManyRegionsOverheadIndependence(t *testing.T) {
+	src := `
+int work[256];
+int main() {
+	int i;
+	int r;
+	for (r = 0; r < 40; r = r + 1) {
+		for (i = 0; i < 256; i = i + 1) work[i] = i + r;
+	}
+	return work[255];
+}
+`
+	asmSrc, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := asm.Parse("many.c", asmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(nRegions int) int64 {
+		res, err := patch.Apply(patch.Options{Strategy: patch.BitmapInlineRegisters}, u.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+		prog.Load(m)
+		svc, err := monitor.NewService(monitor.DefaultConfig, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Far-away regions the program never touches.
+		for i := 0; i < nRegions; i++ {
+			if err := svc.CreateRegion(0x7000_0000+uint32(i)*64, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(svc.Hits) != 0 {
+			t.Fatal("far regions must not hit")
+		}
+		return m.Cycles()
+	}
+	one := run(1)
+	many := run(200)
+	// Identical cycle counts: the check cost does not depend on the number
+	// of regions at all (bitmap lookups read the same words).
+	if one != many {
+		t.Fatalf("1 region: %d cycles; 200 regions: %d cycles — overhead must be independent", one, many)
+	}
+}

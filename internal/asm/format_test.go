@@ -1,0 +1,148 @@
+package asm
+
+import (
+	"testing"
+
+	"databreak/internal/cache"
+	"databreak/internal/machine"
+	"databreak/internal/minic"
+)
+
+// assembleBoth assembles a unit and the reparse of its formatting, then
+// compares the resulting programs instruction by instruction.
+func roundTrip(t *testing.T, u *Unit) {
+	t.Helper()
+	p1, err := Assemble(Options{AddStartup: true}, u)
+	if err != nil {
+		t.Fatalf("assemble original: %v", err)
+	}
+	text := Format(u)
+	u2, err := Parse(u.Name+"+fmt", text)
+	if err != nil {
+		t.Fatalf("reparse formatted text: %v\n%s", err, text)
+	}
+	p2, err := Assemble(Options{AddStartup: true}, u2)
+	if err != nil {
+		t.Fatalf("assemble formatted: %v\n%s", err, text)
+	}
+	if len(p1.Text) != len(p2.Text) {
+		t.Fatalf("text length %d != %d", len(p1.Text), len(p2.Text))
+	}
+	for i := range p1.Text {
+		if p1.Text[i] != p2.Text[i] {
+			t.Fatalf("instr %d differs: %v vs %v", i, p1.Text[i], p2.Text[i])
+		}
+	}
+	if p1.DataSize != p2.DataSize {
+		t.Fatalf("data size %d != %d", p1.DataSize, p2.DataSize)
+	}
+}
+
+func TestFormatRoundTripHandwritten(t *testing.T) {
+	u := MustParse("rt.s", `
+main:
+	save %sp, -96, %sp
+	set table, %o0
+	mov 0, %l0
+loop:
+	cmp %l0, 8
+	bge done
+	sll %l0, 2, %o1
+	add %o0, %o1, %o1
+	st %l0, [%o1]
+	ld [%o1], %o2
+	inc %l0
+	ba loop
+done:
+	sethi %hi(table), %o3
+	or %o3, %lo(table), %o3
+	ld [%o3+4], %i0
+	restore
+	retl
+	.stabs "main", func, main, 0
+	.stabs "x", local, %fp-8, 4, "main"
+	.data
+table:	.space 32
+msg:	.ascii "round\ttrip\n"
+	.align 8
+ptr:	.word table
+val:	.word -17
+`)
+	roundTrip(t, u)
+}
+
+func TestFormatRoundTripCompiledPrograms(t *testing.T) {
+	sources := []string{
+		`int main() { return 42; }`,
+		`
+struct P { int a; int b; };
+struct P ps[3];
+int g;
+int f(int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) ps[i % 3].a = i;
+	return ps[0].a + g;
+}
+int main() { g = 2; return f(9); }`,
+	}
+	for _, src := range sources {
+		asmSrc, err := minic.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := Parse("c.s", asmSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTrip(t, u)
+	}
+}
+
+func TestFormatRoundTripExecution(t *testing.T) {
+	// Stronger check: the reparsed program must *run* identically.
+	src := `
+int tab[16];
+int main() {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < 16; i = i + 1) tab[i] = i * i;
+	for (i = 0; i < 16; i = i + 1) s = s + tab[i];
+	print(s);
+	return s % 100;
+}`
+	asmSrc, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Parse("x.s", asmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(unit *Unit) (string, int32) {
+		p, err := Assemble(Options{AddStartup: true}, unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newTestMachine()
+		p.Load(m)
+		code, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Output(), code
+	}
+	o1, c1 := run(u)
+	u2, err := Parse("x2.s", Format(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, c2 := run(u2)
+	if o1 != o2 || c1 != c2 {
+		t.Fatalf("round-trip changed behaviour: (%q,%d) vs (%q,%d)", o1, c1, o2, c2)
+	}
+}
+
+func newTestMachine() *machine.Machine {
+	return machine.New(cache.DefaultConfig, machine.DefaultCosts)
+}

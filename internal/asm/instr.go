@@ -1,0 +1,545 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"databreak/internal/sparc"
+)
+
+// immOperand is a parsed "second operand": a register, a literal, or a
+// symbolic immediate with a hi/lo selector.
+type immOperand struct {
+	isReg  bool
+	reg    sparc.Reg
+	val    int32
+	sym    string
+	sel    ImmSel
+	hasVal bool
+}
+
+func (p *parser) parseOperand2(s string) (immOperand, error) {
+	s = strings.TrimSpace(s)
+	if r, ok := ParseReg(s); ok {
+		return immOperand{isReg: true, reg: r}, nil
+	}
+	if strings.HasPrefix(s, "%hi(") && strings.HasSuffix(s, ")") {
+		inner := s[4 : len(s)-1]
+		if !isIdent(inner) {
+			return immOperand{}, fmt.Errorf("bad %%hi operand %q", inner)
+		}
+		return immOperand{sym: inner, sel: ImmHi}, nil
+	}
+	if strings.HasPrefix(s, "%lo(") && strings.HasSuffix(s, ")") {
+		inner := s[4 : len(s)-1]
+		if !isIdent(inner) {
+			return immOperand{}, fmt.Errorf("bad %%lo operand %q", inner)
+		}
+		return immOperand{sym: inner, sel: ImmLo}, nil
+	}
+	v, err := parseInt(s)
+	if err != nil {
+		return immOperand{}, fmt.Errorf("bad operand %q", s)
+	}
+	return immOperand{val: int32(v), hasVal: true}, nil
+}
+
+// applyOperand2 folds an immOperand into an instruction's second operand.
+func applyOperand2(in *sparc.Instr, it *Item, op immOperand) error {
+	if op.isReg {
+		in.Rs2 = op.reg
+		in.UseImm = false
+		return nil
+	}
+	in.UseImm = true
+	if op.sym != "" {
+		it.ImmSym = op.sym
+		it.ImmSel = op.sel
+		return nil
+	}
+	if op.val < -4096 || op.val > 4095 {
+		return fmt.Errorf("immediate %d does not fit in 13 bits (use set)", op.val)
+	}
+	in.Imm = op.val
+	return nil
+}
+
+// parseMem parses "[reg]", "[reg+imm]", "[reg-imm]", "[reg+reg]",
+// "[reg+%lo(sym)]".
+func (p *parser) parseMem(s string) (rs1 sparc.Reg, op immOperand, err error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, immOperand{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	// Find a top-level + or - separating base and offset (skip the leading
+	// register's '%').
+	sep := -1
+	depth := 0
+	for i := 1; i < len(inner); i++ {
+		switch inner[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '+', '-':
+			if depth == 0 && sep < 0 {
+				sep = i
+			}
+		}
+	}
+	if sep < 0 {
+		r, ok := ParseReg(inner)
+		if !ok {
+			return 0, immOperand{}, fmt.Errorf("bad base register %q", inner)
+		}
+		return r, immOperand{hasVal: true}, nil
+	}
+	r, ok := ParseReg(inner[:sep])
+	if !ok {
+		return 0, immOperand{}, fmt.Errorf("bad base register %q", inner[:sep])
+	}
+	offStr := strings.TrimSpace(inner[sep:])
+	if strings.HasPrefix(offStr, "+") {
+		offStr = strings.TrimSpace(offStr[1:])
+	}
+	op, err = p.parseOperand2(offStr)
+	if err != nil {
+		return 0, immOperand{}, err
+	}
+	return r, op, nil
+}
+
+var aluOps = map[string]sparc.Op{
+	"add": sparc.Add, "sub": sparc.Sub, "and": sparc.And, "andn": sparc.Andn,
+	"or": sparc.Or, "orn": sparc.Orn, "xor": sparc.Xor, "xnor": sparc.Xnor,
+	"sll": sparc.Sll, "srl": sparc.Srl, "sra": sparc.Sra,
+	"smul": sparc.SMul, "sdiv": sparc.SDiv,
+	"addcc": sparc.Addcc, "subcc": sparc.Subcc, "andcc": sparc.Andcc,
+	"andncc": sparc.Andncc, "orcc": sparc.Orcc, "xorcc": sparc.Xorcc,
+}
+
+var branchOps = map[string]sparc.Cond{
+	"ba": sparc.BA, "b": sparc.BA, "bn": sparc.BN, "be": sparc.BE, "bz": sparc.BE,
+	"bne": sparc.BNE, "bnz": sparc.BNE, "bl": sparc.BL, "ble": sparc.BLE,
+	"bg": sparc.BG, "bge": sparc.BGE, "blu": sparc.BLU, "bcs": sparc.BLU,
+	"bgeu": sparc.BGEU, "bcc": sparc.BGEU, "bgu": sparc.BGU, "bleu": sparc.BLEU,
+	"bpos": sparc.BPOS, "bneg": sparc.BNEG, "bvc": sparc.BVC, "bvs": sparc.BVS,
+}
+
+func (p *parser) emitInstr(it Item) {
+	if p.pendingCount != "" {
+		it.CountName = p.pendingCount
+		p.pendingCount = ""
+	}
+	it.Kind = ItemInstr
+	p.emit(it)
+}
+
+func (p *parser) parseInstr(s string) error {
+	mn, rest, _ := strings.Cut(s, " ")
+	mn = strings.ToLower(strings.TrimSpace(mn))
+	rest = strings.TrimSpace(rest)
+	ops := splitOperands(rest)
+
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%s: "+format, append([]any{mn}, args...)...)
+	}
+	needOps := func(n int) error {
+		if len(ops) != n {
+			return fail("want %d operands, got %d", n, len(ops))
+		}
+		return nil
+	}
+	reg := func(s string) (sparc.Reg, error) {
+		r, ok := ParseReg(s)
+		if !ok {
+			return 0, fail("bad register %q", s)
+		}
+		return r, nil
+	}
+
+	// Three-operand ALU.
+	if op, ok := aluOps[mn]; ok {
+		if err := needOps(3); err != nil {
+			return err
+		}
+		rs1, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		op2, err := p.parseOperand2(ops[1])
+		if err != nil {
+			return err
+		}
+		rd, err := reg(ops[2])
+		if err != nil {
+			return err
+		}
+		it := Item{Instr: sparc.Instr{Op: op, Rs1: rs1, Rd: rd}}
+		if err := applyOperand2(&it.Instr, &it, op2); err != nil {
+			return err
+		}
+		p.emitInstr(it)
+		return nil
+	}
+
+	// Branches.
+	if c, ok := branchOps[mn]; ok {
+		if err := needOps(1); err != nil {
+			return err
+		}
+		if !isIdent(ops[0]) {
+			return fail("bad target %q", ops[0])
+		}
+		p.emitInstr(Item{Instr: sparc.Instr{Op: sparc.Br, Cond: c}, TargetSym: ops[0]})
+		return nil
+	}
+
+	switch mn {
+	case "nop":
+		if len(ops) != 0 {
+			return fail("takes no operands")
+		}
+		p.emitInstr(Item{Instr: sparc.MakeNop()})
+
+	case "unimp":
+		p.emitInstr(Item{Instr: sparc.Instr{Op: sparc.Unimp}})
+
+	case "ld", "ldd":
+		if err := needOps(2); err != nil {
+			return err
+		}
+		rs1, op2, err := p.parseMem(ops[0])
+		if err != nil {
+			return err
+		}
+		rd, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		op := sparc.Ld
+		if mn == "ldd" {
+			op = sparc.Ldd
+		}
+		it := Item{Instr: sparc.Instr{Op: op, Rs1: rs1, Rd: rd}}
+		if err := applyOperand2(&it.Instr, &it, op2); err != nil {
+			return err
+		}
+		p.emitInstr(it)
+
+	case "st", "std":
+		if err := needOps(2); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, op2, err := p.parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		op := sparc.St
+		if mn == "std" {
+			op = sparc.Std
+		}
+		it := Item{Instr: sparc.Instr{Op: op, Rs1: rs1, Rd: rd}}
+		if err := applyOperand2(&it.Instr, &it, op2); err != nil {
+			return err
+		}
+		p.emitInstr(it)
+
+	case "sethi":
+		if err := needOps(2); err != nil {
+			return err
+		}
+		op2, err := p.parseOperand2(ops[0])
+		if err != nil {
+			return err
+		}
+		rd, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		it := Item{Instr: sparc.Instr{Op: sparc.Sethi, Rd: rd, UseImm: true}}
+		switch {
+		case op2.sym != "":
+			if op2.sel != ImmHi {
+				return fail("sethi needs %%hi(sym) or a constant")
+			}
+			it.ImmSym = op2.sym
+			it.ImmSel = ImmHi
+		case op2.hasVal:
+			if op2.val < 0 || op2.val >= 1<<22 {
+				return fail("sethi constant out of 22-bit range")
+			}
+			it.Instr.Imm = op2.val
+		default:
+			return fail("sethi needs an immediate")
+		}
+		p.emitInstr(it)
+
+	case "call":
+		if err := needOps(1); err != nil {
+			return err
+		}
+		if !isIdent(ops[0]) {
+			return fail("bad target %q", ops[0])
+		}
+		p.emitInstr(Item{Instr: sparc.Instr{Op: sparc.Call}, TargetSym: ops[0]})
+
+	case "jmpl", "jmp":
+		rdIdx := 1
+		if mn == "jmp" {
+			if err := needOps(1); err != nil {
+				return err
+			}
+			rdIdx = -1
+		} else if err := needOps(2); err != nil {
+			return err
+		}
+		// Operand 0 is reg or reg+imm (no brackets).
+		base := ops[0]
+		var rs1 sparc.Reg
+		var imm int32
+		if i := strings.IndexAny(base[1:], "+-"); i >= 0 {
+			r, ok := ParseReg(base[:i+1])
+			if !ok {
+				return fail("bad register %q", base[:i+1])
+			}
+			v, err := parseInt(base[i+1:])
+			if err != nil {
+				return fail("bad offset %q", base[i+1:])
+			}
+			rs1, imm = r, int32(v)
+		} else {
+			r, ok := ParseReg(base)
+			if !ok {
+				return fail("bad register %q", base)
+			}
+			rs1 = r
+		}
+		rd := sparc.G0
+		if rdIdx == 1 {
+			r, err := reg(ops[1])
+			if err != nil {
+				return err
+			}
+			rd = r
+		}
+		p.emitInstr(Item{Instr: sparc.Instr{Op: sparc.Jmpl, Rs1: rs1, Imm: imm, UseImm: true, Rd: rd}})
+
+	case "ret":
+		if len(ops) != 0 {
+			return fail("takes no operands")
+		}
+		p.emitInstr(Item{Instr: sparc.Instr{Op: sparc.Jmpl, Rs1: sparc.I7, UseImm: true, Rd: sparc.G0}})
+
+	case "retl":
+		if len(ops) != 0 {
+			return fail("takes no operands")
+		}
+		p.emitInstr(Item{Instr: sparc.Instr{Op: sparc.Jmpl, Rs1: sparc.O7, UseImm: true, Rd: sparc.G0}})
+
+	case "save", "restore":
+		op := sparc.Save
+		if mn == "restore" {
+			op = sparc.Restore
+		}
+		if len(ops) == 0 {
+			p.emitInstr(Item{Instr: sparc.Instr{Op: op, Rs1: sparc.G0, UseImm: true, Rd: sparc.G0}})
+			return nil
+		}
+		if err := needOps(3); err != nil {
+			return err
+		}
+		rs1, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		op2, err := p.parseOperand2(ops[1])
+		if err != nil {
+			return err
+		}
+		rd, err := reg(ops[2])
+		if err != nil {
+			return err
+		}
+		it := Item{Instr: sparc.Instr{Op: op, Rs1: rs1, Rd: rd}}
+		if err := applyOperand2(&it.Instr, &it, op2); err != nil {
+			return err
+		}
+		p.emitInstr(it)
+
+	case "ta":
+		if err := needOps(1); err != nil {
+			return err
+		}
+		v, err := parseInt(ops[0])
+		if err != nil {
+			return fail("bad trap number %q", ops[0])
+		}
+		p.emitInstr(Item{Instr: sparc.Instr{Op: sparc.Ta, Imm: int32(v), UseImm: true}})
+
+	// --- Synthetic instructions ---
+
+	case "mov":
+		if err := needOps(2); err != nil {
+			return err
+		}
+		op2, err := p.parseOperand2(ops[0])
+		if err != nil {
+			return err
+		}
+		rd, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		it := Item{Instr: sparc.Instr{Op: sparc.Or, Rs1: sparc.G0, Rd: rd}}
+		if err := applyOperand2(&it.Instr, &it, op2); err != nil {
+			return err
+		}
+		p.emitInstr(it)
+
+	case "cmp":
+		if err := needOps(2); err != nil {
+			return err
+		}
+		rs1, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		op2, err := p.parseOperand2(ops[1])
+		if err != nil {
+			return err
+		}
+		it := Item{Instr: sparc.Instr{Op: sparc.Subcc, Rs1: rs1, Rd: sparc.G0}}
+		if err := applyOperand2(&it.Instr, &it, op2); err != nil {
+			return err
+		}
+		p.emitInstr(it)
+
+	case "tst":
+		if err := needOps(1); err != nil {
+			return err
+		}
+		rs1, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		p.emitInstr(Item{Instr: sparc.Instr{Op: sparc.Orcc, Rs1: rs1, Rs2: sparc.G0, Rd: sparc.G0}})
+
+	case "btst":
+		// btst mask, reg: andcc reg, mask, %g0
+		if err := needOps(2); err != nil {
+			return err
+		}
+		op2, err := p.parseOperand2(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		it := Item{Instr: sparc.Instr{Op: sparc.Andcc, Rs1: rs1, Rd: sparc.G0}}
+		if err := applyOperand2(&it.Instr, &it, op2); err != nil {
+			return err
+		}
+		p.emitInstr(it)
+
+	case "clr":
+		if err := needOps(1); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		p.emitInstr(Item{Instr: sparc.Instr{Op: sparc.Or, Rs1: sparc.G0, Rs2: sparc.G0, Rd: rd}})
+
+	case "inc", "dec":
+		if len(ops) != 1 && len(ops) != 2 {
+			return fail("want 1 or 2 operands")
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		amt := int32(1)
+		if len(ops) == 2 {
+			v, err := parseInt(ops[1])
+			if err != nil {
+				return fail("bad amount %q", ops[1])
+			}
+			amt = int32(v)
+		}
+		op := sparc.Add
+		if mn == "dec" {
+			op = sparc.Sub
+		}
+		p.emitInstr(Item{Instr: sparc.RI(op, rd, amt, rd)})
+
+	case "neg":
+		if err := needOps(1); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		p.emitInstr(Item{Instr: sparc.RR(sparc.Sub, sparc.G0, rd, rd)})
+
+	case "not":
+		if err := needOps(1); err != nil {
+			return err
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		p.emitInstr(Item{Instr: sparc.RR(sparc.Xnor, rd, sparc.G0, rd)})
+
+	case "set":
+		if err := needOps(2); err != nil {
+			return err
+		}
+		rd, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		target := ops[0]
+		if isIdent(target) && !strings.HasPrefix(target, "0x") {
+			// Symbolic address: always sethi+or so code size is predictable.
+			p.emitInstr(Item{
+				Instr:  sparc.Instr{Op: sparc.Sethi, Rd: rd, UseImm: true},
+				ImmSym: target, ImmSel: ImmHi,
+			})
+			p.emitInstr(Item{
+				Instr:  sparc.Instr{Op: sparc.Or, Rs1: rd, Rd: rd, UseImm: true},
+				ImmSym: target, ImmSel: ImmLo,
+			})
+			return nil
+		}
+		v, err := parseInt(target)
+		if err != nil {
+			return fail("bad value %q", target)
+		}
+		val := int32(v)
+		if val >= -4096 && val <= 4095 {
+			p.emitInstr(Item{Instr: sparc.RI(sparc.Or, sparc.G0, val, rd)})
+			return nil
+		}
+		hi := int32(uint32(val) >> 10)
+		lo := val & 0x3ff
+		p.emitInstr(Item{Instr: sparc.Instr{Op: sparc.Sethi, Rd: rd, Imm: hi, UseImm: true}})
+		if lo != 0 {
+			p.emitInstr(Item{Instr: sparc.RI(sparc.Or, rd, lo, rd)})
+		}
+
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	return nil
+}

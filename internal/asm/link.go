@@ -1,0 +1,237 @@
+package asm
+
+import (
+	"fmt"
+
+	"databreak/internal/machine"
+	"databreak/internal/sparc"
+)
+
+// Program is fully resolved machine code plus its data image and debugging
+// symbols, ready to load.
+type Program struct {
+	Text       []sparc.Instr
+	TextLabels map[string]int32 // label -> text index
+	DataLabels map[string]uint32
+	DataSize   uint32
+	dataInit   []initWord
+	Syms       []Sym
+	Entry      int32
+
+	// CounterNames maps event-counter index -> name; CounterIDs the reverse.
+	CounterNames []string
+	CounterIDs   map[string]int
+}
+
+type initWord struct {
+	addr   uint32
+	val    int32
+	isByte bool
+}
+
+// startupSrc calls main and exits with its return value.
+const startupSrc = `
+__start:
+	call main
+	ta 0
+`
+
+// Options controls assembly.
+type Options struct {
+	// AddStartup prepends a stub that calls main and exits with its result.
+	AddStartup bool
+}
+
+// Assemble resolves one or more units into a Program. Units are concatenated
+// in order; labels are a single global namespace.
+func Assemble(opts Options, units ...*Unit) (*Program, error) {
+	all := units
+	if opts.AddStartup {
+		all = append([]*Unit{MustParse("__startup", startupSrc)}, units...)
+	}
+
+	p := &Program{
+		TextLabels: make(map[string]int32),
+		DataLabels: make(map[string]uint32),
+		CounterIDs: make(map[string]int),
+	}
+
+	// Pass 1: assign text indices and data offsets, collect labels.
+	textIdx := int32(0)
+	dataOff := uint32(0)
+	for _, u := range all {
+		for i := range u.Items {
+			it := &u.Items[i]
+			switch it.Kind {
+			case ItemLabel:
+				if it.Section == "text" {
+					if _, dup := p.TextLabels[it.Label]; dup {
+						return nil, fmt.Errorf("%s:%d: duplicate label %q", u.Name, it.Line, it.Label)
+					}
+					p.TextLabels[it.Label] = textIdx
+				} else {
+					if _, dup := p.DataLabels[it.Label]; dup {
+						return nil, fmt.Errorf("%s:%d: duplicate label %q", u.Name, it.Line, it.Label)
+					}
+					p.DataLabels[it.Label] = machine.DataBase + dataOff
+				}
+			case ItemInstr:
+				if it.Section != "text" {
+					return nil, fmt.Errorf("%s:%d: instruction outside .text", u.Name, it.Line)
+				}
+				textIdx++
+			case ItemWord:
+				dataOff += 4
+			case ItemSpace:
+				dataOff += uint32(it.N)
+			case ItemAscii:
+				dataOff += uint32(len(it.Bytes))
+			case ItemAlign:
+				n := uint32(it.N)
+				dataOff = (dataOff + n - 1) &^ (n - 1)
+			case ItemSymRec:
+				// handled in pass 2
+			}
+		}
+	}
+	p.DataSize = dataOff
+
+	resolve := func(sym string) (uint32, bool) {
+		if a, ok := p.DataLabels[sym]; ok {
+			return a, true
+		}
+		if idx, ok := p.TextLabels[sym]; ok {
+			return machine.TextBase + uint32(idx)*4, true
+		}
+		return 0, false
+	}
+
+	// Pass 2: emit instructions and data with resolved operands.
+	p.Text = make([]sparc.Instr, 0, textIdx)
+	dataOff = 0
+	for _, u := range all {
+		for i := range u.Items {
+			it := &u.Items[i]
+			switch it.Kind {
+			case ItemInstr:
+				in := it.Instr
+				if it.TargetSym != "" {
+					tgt, ok := p.TextLabels[it.TargetSym]
+					if !ok {
+						return nil, fmt.Errorf("%s:%d: undefined text label %q", u.Name, it.Line, it.TargetSym)
+					}
+					in.Target = tgt
+				}
+				if it.ImmSym != "" {
+					addr, ok := resolve(it.ImmSym)
+					if !ok {
+						return nil, fmt.Errorf("%s:%d: undefined symbol %q", u.Name, it.Line, it.ImmSym)
+					}
+					switch it.ImmSel {
+					case ImmHi:
+						in.Imm = int32(addr >> 10)
+					case ImmLo:
+						in.Imm = int32(addr & 0x3ff)
+					default:
+						if addr > 4095 {
+							return nil, fmt.Errorf("%s:%d: symbol %q does not fit in 13 bits", u.Name, it.Line, it.ImmSym)
+						}
+						in.Imm = int32(addr)
+					}
+				}
+				if it.CountName != "" {
+					id, ok := p.CounterIDs[it.CountName]
+					if !ok {
+						id = len(p.CounterNames)
+						p.CounterIDs[it.CountName] = id
+						p.CounterNames = append(p.CounterNames, it.CountName)
+					}
+					in.Count = int32(id) + 1
+				}
+				p.Text = append(p.Text, in)
+			case ItemWord:
+				v := it.Word
+				if it.WordSym != "" {
+					addr, ok := resolve(it.WordSym)
+					if !ok {
+						return nil, fmt.Errorf("%s:%d: undefined symbol %q", u.Name, it.Line, it.WordSym)
+					}
+					v = int32(addr)
+				}
+				p.dataInit = append(p.dataInit, initWord{addr: machine.DataBase + dataOff, val: v})
+				dataOff += 4
+			case ItemSpace:
+				dataOff += uint32(it.N)
+			case ItemAscii:
+				for j, b := range it.Bytes {
+					p.dataInit = append(p.dataInit, initWord{addr: machine.DataBase + dataOff + uint32(j), val: int32(b), isByte: true})
+				}
+				dataOff += uint32(len(it.Bytes))
+			case ItemAlign:
+				n := uint32(it.N)
+				dataOff = (dataOff + n - 1) &^ (n - 1)
+			case ItemSymRec:
+				sym := it.Sym
+				if sym.Kind == SymGlobal || sym.Kind == SymFunc {
+					addr, ok := resolve(sym.Label)
+					if !ok {
+						return nil, fmt.Errorf("%s:%d: .stabs names undefined symbol %q", u.Name, it.Line, sym.Label)
+					}
+					sym.Addr = addr
+				}
+				p.Syms = append(p.Syms, sym)
+			}
+		}
+	}
+
+	entry, ok := p.TextLabels["__start"]
+	if !ok {
+		entry, ok = p.TextLabels["main"]
+	}
+	if !ok && len(p.Text) > 0 {
+		entry = 0
+		ok = true
+	}
+	if !ok {
+		return nil, fmt.Errorf("no entry point (no __start or main)")
+	}
+	p.Entry = entry
+	return p, nil
+}
+
+// Load installs the program into a machine: text, initialized data, entry
+// point, and the event-counter vector.
+func (p *Program) Load(m *machine.Machine) {
+	text := make([]sparc.Instr, len(p.Text))
+	copy(text, p.Text)
+	m.LoadText(text, p.Entry)
+	for _, iw := range p.dataInit {
+		if iw.isByte {
+			m.LoadData(iw.addr, []byte{byte(iw.val)})
+		} else {
+			m.WriteWord(iw.addr, iw.val)
+		}
+	}
+	m.SetCounterCount(len(p.CounterNames))
+}
+
+// Counter returns the machine's value for the named event counter, or zero
+// if the counter does not exist.
+func (p *Program) Counter(m *machine.Machine, name string) uint64 {
+	id, ok := p.CounterIDs[name]
+	if !ok {
+		return 0
+	}
+	return m.Counters[id]
+}
+
+// LookupSym finds the first symbol record with the given name, optionally
+// scoped to a function (pass "" for any scope).
+func (p *Program) LookupSym(name, fn string) (Sym, bool) {
+	for _, s := range p.Syms {
+		if s.Name == name && (fn == "" || s.Func == fn || s.Func == "") {
+			return s, true
+		}
+	}
+	return Sym{}, false
+}

@@ -1,0 +1,114 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds random byte soup to the parser; it must return
+// an error or a unit, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %q: %v", raw, r)
+			}
+		}()
+		_, _ = Parse("fuzz.s", string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnMangledPrograms mutates a valid program at random
+// positions — closer to realistic malformed input than pure noise.
+func TestParseNeverPanicsOnMangledPrograms(t *testing.T) {
+	const base = `
+main:
+	save %sp, -96, %sp
+	set arr, %o0
+	st %l0, [%o0+4]
+	sethi %hi(arr), %o1
+	or %o1, %lo(arr), %o1
+	ba main
+	.stabs "x", local, %fp-8, 4, "main"
+	.data
+arr:	.space 16
+`
+	mutations := []string{"%", "[", "]", ",", "0x", "\"", "(", ")", "-", ".",
+		"!", "\t", "st", "%zz", "4096000000"}
+	f := func(pos uint16, which uint8, del bool) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked: %v", r)
+			}
+		}()
+		src := base
+		p := int(pos) % len(src)
+		if del {
+			src = src[:p] + src[p+1:]
+		} else {
+			m := mutations[int(which)%len(mutations)]
+			src = src[:p] + m + src[p:]
+		}
+		_, _ = Parse("mut.s", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAssembleNeverPanicsOnParsedInput: anything that parses must either
+// assemble or fail with an error.
+func TestAssembleNeverPanicsOnParsedInput(t *testing.T) {
+	inputs := []string{
+		"main:\n nop\n",
+		"main:\n ba main\n",
+		"main:\n ba elsewhere\n",  // undefined label
+		"main:\n set main, %o0\n", // text symbol as immediate
+		".data\nx: .word y\n",     // undefined word sym + no entry
+		"main:\n call main\n call main\n",
+	}
+	for _, src := range inputs {
+		u, err := Parse("t.s", src)
+		if err != nil {
+			continue
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Assemble panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = Assemble(Options{}, u)
+		}()
+	}
+}
+
+// TestFormatParsesForAllDirectives ensures every item kind the formatter can
+// emit survives a reparse.
+func TestFormatParsesForAllDirectives(t *testing.T) {
+	u := MustParse("d.s", `
+	.text
+f:	nop
+	.stabs "f", func, f, 0
+	.stabs "p", param, %fp+68, 4, "f"
+	.data
+a:	.word 1
+b:	.word a
+c:	.space 12
+	.align 4
+s:	.ascii "a\"b\nc"
+`)
+	out := Format(u)
+	if _, err := Parse("d2.s", out); err != nil {
+		t.Fatalf("formatted output does not reparse: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `.ascii "a\"b\nc"`) {
+		t.Errorf("ascii escaping lost:\n%s", out)
+	}
+}

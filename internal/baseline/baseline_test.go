@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"testing"
+
+	"databreak/internal/cache"
+	"databreak/internal/machine"
+	"databreak/internal/sparc"
+)
+
+func storeLoop(n int) []sparc.Instr {
+	var p []sparc.Instr
+	p = append(p, sparc.RI(sparc.Or, sparc.G0, 0, sparc.O1))
+	// loop: st; add; cmp; bl loop
+	p = append(p,
+		sparc.Instr{Op: sparc.St, Rd: sparc.G0, Rs1: sparc.O1, Imm: 0x1000, UseImm: true},
+		sparc.RI(sparc.Add, sparc.O1, 4, sparc.O1),
+		sparc.Instr{Op: sparc.Subcc, Rs1: sparc.O1, Imm: int32(n * 4), UseImm: true, Rd: sparc.G0},
+	)
+	p = append(p, sparc.Branch(sparc.BL, 1))
+	p = append(p, sparc.Instr{Op: sparc.Ta, Imm: machine.TrapExit, UseImm: true})
+	return p
+}
+
+func newM() *machine.Machine {
+	return machine.New(cache.DefaultConfig, machine.DefaultCosts)
+}
+
+func TestTrapStrategyFactor(t *testing.T) {
+	prog := storeLoop(100)
+	m := newM()
+	m.LoadText(prog, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	base := m.Cycles()
+
+	m2 := newM()
+	m2.LoadText(prog, 0)
+	ApplyTrapStrategy(m2)
+	if _, err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	factor := float64(m2.Cycles()) / float64(base)
+	if factor < 10_000 {
+		t.Fatalf("trap factor = %.0f, want the catastrophic slowdown the paper measured", factor)
+	}
+}
+
+func TestPageProtectFaultsOnlyOnProtectedPages(t *testing.T) {
+	prog := storeLoop(64) // stores at 0x1000..0x10fc, one page
+	m := newM()
+	m.LoadText(prog, 0)
+	pp := NewPageProtect(m)
+	pp.Watch(0x1040, 4) // protects the page containing all stores
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pp.Faults != 64 {
+		t.Fatalf("faults = %d, want 64 (every store on the page)", pp.Faults)
+	}
+	if len(pp.Hits) != 1 {
+		t.Fatalf("true hits = %d, want 1", len(pp.Hits))
+	}
+
+	// Watching a different page: zero faults.
+	m2 := newM()
+	m2.LoadText(prog, 0)
+	pp2 := NewPageProtect(m2)
+	pp2.Watch(0x9000, 4)
+	if _, err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pp2.Faults != 0 {
+		t.Fatalf("cold-page faults = %d, want 0", pp2.Faults)
+	}
+}
+
+func TestPageProtectChargesCycles(t *testing.T) {
+	prog := storeLoop(64)
+	m := newM()
+	m.LoadText(prog, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	base := m.Cycles()
+
+	m2 := newM()
+	m2.LoadText(prog, 0)
+	pp := NewPageProtect(m2)
+	pp.Watch(0x1000, 4)
+	if _, err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Cycles() <= base+63*pp.FaultCycles {
+		t.Fatalf("page faults undercharged: %d vs base %d", m2.Cycles(), base)
+	}
+}
+
+func TestHardwareCapacityAndDetection(t *testing.T) {
+	prog := storeLoop(16)
+	m := newM()
+	m.LoadText(prog, 0)
+	hw := NewHardware(m, 4)
+	if err := hw.Watch(0x1008, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.Watch(0x1020, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Register file is now full.
+	if err := hw.Watch(0x2000, 4); err == nil {
+		t.Fatal("fifth watched word must be rejected")
+	}
+	base := func() int64 {
+		mm := newM()
+		mm.LoadText(prog, 0)
+		mm.Run()
+		return mm.Cycles()
+	}()
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hw.Hits) != 4 {
+		t.Fatalf("hits = %d, want 4 (two 2-word regions)", len(hw.Hits))
+	}
+	if m.Cycles() != base {
+		t.Fatalf("hardware watchpoints must cost zero cycles: %d vs %d", m.Cycles(), base)
+	}
+}

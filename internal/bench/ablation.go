@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"databreak/internal/asm"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+	"databreak/internal/workload"
+)
+
+// AblationRow isolates individual design choices on one program:
+//
+//   - ReadWrite vs WriteOnly: the §5 extension (access anomaly detection
+//     requires monitoring reads, which outnumber writes 2-3x).
+//   - FlagsOn vs FlagsOff: the cost, for the plain reserved-register check,
+//     of keeping the monitored flag in the segment-table entry's low bit
+//     (one extra mask instruction per check) — the price paid to make
+//     segment caching possible at all.
+type AblationRow struct {
+	Name      string
+	WriteOnly float64 // BitmapInlineRegisters, writes only
+	ReadWrite float64 // BitmapInlineRegisters, reads + writes
+	FlagsOff  float64 // same as WriteOnly (clean pointers)
+	FlagsOn   float64 // flag bit in the entry: checks must mask it
+}
+
+// RunPatched patches with explicit options and runs (general form of
+// RunStrategy used by ablations).
+func (c Config) RunPatched(u *asm.Unit, popts patch.Options, disabled bool) (Run, error) {
+	res, err := patch.Apply(popts, u.Clone())
+	if err != nil {
+		return Run{}, err
+	}
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+	if err != nil {
+		return Run{}, err
+	}
+	effCfg := popts.Monitor
+	if effCfg.SegWords == 0 {
+		effCfg = monitor.DefaultConfig
+	}
+	if popts.Strategy == patch.Cache || popts.Strategy == patch.CacheInline {
+		effCfg.Flags = true
+	}
+	var regions [][2]uint32
+	if !disabled {
+		regions = [][2]uint32{{FarRegion, 4}}
+	}
+	return c.execute(prog, effCfg, regions, disabled)
+}
+
+// Ablation measures the design-choice deltas for each program.
+func Ablation(cfg Config, programs []workload.Program) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, p := range programs {
+		cfg.logf("ablation: %s", p.Name)
+		u, err := Compile(p)
+		if err != nil {
+			return nil, err
+		}
+		base, err := cfg.RunBaseline(u)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{Name: p.Name}
+
+		measure := func(popts patch.Options) (float64, error) {
+			r, err := cfg.RunPatched(u, popts, false)
+			if err != nil {
+				return 0, err
+			}
+			if err := checkOutput(p, base.Output, r.Output, "ablation"); err != nil {
+				return 0, err
+			}
+			return overheadPct(base.Cycles, r.Cycles), nil
+		}
+
+		if row.WriteOnly, err = measure(patch.Options{
+			Strategy: patch.BitmapInlineRegisters,
+		}); err != nil {
+			return nil, err
+		}
+		if row.ReadWrite, err = measure(patch.Options{
+			Strategy:   patch.BitmapInlineRegisters,
+			CheckReads: true,
+		}); err != nil {
+			return nil, err
+		}
+		row.FlagsOff = row.WriteOnly
+		if row.FlagsOn, err = measure(patch.Options{
+			Strategy: patch.BitmapInlineRegisters,
+			Monitor:  monitor.Config{SegWords: monitor.DefaultConfig.SegWords, Flags: true},
+		}); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAblation renders the rows.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s | %9s %8s %8s\n",
+		"Program", "WriteOnly", "Read+Write", "ratio", "FlagsOff", "FlagsOn", "delta")
+	var wo, rw, fo, fn float64
+	for _, r := range rows {
+		ratio := 0.0
+		if r.WriteOnly != 0 {
+			ratio = r.ReadWrite / r.WriteOnly
+		}
+		fmt.Fprintf(&b, "%-12s %9.1f%% %9.1f%% %7.2fx | %8.1f%% %7.1f%% %+7.1f%%\n",
+			r.Name, r.WriteOnly, r.ReadWrite, ratio, r.FlagsOff, r.FlagsOn, r.FlagsOn-r.FlagsOff)
+		wo += r.WriteOnly
+		rw += r.ReadWrite
+		fo += r.FlagsOff
+		fn += r.FlagsOn
+	}
+	if n := float64(len(rows)); n > 0 {
+		fmt.Fprintf(&b, "%-12s %9.1f%% %9.1f%% %7.2fx | %8.1f%% %7.1f%% %+7.1f%%\n",
+			"AVERAGE", wo/n, rw/n, (rw/n)/(wo/n), fo/n, fn/n, (fn-fo)/n)
+	}
+	return b.String()
+}

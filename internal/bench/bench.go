@@ -1,0 +1,188 @@
+// Package bench is the experiment harness: it reproduces every table and
+// figure in the paper's evaluation by compiling the workload suite, patching
+// it with each write-check implementation, executing it on the simulated
+// machine, and reducing cycle counts and event counters to the numbers the
+// paper reports.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"databreak/internal/asm"
+	"databreak/internal/cache"
+	"databreak/internal/elim"
+	"databreak/internal/machine"
+	"databreak/internal/minic"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+	"databreak/internal/workload"
+)
+
+// FarRegion is a monitored region far from anything the workloads write:
+// present so the service is enabled (disabled flag clear) without producing
+// monitor hits — the paper's "overhead is independent of the number of
+// breakpoints" setting.
+const FarRegion uint32 = 0x7800_0000
+
+// Config parameterizes the harness.
+type Config struct {
+	Scale int
+	Cache cache.Config
+	Costs machine.Costs
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultConfig runs the suite at scale 1 on the default machine.
+func DefaultConfig() Config {
+	return Config{Scale: 1, Cache: cache.DefaultConfig, Costs: machine.DefaultCosts}
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Run is the outcome of one program execution.
+type Run struct {
+	Cycles   int64
+	Instrs   int64
+	Output   string
+	Counters map[string]uint64
+	Cache    cache.Stats
+}
+
+func (c Config) newMachine() *machine.Machine {
+	return machine.New(c.Cache, c.Costs)
+}
+
+// Compile translates a workload to a parsed assembly unit.
+func Compile(p workload.Program) (*asm.Unit, error) {
+	asmSrc, err := minic.Compile(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	u, err := asm.Parse(p.Name+".s", asmSrc)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return u, nil
+}
+
+func (c Config) execute(prog *asm.Program, mcfg monitor.Config, regions [][2]uint32, disabled bool) (Run, error) {
+	m := c.newMachine()
+	prog.Load(m)
+	svc, err := monitor.NewService(mcfg, m)
+	if err != nil {
+		return Run{}, err
+	}
+	svc.DisabledOverride = disabled
+	for _, r := range regions {
+		if err := svc.CreateRegion(r[0], r[1]); err != nil {
+			return Run{}, err
+		}
+	}
+	svc.Reinstall()
+	if _, err := m.Run(); err != nil {
+		return Run{}, err
+	}
+	counters := make(map[string]uint64, len(prog.CounterNames))
+	for _, name := range prog.CounterNames {
+		counters[name] = prog.Counter(m, name)
+	}
+	return Run{
+		Cycles:   m.Cycles(),
+		Instrs:   m.Instrs(),
+		Output:   m.Output(),
+		Counters: counters,
+		Cache:    m.CacheStats(),
+	}, nil
+}
+
+// RunBaseline assembles and runs the unpatched program.
+func (c Config) RunBaseline(u *asm.Unit) (Run, error) {
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u.Clone())
+	if err != nil {
+		return Run{}, err
+	}
+	m := c.newMachine()
+	prog.Load(m)
+	if _, err := m.Run(); err != nil {
+		return Run{}, err
+	}
+	return Run{Cycles: m.Cycles(), Instrs: m.Instrs(), Output: m.Output(), Cache: m.CacheStats()}, nil
+}
+
+// RunStrategy patches with the given Table-1 strategy and runs. With
+// disabled set, no region is created and the disabled flag stays on.
+func (c Config) RunStrategy(u *asm.Unit, strat patch.Strategy, mcfg monitor.Config, disabled bool) (Run, error) {
+	res, err := patch.Apply(patch.Options{Strategy: strat, Monitor: mcfg}, u.Clone())
+	if err != nil {
+		return Run{}, err
+	}
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+	if err != nil {
+		return Run{}, err
+	}
+	effCfg := mcfg
+	if strat == patch.Cache || strat == patch.CacheInline {
+		effCfg.Flags = true
+	}
+	var regions [][2]uint32
+	if !disabled && strat != patch.Nops && strat != patch.None {
+		regions = [][2]uint32{{FarRegion, 4}}
+	}
+	return c.execute(prog, effCfg, regions, disabled)
+}
+
+// RunElim rewrites with the elimination analysis (Sym or Full) and runs.
+func (c Config) RunElim(u *asm.Unit, mode elim.Mode, mcfg monitor.Config) (Run, error) {
+	res, err := elim.Apply(elim.Options{Mode: mode, Monitor: mcfg}, u.Clone())
+	if err != nil {
+		return Run{}, err
+	}
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+	if err != nil {
+		return Run{}, err
+	}
+	m := c.newMachine()
+	prog.Load(m)
+	svc, err := monitor.NewService(mcfg, m)
+	if err != nil {
+		return Run{}, err
+	}
+	rt := elim.NewRuntime(m, prog, res)
+	_ = rt
+	if err := svc.CreateRegion(FarRegion, 4); err != nil {
+		return Run{}, err
+	}
+	svc.Reinstall()
+	if _, err := m.Run(); err != nil {
+		return Run{}, err
+	}
+	counters := make(map[string]uint64, len(prog.CounterNames))
+	for _, name := range prog.CounterNames {
+		counters[name] = prog.Counter(m, name)
+	}
+	return Run{
+		Cycles:   m.Cycles(),
+		Instrs:   m.Instrs(),
+		Output:   m.Output(),
+		Counters: counters,
+		Cache:    m.CacheStats(),
+	}, nil
+}
+
+func overheadPct(base, with int64) float64 {
+	return 100 * (float64(with) - float64(base)) / float64(base)
+}
+
+func checkOutput(p workload.Program, want, got string, what string) error {
+	if want != got {
+		return fmt.Errorf("%s under %s produced %q, baseline %q — monitoring corrupted the program",
+			p.Name, what, got, want)
+	}
+	return nil
+}

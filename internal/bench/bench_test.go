@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"testing"
+
+	"databreak/internal/elim"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+	"databreak/internal/workload"
+)
+
+// small test suite: the two cheapest programs of each language class.
+func testPrograms(t *testing.T) []workload.Program {
+	t.Helper()
+	var out []workload.Program
+	for _, n := range []string{"eqntott", "fpppp"} {
+		p, ok := workload.ByName(n, 1)
+		if !ok {
+			t.Fatalf("missing workload %s", n)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestTable1ShapeInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	rows, err := Table1(cfg, testPrograms(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's qualitative ordering must hold on every program:
+		// Disabled is cheapest; reserved registers beat the window-pushing
+		// inline variant; segment caching beats the plain bitmap call.
+		if !(r.Disabled < r.Overhead[patch.Bitmap]) {
+			t.Errorf("%s: Disabled %.1f >= Bitmap %.1f", r.Name, r.Disabled, r.Overhead[patch.Bitmap])
+		}
+		if !(r.Overhead[patch.BitmapInlineRegisters] < r.Overhead[patch.BitmapInline]) {
+			t.Errorf("%s: registers %.1f >= inline %.1f", r.Name,
+				r.Overhead[patch.BitmapInlineRegisters], r.Overhead[patch.BitmapInline])
+		}
+		if !(r.Overhead[patch.Cache] < r.Overhead[patch.Bitmap]) {
+			t.Errorf("%s: cache %.1f >= bitmap %.1f", r.Name,
+				r.Overhead[patch.Cache], r.Overhead[patch.Bitmap])
+		}
+		if r.Overhead[patch.Bitmap] <= 0 {
+			t.Errorf("%s: bitmap overhead %.1f%% not positive", r.Name, r.Overhead[patch.Bitmap])
+		}
+	}
+	// Formatting must include the average lines.
+	out := FormatTable1(rows)
+	for _, want := range []string{"C AVERAGE", "FORTRAN AVERAGE", "OVERALL AVERAGE"} {
+		if !contains(out, want) {
+			t.Errorf("FormatTable1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2ShapeInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	// matrix300 is the paper's perfect case: 100% of checks eliminated.
+	p, _ := workload.ByName("matrix300", 1)
+	rows, err := Table2(cfg, []workload.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Total < 99.0 {
+		t.Errorf("matrix300 elimination = %.1f%%, paper reports 100%%", r.Total)
+	}
+	if r.Full >= r.SymOv {
+		t.Errorf("Full %.1f%% must beat Sym %.1f%% on matrix300", r.Full, r.SymOv)
+	}
+	if r.Full > 10 {
+		t.Errorf("matrix300 Full overhead = %.1f%%, paper reports 0.4%%", r.Full)
+	}
+	if r.Sym+r.LI+r.Range-r.Total > 0.01 || r.Total-r.Sym-r.LI-r.Range > 0.01 {
+		t.Errorf("Total %.2f must equal Sym+LI+Range %.2f", r.Total, r.Sym+r.LI+r.Range)
+	}
+}
+
+func TestFigure3Monotone(t *testing.T) {
+	cfg := DefaultConfig()
+	p, _ := workload.ByName("li", 1)
+	series, err := Figure3(cfg, []workload.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := series["li"]
+	if len(pts) != len(Figure3Sizes) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Larger segments must not substantially reduce locality (the paper's
+	// Figure 3 curve rises with segment size).
+	if pts[len(pts)-1].HitRate+0.02 < pts[0].HitRate {
+		t.Errorf("hit rate fell with segment size: %.3f -> %.3f",
+			pts[0].HitRate, pts[len(pts)-1].HitRate)
+	}
+	if pts[len(pts)-1].HitRate < 0.9 {
+		t.Errorf("largest-segment hit rate = %.3f, want > 0.9", pts[len(pts)-1].HitRate)
+	}
+}
+
+func TestStrategyTableInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	p, _ := workload.ByName("fpppp", 1)
+	rows, err := StrategyTable(cfg, []workload.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.TrapFactor < 10_000 {
+		t.Errorf("trap factor = %.0f, paper reports ~85,000", r.TrapFactor)
+	}
+	if r.PageCold > 1 {
+		t.Errorf("cold-page protection overhead = %.1f%%, want ~0", r.PageCold)
+	}
+	if r.PageHot < 100 {
+		t.Errorf("hot-page protection overhead = %.1f%%, want punishing", r.PageHot)
+	}
+	if r.HashPct <= 0 {
+		t.Errorf("hash overhead = %.1f%%", r.HashPct)
+	}
+}
+
+func TestHardwareLimit(t *testing.T) {
+	if err := HardwareLimit(1, 4); err != nil {
+		t.Errorf("1 word in 4 registers must fit: %v", err)
+	}
+	if err := HardwareLimit(4, 4); err != nil {
+		t.Errorf("4 words in 4 registers must fit: %v", err)
+	}
+	if err := HardwareLimit(5, 4); err == nil {
+		t.Error("5 words in 4 registers must fail")
+	}
+	if err := HardwareLimit(2, 1); err == nil {
+		t.Error("2 words in 1 register (SPARC/R4000) must fail")
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	// With fast loads and moderate miss rates, caching tolerates a healthy
+	// full-lookup fraction; the paper's break-even band is 16%-44%.
+	f := BreakEven(2, 0.5)
+	if f <= 0 || f >= 1 {
+		t.Fatalf("break-even fraction = %.2f, want interior", f)
+	}
+	// More expensive loads favor caching (bitmap pays 2 loads every time).
+	if BreakEven(8, 0.5) <= BreakEven(2, 0.5) {
+		t.Error("higher load latency must raise the break-even fraction")
+	}
+	if FormatBreakEven() == "" {
+		t.Error("FormatBreakEven empty")
+	}
+}
+
+func TestRunElimCountersPresent(t *testing.T) {
+	cfg := DefaultConfig()
+	p, _ := workload.ByName("doduc", 1)
+	u, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cfg.RunElim(u, elim.Full, monitor.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := r.Counters[elim.CounterElimSym] + r.Counters[elim.CounterElimLI] +
+		r.Counters[elim.CounterElimRange] + r.Counters[patch.CounterChecks]
+	if total == 0 {
+		t.Fatal("no dynamic writes counted")
+	}
+	if r.Counters[elim.CounterFpChecks] == 0 {
+		t.Fatal("fp checks missing")
+	}
+}
+
+func TestLinearResidualSigma(t *testing.T) {
+	// A perfect line has zero residual.
+	xs := []float64{2, 4, 8, 16, 32}
+	ys := []float64{5, 9, 17, 33, 65} // y = 1 + 2x
+	if s := linearResidualSigma(xs, ys); s > 1e-9 {
+		t.Errorf("sigma = %g on a perfect line", s)
+	}
+	ys[2] += 10
+	if s := linearResidualSigma(xs, ys); s < 1 {
+		t.Errorf("sigma = %g after perturbation, want >= 1", s)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFormattersRender(t *testing.T) {
+	// Exercise every table formatter on synthetic rows so output plumbing
+	// stays covered without full suite runs.
+	t1 := []T1Row{{Name: "x", Lang: "C", Disabled: 1, Sigma: 0.5,
+		Overhead: map[patch.Strategy]float64{patch.Bitmap: 10}}}
+	if out := FormatTable1(t1); !contains(out, "(C) x") {
+		t.Errorf("FormatTable1:\n%s", out)
+	}
+	t2 := []T2Row{{Name: "x", Lang: "F", Sym: 50, LI: 10, Range: 20, Total: 80, Full: 5, SymOv: 30}}
+	if out := FormatTable2(t2); !contains(out, "(F) x") {
+		t.Errorf("FormatTable2:\n%s", out)
+	}
+	sr := []StrategyRow{{Name: "x", TrapFactor: 80000, PageHot: 5000, HashPct: 300, BitmapPct: 90}}
+	if out := FormatStrategyTable(sr); !contains(out, "Hardware watchpoints") {
+		t.Errorf("FormatStrategyTable:\n%s", out)
+	}
+	ab := []AblationRow{{Name: "x", WriteOnly: 50, ReadWrite: 150, FlagsOff: 50, FlagsOn: 53}}
+	if out := FormatAblation(ab); !contains(out, "3.00x") {
+		t.Errorf("FormatAblation:\n%s", out)
+	}
+	f3 := map[string][]Figure3Point{"x": {{SegWords: 128, HitRate: 0.5}}}
+	ps := []workload.Program{{Name: "x"}}
+	if out := FormatFigure3(f3, ps); !contains(out, "AVERAGE") {
+		t.Errorf("FormatFigure3:\n%s", out)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	cfg := DefaultConfig()
+	p, _ := workload.ByName("fpppp", 1)
+	rows, err := Ablation(cfg, []workload.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// §5: read monitoring must cost substantially more (reads outnumber
+	// writes); the flag bit costs one instruction per check, a small but
+	// positive delta.
+	if r.ReadWrite <= r.WriteOnly*1.5 {
+		t.Errorf("read+write %.1f%% vs write-only %.1f%%: expected >= 1.5x", r.ReadWrite, r.WriteOnly)
+	}
+	if r.FlagsOn <= r.FlagsOff {
+		t.Errorf("flag bit must cost something: %.1f%% vs %.1f%%", r.FlagsOn, r.FlagsOff)
+	}
+	if r.FlagsOn > r.FlagsOff+12 {
+		t.Errorf("flag bit costs too much: %.1f%% vs %.1f%%", r.FlagsOn, r.FlagsOff)
+	}
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"databreak/internal/asm"
+	"databreak/internal/baseline"
+	"databreak/internal/machine"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+	"databreak/internal/workload"
+)
+
+// StrategyRow compares the §1 implementation strategies on one program.
+type StrategyRow struct {
+	Name string
+	// TrapFactor is the dbx-style slowdown factor (paper: ~85,000x).
+	TrapFactor float64
+	// PageCold is the page-protection overhead % when the watched variable
+	// lives on a page the program never writes; PageHot when it shares a
+	// page with hot globals.
+	PageCold, PageHot float64
+	// HashPct is the overhead % of checking every write through the pilot
+	// study's hash table (paper: 209%-642%).
+	HashPct float64
+	// BitmapPct is the segmented-bitmap overhead % for comparison.
+	BitmapPct float64
+}
+
+// StrategyTable reproduces the strategy comparison of §1.
+func StrategyTable(cfg Config, programs []workload.Program) ([]StrategyRow, error) {
+	var rows []StrategyRow
+	for _, p := range programs {
+		cfg.logf("strategies: %s", p.Name)
+		u, err := Compile(p)
+		if err != nil {
+			return nil, err
+		}
+		base, err := cfg.RunBaseline(u)
+		if err != nil {
+			return nil, err
+		}
+		row := StrategyRow{Name: p.Name}
+
+		// dbx-style trap checking: two context switches plus debugger work
+		// per instruction. The run is deterministic, so the slowdown is the
+		// per-instruction penalty amortized over the baseline CPI.
+		row.TrapFactor = float64(base.Cycles+base.Instrs*baseline.TrapPerInstr) / float64(base.Cycles)
+
+		// Page protection, cold page (far region) and hot page (first data
+		// page, where the program's globals live).
+		cold, err := cfg.runPageProtect(u, FarRegion)
+		if err != nil {
+			return nil, err
+		}
+		row.PageCold = overheadPct(base.Cycles, cold)
+		hot, err := cfg.runPageProtect(u, machine.DataBase)
+		if err != nil {
+			return nil, err
+		}
+		row.PageHot = overheadPct(base.Cycles, hot)
+
+		// Hash-table write checks vs the segmented bitmap.
+		hash, err := cfg.RunStrategy(u, patch.HashCall, monitor.DefaultConfig, false)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkOutput(p, base.Output, hash.Output, "HashCall"); err != nil {
+			return nil, err
+		}
+		row.HashPct = overheadPct(base.Cycles, hash.Cycles)
+		bm, err := cfg.RunStrategy(u, patch.BitmapInlineRegisters, monitor.DefaultConfig, false)
+		if err != nil {
+			return nil, err
+		}
+		row.BitmapPct = overheadPct(base.Cycles, bm.Cycles)
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func (c Config) runPageProtect(u *asm.Unit, watch uint32) (int64, error) {
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u.Clone())
+	if err != nil {
+		return 0, err
+	}
+	m := c.newMachine()
+	prog.Load(m)
+	pp := baseline.NewPageProtect(m)
+	pp.Watch(watch, 4)
+	if _, err := m.Run(); err != nil {
+		return 0, err
+	}
+	return m.Cycles(), nil
+}
+
+// HardwareLimit demonstrates the watchpoint-register capacity problem: it
+// reports, for a given request size in words, whether an n-register unit
+// can serve it.
+func HardwareLimit(requestWords, registers int) error {
+	m := machine.New(DefaultConfig().Cache, DefaultConfig().Costs)
+	hw := baseline.NewHardware(m, registers)
+	return hw.Watch(0x2000_0000, uint32(requestWords*4))
+}
+
+// FormatStrategyTable renders the comparison.
+func FormatStrategyTable(rows []StrategyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %10s %10s %9s %9s\n",
+		"Program", "Trap(factor)", "Page(cold)", "Page(hot)", "Hash", "Bitmap")
+	var tf, pc, ph, h, bm float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %11.0fx %9.1f%% %9.1f%% %8.1f%% %8.1f%%\n",
+			r.Name, r.TrapFactor, r.PageCold, r.PageHot, r.HashPct, r.BitmapPct)
+		tf += r.TrapFactor
+		pc += r.PageCold
+		ph += r.PageHot
+		h += r.HashPct
+		bm += r.BitmapPct
+	}
+	if n := float64(len(rows)); n > 0 {
+		fmt.Fprintf(&b, "%-12s %11.0fx %9.1f%% %9.1f%% %8.1f%% %8.1f%%\n",
+			"AVERAGE", tf/n, pc/n, ph/n, h/n, bm/n)
+	}
+	// The hardware strategy is a capacity statement, not a speed one.
+	fmt.Fprintf(&b, "\nHardware watchpoints: ")
+	if err := HardwareLimit(1, 4); err == nil {
+		fmt.Fprintf(&b, "1-word watch OK on i386-class (4 regs); ")
+	}
+	if err := HardwareLimit(10, 4); err != nil {
+		fmt.Fprintf(&b, "a 10-word array FAILS (%v)", err)
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}
+
+// BreakEven reproduces the §3.3.3 analysis: the fraction of write checks
+// that may take a full lookup before segment caching loses to the plain
+// reserved-register bitmap, as a function of load latency.
+//
+// BitmapInlineRegisters executes 12 register instructions and 2 loads.
+// Cache executes 4 register instructions on a cache hit, 6 register
+// instructions and 1 load on a miss to an unmonitored segment, and 26
+// register instructions and 2 loads on a full lookup.
+func BreakEven(loadCycles float64, missRate float64) (fullLookupBreakEven float64) {
+	bir := 12 + 2*loadCycles
+	hit := 4.0
+	miss := 6 + 1*loadCycles
+	full := 26 + 2*loadCycles
+	// cost(cache) = hit + missRate*((1-f)*miss' + f*full') where the slow
+	// path replaces the hit cost; solve for f with cost(cache) = bir.
+	// Treat the three outcomes as exclusive costs:
+	//   cost = (1-missRate)*hit + missRate*(1-f)*miss + missRate*f*full
+	denom := missRate * (full - miss)
+	if denom == 0 {
+		return 1
+	}
+	f := (bir - (1-missRate)*hit - missRate*miss) / denom
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// FormatBreakEven renders the §3.3.3 break-even analysis for the paper's
+// assumed 2-8 cycle loads at representative cache-miss rates.
+func FormatBreakEven() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Full-lookup fraction at which Cache = BitmapInlineRegisters\n")
+	fmt.Fprintf(&b, "%-18s %10s %10s\n", "segment-cache", "load=2cyc", "load=8cyc")
+	for _, miss := range []float64{0.3, 0.5, 0.7} {
+		fmt.Fprintf(&b, "miss rate %4.0f%%    %9.1f%% %9.1f%%\n",
+			miss*100, 100*BreakEven(2, miss), 100*BreakEven(8, miss))
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"databreak/internal/asm"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+	"databreak/internal/workload"
+)
+
+// Table1Strategies are the columns of Table 1, in order.
+var Table1Strategies = []patch.Strategy{
+	patch.Bitmap, patch.BitmapInline, patch.BitmapInlineRegisters,
+	patch.Cache, patch.CacheInline,
+}
+
+// T1Row is one Table 1 line: per-strategy overhead percentages plus the
+// cache-alignment noise estimate σ.
+type T1Row struct {
+	Name     string
+	Lang     string
+	Disabled float64
+	Overhead map[patch.Strategy]float64
+	Sigma    float64
+}
+
+// Table1 reproduces Table 1: monitored region service overhead for each
+// write-check implementation, plus the Disabled column and the σ column
+// from the nop-insertion regression of §3.3.1.
+func Table1(cfg Config, programs []workload.Program) ([]T1Row, error) {
+	var rows []T1Row
+	for _, p := range programs {
+		cfg.logf("table1: %s", p.Name)
+		u, err := Compile(p)
+		if err != nil {
+			return nil, err
+		}
+		base, err := cfg.RunBaseline(u)
+		if err != nil {
+			return nil, err
+		}
+		row := T1Row{Name: p.Name, Lang: p.Lang, Overhead: make(map[patch.Strategy]float64)}
+
+		// Disabled: fully patched (call-based bitmap), no active breakpoints.
+		dis, err := cfg.RunStrategy(u, patch.Bitmap, monitor.DefaultConfig, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkOutput(p, base.Output, dis.Output, "Disabled"); err != nil {
+			return nil, err
+		}
+		row.Disabled = overheadPct(base.Cycles, dis.Cycles)
+
+		for _, strat := range Table1Strategies {
+			r, err := cfg.RunStrategy(u, strat, monitor.DefaultConfig, false)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", p.Name, strat, err)
+			}
+			if err := checkOutput(p, base.Output, r.Output, strat.String()); err != nil {
+				return nil, err
+			}
+			row.Overhead[strat] = overheadPct(base.Cycles, r.Cycles)
+		}
+
+		sigma, err := cfg.nopSigma(u, base.Cycles)
+		if err != nil {
+			return nil, err
+		}
+		row.Sigma = sigma
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// nopSigma runs the §3.3.1 experiment: insert 2,4,8,16,32 nops before each
+// write, regress overhead on nop count, and return the standard deviation of
+// the residuals — the cache-alignment noise estimate.
+func (c Config) nopSigma(u *asm.Unit, baseCycles int64) (float64, error) {
+	var xs, ys []float64
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		res, err := patch.Apply(patch.Options{Strategy: patch.Nops, Nops: n}, u.Clone())
+		if err != nil {
+			return 0, err
+		}
+		prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+		if err != nil {
+			return 0, err
+		}
+		m := c.newMachine()
+		prog.Load(m)
+		if _, err := m.Run(); err != nil {
+			return 0, err
+		}
+		xs = append(xs, float64(n))
+		ys = append(ys, overheadPct(baseCycles, m.Cycles()))
+	}
+	return linearResidualSigma(xs, ys), nil
+}
+
+// Averages summarizes rows by language and overall, mirroring the paper's
+// C AVERAGE / FORTRAN AVERAGE / OVERALL AVERAGE lines.
+func Averages(rows []T1Row) (cAvg, fAvg, all T1Row) {
+	avg := func(sel func(T1Row) bool, name string) T1Row {
+		out := T1Row{Name: name, Overhead: make(map[patch.Strategy]float64)}
+		n := 0
+		for _, r := range rows {
+			if !sel(r) {
+				continue
+			}
+			n++
+			out.Disabled += r.Disabled
+			out.Sigma += r.Sigma
+			for s, v := range r.Overhead {
+				out.Overhead[s] += v
+			}
+		}
+		if n > 0 {
+			out.Disabled /= float64(n)
+			out.Sigma /= float64(n)
+			for s := range out.Overhead {
+				out.Overhead[s] /= float64(n)
+			}
+		}
+		return out
+	}
+	cAvg = avg(func(r T1Row) bool { return r.Lang == "C" }, "C AVERAGE")
+	fAvg = avg(func(r T1Row) bool { return r.Lang == "F" }, "FORTRAN AVERAGE")
+	all = avg(func(T1Row) bool { return true }, "OVERALL AVERAGE")
+	return
+}
+
+// FormatTable1 renders rows the way the paper prints Table 1.
+func FormatTable1(rows []T1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %9s %9s %9s %9s %9s %9s %7s\n",
+		"Program", "Disabled", "Bitmap", "BmInline", "BmInlReg", "Cache", "CacheInl", "sigma")
+	line := func(r T1Row) {
+		fmt.Fprintf(&b, "%-16s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%% %6.1f%%\n",
+			r.Name, r.Disabled,
+			r.Overhead[patch.Bitmap], r.Overhead[patch.BitmapInline],
+			r.Overhead[patch.BitmapInlineRegisters],
+			r.Overhead[patch.Cache], r.Overhead[patch.CacheInline], r.Sigma)
+	}
+	for _, r := range rows {
+		name := r.Name
+		if r.Lang != "" {
+			name = "(" + r.Lang + ") " + r.Name
+		}
+		rr := r
+		rr.Name = name
+		line(rr)
+	}
+	cAvg, fAvg, all := Averages(rows)
+	line(cAvg)
+	line(fAvg)
+	line(all)
+	return b.String()
+}
+
+// linearResidualSigma fits y = a + b*x by least squares and returns the
+// standard deviation of the residuals.
+func linearResidualSigma(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	bSlope := (n*sxy - sx*sy) / den
+	a := (sy - bSlope*sx) / n
+	var ss float64
+	for i := range xs {
+		d := ys[i] - (a + bSlope*xs[i])
+		ss += d * d
+	}
+	return math.Sqrt(ss / n)
+}

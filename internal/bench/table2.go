@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"databreak/internal/elim"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+	"databreak/internal/workload"
+)
+
+// T2Row is one Table 2 line: dynamic write-check elimination percentages,
+// pre-header checks generated, and the runtime overhead of the two analysis
+// configurations.
+type T2Row struct {
+	Name string
+	Lang string
+	// Checks eliminated, as % of dynamic write instructions.
+	Sym, LI, Range, Total float64
+	// Checks generated in pre-headers, as % of dynamic writes.
+	GenLI, GenRange float64
+	// Runtime overhead (%): Full = symbol + loop optimization; SymOv =
+	// symbol-table optimization only.
+	Full, SymOv float64
+}
+
+// Table2 reproduces Table 2: write-check elimination results.
+func Table2(cfg Config, programs []workload.Program) ([]T2Row, error) {
+	var rows []T2Row
+	for _, p := range programs {
+		cfg.logf("table2: %s", p.Name)
+		u, err := Compile(p)
+		if err != nil {
+			return nil, err
+		}
+		base, err := cfg.RunBaseline(u)
+		if err != nil {
+			return nil, err
+		}
+		full, err := cfg.RunElim(u, elim.Full, monitor.DefaultConfig)
+		if err != nil {
+			return nil, fmt.Errorf("%s/full: %w", p.Name, err)
+		}
+		if err := checkOutput(p, base.Output, full.Output, "Full"); err != nil {
+			return nil, err
+		}
+		sym, err := cfg.RunElim(u, elim.SymOnly, monitor.DefaultConfig)
+		if err != nil {
+			return nil, fmt.Errorf("%s/sym: %w", p.Name, err)
+		}
+		if err := checkOutput(p, base.Output, sym.Output, "Sym"); err != nil {
+			return nil, err
+		}
+
+		eSym := full.Counters[elim.CounterElimSym]
+		eLI := full.Counters[elim.CounterElimLI]
+		eRange := full.Counters[elim.CounterElimRange]
+		checked := full.Counters[patch.CounterChecks]
+		writes := eSym + eLI + eRange + checked
+		if writes == 0 {
+			writes = 1
+		}
+		pct := func(n uint64) float64 { return 100 * float64(n) / float64(writes) }
+
+		rows = append(rows, T2Row{
+			Name:     p.Name,
+			Lang:     p.Lang,
+			Sym:      pct(eSym),
+			LI:       pct(eLI),
+			Range:    pct(eRange),
+			Total:    pct(eSym + eLI + eRange),
+			GenLI:    pct(full.Counters[elim.CounterGenLI]),
+			GenRange: pct(full.Counters[elim.CounterGenRange]),
+			Full:     overheadPct(base.Cycles, full.Cycles),
+			SymOv:    overheadPct(base.Cycles, sym.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// AveragesT2 summarizes by language and overall.
+func AveragesT2(rows []T2Row) (cAvg, fAvg, all T2Row) {
+	avg := func(sel func(T2Row) bool, name string) T2Row {
+		out := T2Row{Name: name}
+		n := 0
+		for _, r := range rows {
+			if !sel(r) {
+				continue
+			}
+			n++
+			out.Sym += r.Sym
+			out.LI += r.LI
+			out.Range += r.Range
+			out.Total += r.Total
+			out.GenLI += r.GenLI
+			out.GenRange += r.GenRange
+			out.Full += r.Full
+			out.SymOv += r.SymOv
+		}
+		if n > 0 {
+			f := float64(n)
+			out.Sym /= f
+			out.LI /= f
+			out.Range /= f
+			out.Total /= f
+			out.GenLI /= f
+			out.GenRange /= f
+			out.Full /= f
+			out.SymOv /= f
+		}
+		return out
+	}
+	cAvg = avg(func(r T2Row) bool { return r.Lang == "C" }, "C AVERAGE")
+	fAvg = avg(func(r T2Row) bool { return r.Lang == "F" }, "FORTRAN AVERAGE")
+	all = avg(func(T2Row) bool { return true }, "OVERALL AVERAGE")
+	return
+}
+
+// FormatTable2 renders rows the way the paper prints Table 2.
+func FormatTable2(rows []T2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s | %7s %6s %6s %6s | %6s %6s | %8s %8s\n",
+		"", "Checks", "Elimin", "ated", "", "Gener", "ated", "Overhead", "")
+	fmt.Fprintf(&b, "%-16s | %7s %6s %6s %6s | %6s %6s | %8s %8s\n",
+		"Program", "Symbol", "LI", "Range", "Total", "LI", "Range", "Full", "Sym")
+	line := func(r T2Row, name string) {
+		fmt.Fprintf(&b, "%-16s | %6.1f%% %5.1f%% %5.1f%% %5.1f%% | %5.1f%% %5.1f%% | %7.1f%% %7.1f%%\n",
+			name, r.Sym, r.LI, r.Range, r.Total, r.GenLI, r.GenRange, r.Full, r.SymOv)
+	}
+	for _, r := range rows {
+		line(r, "("+r.Lang+") "+r.Name)
+	}
+	cAvg, fAvg, all := AveragesT2(rows)
+	line(cAvg, cAvg.Name)
+	line(fAvg, fAvg.Name)
+	line(all, all.Name)
+	return b.String()
+}
+
+// Figure3Point is one sample of segment-cache locality.
+type Figure3Point struct {
+	SegWords int
+	// HitRate is the fraction of segment-cache checks that hit, aggregated
+	// over all write types.
+	HitRate float64
+}
+
+// Figure3Sizes are the segment sizes swept (the paper's x axis starts at
+// the 128-word choice and grows; larger segments improve cache locality but
+// increase full lookups and table pressure).
+var Figure3Sizes = []int{32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// Figure3 reproduces the segment-cache locality study: per program, the
+// segment cache hit rate as a function of segment size.
+func Figure3(cfg Config, programs []workload.Program) (map[string][]Figure3Point, error) {
+	out := make(map[string][]Figure3Point)
+	for _, p := range programs {
+		cfg.logf("figure3: %s", p.Name)
+		u, err := Compile(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, sw := range Figure3Sizes {
+			mcfg := monitor.Config{SegWords: uint32(sw), Flags: true}
+			r, err := cfg.RunStrategy(u, patch.Cache, mcfg, false)
+			if err != nil {
+				return nil, fmt.Errorf("%s/seg%d: %w", p.Name, sw, err)
+			}
+			var total, miss uint64
+			for _, wt := range []patch.WriteType{
+				patch.WriteStack, patch.WriteBSS, patch.WriteHeap, patch.WriteBSSVar,
+			} {
+				total += r.Counters[patch.CacheTotalCounter(wt)]
+				miss += r.Counters[patch.CacheMissCounter(wt)]
+			}
+			rate := 0.0
+			if total > 0 {
+				rate = 1 - float64(miss)/float64(total)
+			}
+			out[p.Name] = append(out[p.Name], Figure3Point{SegWords: sw, HitRate: rate})
+		}
+	}
+	return out, nil
+}
+
+// FormatFigure3 renders the locality series as a text table.
+func FormatFigure3(series map[string][]Figure3Point, programs []workload.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "segment")
+	for _, sw := range Figure3Sizes {
+		fmt.Fprintf(&b, " %6dw", sw)
+	}
+	b.WriteString("\n")
+	avg := make([]float64, len(Figure3Sizes))
+	n := 0
+	for _, p := range programs {
+		pts, ok := series[p.Name]
+		if !ok {
+			continue
+		}
+		n++
+		fmt.Fprintf(&b, "%-12s", p.Name)
+		for i, pt := range pts {
+			fmt.Fprintf(&b, " %6.1f%%", 100*pt.HitRate)
+			avg[i] += pt.HitRate
+		}
+		b.WriteString("\n")
+	}
+	if n > 0 {
+		fmt.Fprintf(&b, "%-12s", "AVERAGE")
+		for _, a := range avg {
+			fmt.Fprintf(&b, " %6.1f%%", 100*a/float64(n))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+var _ = workload.Program{}

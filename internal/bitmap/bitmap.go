@@ -1,0 +1,247 @@
+// Package bitmap implements the segmented bitmap of "Practical Data
+// Breakpoints" (PLDI 1993), the data structure at the heart of the monitored
+// region service.
+//
+// One bit represents each word of the debuggee's address space: set means
+// the word belongs to a monitored region. The bitmap is broken into fixed
+// size segments reached through a segment table indexed by the high bits of
+// the address. Segments are allocated lazily when a monitored region is
+// installed; until then every table entry refers to a single shared zeroed
+// segment, so a lookup of an unmonitored address costs at most two memory
+// reads (segment pointer, bitmap word).
+//
+// Each table entry also carries the paper's "unmonitored" flag (stored in
+// the low bit of the entry, made possible by segment alignment): it is set
+// exactly when the segment contains no monitored words. The flag is what
+// makes segment caching (§3.1) and fast full lookups possible. An auxiliary
+// per-segment count of monitored words keeps the flag correct across region
+// creation and deletion.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes bitmap geometry.
+type Config struct {
+	// AddrBits is the size of the covered address space in bits (<= 32).
+	AddrBits uint
+	// SegWords is the number of program words covered by one segment; it
+	// must be a power of two. The paper settles on 128 words (512 bytes)
+	// after the Figure 3 locality study.
+	SegWords uint
+}
+
+// DefaultConfig covers a full 32-bit address space with the paper's
+// 128-word segments.
+var DefaultConfig = Config{AddrBits: 32, SegWords: 128}
+
+// Bitmap is a segmented bitmap. The zero value is not usable; call New.
+type Bitmap struct {
+	segShift uint   // log2(bytes per segment)
+	segWords uint32 // words per segment
+	addrMask uint32 // mask of valid address bits
+	numSegs  uint32
+	// table[n] = segIdx<<1 | unmonitoredFlag. segIdx indexes segs. Entry 0|1
+	// (zero segment, unmonitored) is the initial value everywhere.
+	table []int32
+	segs  [][]uint32 // segs[0] is the shared zero segment
+	free  []int32    // recycled segment indices
+	// counts[segNum] = number of monitored words in that segment; absent
+	// means zero. This is the paper's auxiliary structure for maintaining
+	// the unmonitored flag under creation and deletion.
+	counts map[uint32]uint32
+
+	monitoredWords uint64
+}
+
+// New builds an empty bitmap. It panics on invalid geometry (a programming
+// error).
+func New(cfg Config) *Bitmap {
+	if cfg.AddrBits == 0 || cfg.AddrBits > 32 {
+		panic("bitmap: AddrBits must be in 1..32")
+	}
+	if cfg.SegWords < 32 || cfg.SegWords&(cfg.SegWords-1) != 0 {
+		panic("bitmap: SegWords must be a power of two >= 32")
+	}
+	segBytes := cfg.SegWords * 4
+	segShift := uint(bits.TrailingZeros32(uint32(segBytes)))
+	if cfg.AddrBits < segShift {
+		panic("bitmap: address space smaller than one segment")
+	}
+	numSegs := uint32(1) << (cfg.AddrBits - segShift)
+	b := &Bitmap{
+		segShift: segShift,
+		segWords: uint32(cfg.SegWords),
+		numSegs:  numSegs,
+		counts:   make(map[uint32]uint32),
+	}
+	if cfg.AddrBits == 32 {
+		b.addrMask = ^uint32(0)
+	} else {
+		b.addrMask = (uint32(1) << cfg.AddrBits) - 1
+	}
+	b.table = make([]int32, numSegs)
+	for i := range b.table {
+		b.table[i] = 1 // zero segment, unmonitored flag set
+	}
+	b.segs = [][]uint32{make([]uint32, cfg.SegWords/32)}
+	return b
+}
+
+// SegShift returns log2 of the segment size in bytes.
+func (b *Bitmap) SegShift() uint { return b.segShift }
+
+// SegWords returns the number of words covered by one segment.
+func (b *Bitmap) SegWords() uint32 { return b.segWords }
+
+// NumSegments returns the number of segment-table entries.
+func (b *Bitmap) NumSegments() uint32 { return b.numSegs }
+
+// MonitoredWords returns the total number of monitored words.
+func (b *Bitmap) MonitoredWords() uint64 { return b.monitoredWords }
+
+// SegmentNum returns the segment number of addr.
+func (b *Bitmap) SegmentNum(addr uint32) uint32 {
+	return (addr & b.addrMask) >> b.segShift
+}
+
+// SegmentUnmonitored reports whether the segment containing addr has no
+// monitored words (the paper's unmonitored flag).
+func (b *Bitmap) SegmentUnmonitored(addr uint32) bool {
+	return b.table[b.SegmentNum(addr)]&1 != 0
+}
+
+func (b *Bitmap) checkAligned(addr, size uint32) error {
+	if addr&3 != 0 {
+		return fmt.Errorf("bitmap: address %#x is not word aligned", addr)
+	}
+	if size == 0 || size&3 != 0 {
+		return fmt.Errorf("bitmap: size %d is not a positive word multiple", size)
+	}
+	if uint64(addr&b.addrMask)+uint64(size) > uint64(b.addrMask)+1 {
+		return fmt.Errorf("bitmap: region [%#x,+%d) exceeds the address space", addr, size)
+	}
+	return nil
+}
+
+// ensureSeg gives segment n private backing storage and returns it.
+func (b *Bitmap) ensureSeg(n uint32) []uint32 {
+	e := b.table[n]
+	if e>>1 != 0 {
+		return b.segs[e>>1]
+	}
+	var idx int32
+	if len(b.free) > 0 {
+		idx = b.free[len(b.free)-1]
+		b.free = b.free[:len(b.free)-1]
+	} else {
+		b.segs = append(b.segs, make([]uint32, b.segWords/32))
+		idx = int32(len(b.segs) - 1)
+	}
+	seg := b.segs[idx]
+	for i := range seg {
+		seg[i] = 0
+	}
+	b.table[n] = idx<<1 | (e & 1)
+	return seg
+}
+
+// Add marks [addr, addr+size) as monitored. The region must be word aligned
+// and must not overlap an existing monitored word (regions are
+// non-overlapping by the MRS contract).
+func (b *Bitmap) Add(addr, size uint32) error {
+	if err := b.checkAligned(addr, size); err != nil {
+		return err
+	}
+	// Overlap pre-check so a failed Add leaves the bitmap untouched.
+	for off := uint32(0); off < size; off += 4 {
+		if b.Contains(addr + off) {
+			return fmt.Errorf("bitmap: word %#x is already monitored", addr+off)
+		}
+	}
+	for off := uint32(0); off < size; off += 4 {
+		a := (addr + off) & b.addrMask
+		n := a >> b.segShift
+		seg := b.ensureSeg(n)
+		w := (a >> 2) & (b.segWords - 1)
+		seg[w>>5] |= 1 << (w & 31)
+		b.counts[n]++
+		b.table[n] &^= 1 // segment now monitored
+		b.monitoredWords++
+	}
+	return nil
+}
+
+// Remove clears the monitored bits of [addr, addr+size). Every word in the
+// range must currently be monitored.
+func (b *Bitmap) Remove(addr, size uint32) error {
+	if err := b.checkAligned(addr, size); err != nil {
+		return err
+	}
+	for off := uint32(0); off < size; off += 4 {
+		if !b.Contains(addr + off) {
+			return fmt.Errorf("bitmap: word %#x is not monitored", addr+off)
+		}
+	}
+	for off := uint32(0); off < size; off += 4 {
+		a := (addr + off) & b.addrMask
+		n := a >> b.segShift
+		seg := b.segs[b.table[n]>>1]
+		w := (a >> 2) & (b.segWords - 1)
+		seg[w>>5] &^= 1 << (w & 31)
+		b.monitoredWords--
+		if c := b.counts[n] - 1; c == 0 {
+			delete(b.counts, n)
+			// Recycle the private segment and point back at the shared
+			// zero segment with the unmonitored flag set.
+			b.free = append(b.free, b.table[n]>>1)
+			b.table[n] = 1
+		} else {
+			b.counts[n] = c
+		}
+	}
+	return nil
+}
+
+// Contains reports whether the word containing addr is monitored. This is
+// the paper's address lookup: one segment-table read, one bitmap-word read.
+func (b *Bitmap) Contains(addr uint32) bool {
+	a := addr & b.addrMask
+	e := b.table[a>>b.segShift]
+	seg := b.segs[e>>1]
+	w := (a >> 2) & (b.segWords - 1)
+	return seg[w>>5]&(1<<(w&31)) != 0
+}
+
+// ContainsAccess reports whether a size-byte store at addr touches a
+// monitored word (size is 4 or 8 on our machine, but any size works).
+func (b *Bitmap) ContainsAccess(addr, size uint32) bool {
+	first := addr &^ 3
+	last := (addr + size - 1) &^ 3
+	for a := first; ; a += 4 {
+		if b.Contains(a) {
+			return true
+		}
+		if a == last {
+			return false
+		}
+	}
+}
+
+// SegmentCount returns the number of monitored words in the segment
+// containing addr (the auxiliary count).
+func (b *Bitmap) SegmentCount(addr uint32) uint32 {
+	return b.counts[b.SegmentNum(addr)]
+}
+
+// MemoryOverheadBytes estimates the structure's memory use: the segment
+// table plus privately allocated segments (the shared zero segment counts
+// once). This is the quantity behind the paper's "roughly 3% of program
+// memory" remark.
+func (b *Bitmap) MemoryOverheadBytes() uint64 {
+	total := uint64(len(b.table)) * 4
+	total += uint64(len(b.segs)) * uint64(b.segWords/32) * 4
+	return total
+}

@@ -1,0 +1,311 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicAddLookupRemove(t *testing.T) {
+	b := New(DefaultConfig)
+	if b.Contains(0x1000) {
+		t.Fatal("empty bitmap must not contain anything")
+	}
+	if err := b.Add(0x1000, 8); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []uint32{0x1000, 0x1004} {
+		if !b.Contains(a) {
+			t.Errorf("addr %#x must be monitored", a)
+		}
+	}
+	for _, a := range []uint32{0xffc, 0x1008} {
+		if b.Contains(a) {
+			t.Errorf("addr %#x must not be monitored", a)
+		}
+	}
+	if err := b.Remove(0x1000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if b.Contains(0x1000) || b.MonitoredWords() != 0 {
+		t.Fatal("remove must clear all bits")
+	}
+}
+
+func TestAlignmentErrors(t *testing.T) {
+	b := New(DefaultConfig)
+	if err := b.Add(0x1001, 4); err == nil {
+		t.Error("unaligned address must fail")
+	}
+	if err := b.Add(0x1000, 3); err == nil {
+		t.Error("non-word size must fail")
+	}
+	if err := b.Add(0x1000, 0); err == nil {
+		t.Error("zero size must fail")
+	}
+	if err := b.Add(0xFFFF_FFFC, 8); err == nil {
+		t.Error("region past end of address space must fail")
+	}
+}
+
+func TestOverlapRejectedAtomically(t *testing.T) {
+	b := New(DefaultConfig)
+	if err := b.Add(0x2000, 16); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping add must fail and must not set any bits.
+	if err := b.Add(0x1FF8, 16); err == nil {
+		t.Fatal("overlapping add must fail")
+	}
+	if b.Contains(0x1FF8) || b.Contains(0x1FFC) {
+		t.Fatal("failed add must leave no bits behind")
+	}
+	if b.MonitoredWords() != 4 {
+		t.Fatalf("monitored words = %d, want 4", b.MonitoredWords())
+	}
+}
+
+func TestRemoveUnmonitoredFails(t *testing.T) {
+	b := New(DefaultConfig)
+	if err := b.Remove(0x1000, 4); err == nil {
+		t.Fatal("removing unmonitored words must fail")
+	}
+}
+
+func TestUnmonitoredFlagLifecycle(t *testing.T) {
+	b := New(DefaultConfig)
+	addr := uint32(0x4000)
+	if !b.SegmentUnmonitored(addr) {
+		t.Fatal("fresh segment must be unmonitored")
+	}
+	b.Add(addr, 4)
+	if b.SegmentUnmonitored(addr) {
+		t.Fatal("flag must clear on first region")
+	}
+	b.Add(addr+8, 4)
+	b.Remove(addr, 4)
+	if b.SegmentUnmonitored(addr) {
+		t.Fatal("flag must stay clear while any word is monitored")
+	}
+	b.Remove(addr+8, 4)
+	if !b.SegmentUnmonitored(addr) {
+		t.Fatal("flag must set when the last word is removed")
+	}
+	if b.SegmentCount(addr) != 0 {
+		t.Fatal("count must return to zero")
+	}
+}
+
+func TestSegmentRecycling(t *testing.T) {
+	b := New(DefaultConfig)
+	before := len(b.segs)
+	for i := 0; i < 100; i++ {
+		b.Add(0x8000, 4)
+		b.Remove(0x8000, 4)
+	}
+	if got := len(b.segs) - before; got > 1 {
+		t.Fatalf("repeated add/remove leaked %d segments", got)
+	}
+	// A recycled segment must come back zeroed.
+	b.Add(0x8000, 4)
+	b.Remove(0x8000, 4)
+	b.Add(0x8040, 4)
+	if b.Contains(0x8000) {
+		t.Fatal("recycled segment must be zeroed")
+	}
+}
+
+func TestRegionSpanningSegments(t *testing.T) {
+	b := New(DefaultConfig)
+	segBytes := uint32(1) << b.SegShift()
+	start := segBytes*3 - 8
+	if err := b.Add(start, 16); err != nil {
+		t.Fatal(err)
+	}
+	for off := uint32(0); off < 16; off += 4 {
+		if !b.Contains(start + off) {
+			t.Errorf("word %#x must be monitored", start+off)
+		}
+	}
+	if b.SegmentUnmonitored(start) || b.SegmentUnmonitored(start+12) {
+		t.Fatal("both segments must be flagged monitored")
+	}
+	if err := b.Remove(start, 16); err != nil {
+		t.Fatal(err)
+	}
+	if !b.SegmentUnmonitored(start) || !b.SegmentUnmonitored(start+12) {
+		t.Fatal("both segments must return to unmonitored")
+	}
+}
+
+func TestContainsAccessDoubleWord(t *testing.T) {
+	b := New(DefaultConfig)
+	b.Add(0x1004, 4)
+	if !b.ContainsAccess(0x1000, 8) {
+		t.Fatal("std spanning a monitored second word must hit")
+	}
+	if b.ContainsAccess(0x1008, 8) {
+		t.Fatal("std past the region must miss")
+	}
+	if !b.ContainsAccess(0x1004, 4) {
+		t.Fatal("st of the monitored word must hit")
+	}
+}
+
+func TestSmallAddressSpace(t *testing.T) {
+	b := New(Config{AddrBits: 16, SegWords: 32})
+	if b.NumSegments() != (1<<16)/(32*4) {
+		t.Fatalf("NumSegments = %d", b.NumSegments())
+	}
+	b.Add(0x100, 4)
+	if !b.Contains(0x100) {
+		t.Fatal("lookup in small space failed")
+	}
+	// Addresses are masked into the space.
+	if !b.Contains(0x10100) {
+		t.Fatal("addresses must be masked to AddrBits")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{AddrBits: 0, SegWords: 128},
+		{AddrBits: 33, SegWords: 128},
+		{AddrBits: 32, SegWords: 100},
+		{AddrBits: 32, SegWords: 16},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) must panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestMemoryOverhead(t *testing.T) {
+	b := New(DefaultConfig)
+	base := b.MemoryOverheadBytes()
+	// Table: 2^23 entries * 4B = 32MB; one shared zero segment.
+	if base < 32<<20 {
+		t.Fatalf("overhead %d too small for a full 32-bit table", base)
+	}
+	b.Add(0x1000, 4)
+	if b.MemoryOverheadBytes() <= base {
+		t.Fatal("allocating a private segment must grow the overhead")
+	}
+}
+
+// TestOracle drives the bitmap against a naive map of monitored words with
+// random region create/delete/lookup traffic.
+func TestOracle(t *testing.T) {
+	b := New(Config{AddrBits: 20, SegWords: 128})
+	oracle := make(map[uint32]bool)
+	type region struct{ addr, size uint32 }
+	var live []region
+	rng := rand.New(rand.NewSource(1))
+
+	overlapsOracle := func(addr, size uint32) bool {
+		for o := uint32(0); o < size; o += 4 {
+			if oracle[addr+o] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for step := 0; step < 5000; step++ {
+		switch rng.Intn(4) {
+		case 0: // add
+			addr := uint32(rng.Intn(1<<18)) &^ 3
+			size := uint32(rng.Intn(16)+1) * 4
+			err := b.Add(addr, size)
+			if overlapsOracle(addr, size) {
+				if err == nil {
+					t.Fatalf("step %d: Add(%#x,%d) should have failed (overlap)", step, addr, size)
+				}
+			} else if err != nil {
+				t.Fatalf("step %d: Add(%#x,%d) failed: %v", step, addr, size, err)
+			} else {
+				for o := uint32(0); o < size; o += 4 {
+					oracle[addr+o] = true
+				}
+				live = append(live, region{addr, size})
+			}
+		case 1: // remove
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			r := live[i]
+			if err := b.Remove(r.addr, r.size); err != nil {
+				t.Fatalf("step %d: Remove(%#x,%d) failed: %v", step, r.addr, r.size, err)
+			}
+			for o := uint32(0); o < r.size; o += 4 {
+				delete(oracle, r.addr+o)
+			}
+			live = append(live[:i], live[i+1:]...)
+		default: // lookup
+			addr := uint32(rng.Intn(1<<18)) &^ 3
+			if got, want := b.Contains(addr), oracle[addr]; got != want {
+				t.Fatalf("step %d: Contains(%#x) = %v, oracle %v", step, addr, got, want)
+			}
+		}
+	}
+	// Unmonitored flag must agree with per-segment truth everywhere we know.
+	for a := range oracle {
+		if b.SegmentUnmonitored(a) {
+			t.Fatalf("segment of %#x has a monitored word but flag says unmonitored", a)
+		}
+	}
+}
+
+func TestQuickLookupAfterAdd(t *testing.T) {
+	f := func(rawAddr uint32, nWords uint8) bool {
+		b := New(Config{AddrBits: 24, SegWords: 64})
+		addr := (rawAddr &^ 3) & 0x00FF_FF00
+		size := (uint32(nWords%16) + 1) * 4
+		if b.Add(addr, size) != nil {
+			return true // alignment/range rejection is fine
+		}
+		for o := uint32(0); o < size; o += 4 {
+			if !b.Contains(addr + o) {
+				return false
+			}
+		}
+		return !b.Contains(addr+size) && (addr == 0 || !b.Contains(addr-4))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	bm := New(DefaultConfig)
+	bm.Add(0x1000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Contains(uint32(0x8000_0000) + uint32(i%4096)*4)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	bm := New(DefaultConfig)
+	bm.Add(0x1000, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Contains(0x1000 + uint32(i%1024)*4)
+	}
+}
+
+func BenchmarkAddRemove(b *testing.B) {
+	bm := New(DefaultConfig)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Add(0x1000, 64)
+		bm.Remove(0x1000, 64)
+	}
+}

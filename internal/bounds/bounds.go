@@ -1,0 +1,556 @@
+// Package bounds implements the bound-propagation analysis of §4.3: for
+// each loop it classifies SSA values as constant, loop invariant, or
+// monotonic, derives symbolic lower/upper bounds through the lattice
+//
+//	L_C > L_LI > L_M > L_A > ⊥
+//
+// of Figure 4, and refines monotonic variables with assert information taken
+// from the conditional branches that control the loop (§4.3.1). The result
+// drives loop-invariant check motion and monotonic-write range checks in
+// internal/elim.
+package bounds
+
+import (
+	"databreak/internal/cfg"
+	"databreak/internal/ir"
+	"databreak/internal/sparc"
+)
+
+// Kind is a bound's lattice level; larger is more useful.
+type Kind uint8
+
+const (
+	Bot Kind = iota // no known bound
+	KA              // derived from asserts over monotonic variables
+	KM              // derived from monotonic variables
+	KLI             // derived from loop invariants (and constants)
+	KC              // derived from constants only
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KC:
+		return "L_C"
+	case KLI:
+		return "L_LI"
+	case KM:
+		return "L_M"
+	case KA:
+		return "L_A"
+	}
+	return "⊥"
+}
+
+// ExprKind discriminates bound expressions.
+type ExprKind uint8
+
+const (
+	EConst ExprKind = iota
+	ESym            // address of a data symbol + offset
+	EFP             // current frame pointer
+	ESlot           // reload a scalar symbol slot (stack or global)
+	EOp             // arithmetic over sub-expressions
+)
+
+// Expr is a symbolic bound expression that pre-header code can evaluate:
+// its leaves are constants, symbol addresses, %fp, and reloadable scalar
+// slots (§4.4: the optimizer "walks the expression DAG ... until it reaches
+// loop invariant or constant operands").
+type Expr struct {
+	Kind  ExprKind
+	Const int32
+	Sym   string
+	Slot  ir.Slot
+	Op    sparc.Op // EOp: Add, Sub, Sll, SMul
+	Args  []*Expr
+}
+
+// Depth returns the expression tree height (codegen rejects deep trees).
+func (e *Expr) Depth() int {
+	d := 0
+	for _, a := range e.Args {
+		if ad := a.Depth(); ad > d {
+			d = ad
+		}
+	}
+	return d + 1
+}
+
+// Bound is one side of a value's range.
+type Bound struct {
+	Kind Kind
+	Expr *Expr
+}
+
+// Bounds pairs the lower and upper bound of a value.
+type Bounds struct {
+	L, U Bound
+}
+
+// Mono describes a monotonic variable (a loop-header phi).
+type Mono struct {
+	Phi  int   // canonical phi value id
+	Init int   // value id flowing in from outside the loop
+	Step int32 // per-iteration delta (sign gives direction)
+}
+
+// Assert is a branch-derived fact that holds on an edge into tgt: the value
+// Val is bounded by Limit (inclusive) from above (Upper) or below.
+type Assert struct {
+	Val    int // canonical value id
+	Limit  int // canonical invariant value id
+	Adjust int32
+	Upper  bool
+	Target int // block the fact holds in (and in blocks it dominates)
+}
+
+// LoopInfo is the analysis result for one loop.
+type LoopInfo struct {
+	In      *ir.Info
+	Loop    *cfg.Loop
+	Mono    map[int]Mono
+	Asserts []Assert
+
+	inv    map[int]int8 // memo: 0 unknown, 1 yes, -1 no, 2 in-progress
+	bnds   map[int]*Bounds
+	exprs  map[int]*Expr
+	stored map[int]bool // slots stored inside the loop
+	calls  bool         // loop contains a call (kills global slots)
+}
+
+// AnalyzeLoop computes monotonic variables, asserts, and prepares bound
+// queries for stores in the loop.
+func AnalyzeLoop(in *ir.Info, l *cfg.Loop) *LoopInfo {
+	li := &LoopInfo{
+		In:     in,
+		Loop:   l,
+		Mono:   make(map[int]Mono),
+		inv:    make(map[int]int8),
+		bnds:   make(map[int]*Bounds),
+		exprs:  make(map[int]*Expr),
+		stored: make(map[int]bool),
+	}
+	li.scanLoopBody()
+	li.findMonotonic()
+	li.findAsserts()
+	return li
+}
+
+func (li *LoopInfo) scanLoopBody() {
+	f := li.In.F
+	for b := range li.Loop.Blocks {
+		blk := f.Blocks[b]
+		for p := blk.Start; p < blk.End; p++ {
+			in := f.Instruction(p)
+			if slot, ok := li.In.StoreSlot[p]; ok {
+				li.stored[slot] = true
+			}
+			if in.Op == sparc.Call || in.Op == sparc.Ta {
+				li.calls = true
+			}
+		}
+	}
+}
+
+// Invariant reports whether value id is loop invariant (§4.3: defined
+// outside the loop, constant, or computed purely from invariants).
+func (li *LoopInfo) Invariant(id int) bool {
+	id = li.In.Resolve(id)
+	switch li.inv[id] {
+	case 1:
+		return true
+	case -1, 2:
+		return false
+	}
+	li.inv[id] = 2 // cycle guard: recursive dependency means a loop phi
+	v := li.In.Vals[id]
+	res := false
+	switch v.Kind {
+	case ir.ValConst, ir.ValSym, ir.ValSymHi, ir.ValFP, ir.ValParam:
+		res = true
+	case ir.ValUnknown:
+		res = v.Pos == -1 || !li.Loop.Blocks[v.Block]
+	case ir.ValPhi:
+		res = !li.Loop.Blocks[v.Block]
+	case ir.ValOp:
+		if !li.Loop.Blocks[v.Block] {
+			res = true
+		} else {
+			res = true
+			for _, a := range v.Args {
+				if !li.Invariant(a) {
+					res = false
+					break
+				}
+			}
+		}
+	}
+	if res {
+		li.inv[id] = 1
+	} else {
+		li.inv[id] = -1
+	}
+	return res
+}
+
+// findMonotonic detects loop-header phis of the form phi = φ(init, phi+c).
+func (li *LoopInfo) findMonotonic() {
+	f := li.In.F
+	header := f.Blocks[li.Loop.Header]
+	seen := make(map[int]bool)
+	for _, v := range li.In.Vals {
+		if v.Kind != ir.ValPhi || li.In.Resolve(v.ID) != v.ID || v.Block != li.Loop.Header {
+			continue
+		}
+		if seen[v.ID] || len(v.Args) != len(header.Preds) {
+			continue
+		}
+		seen[v.ID] = true
+		init := -1
+		step := int32(0)
+		ok := true
+		for i, pred := range header.Preds {
+			arg := li.In.Resolve(v.Args[i])
+			if li.Loop.Blocks[pred] {
+				// Back edge: must be phi + constant (chasing add/sub chains).
+				d, chased := li.chaseStep(arg, v.ID, 0, 8)
+				if !chased || d == 0 || (step != 0 && (d > 0) != (step > 0)) {
+					ok = false
+					break
+				}
+				step = d
+			} else {
+				if init != -1 && init != arg {
+					ok = false
+					break
+				}
+				init = arg
+			}
+		}
+		if ok && init >= 0 && step != 0 && li.Invariant(init) {
+			li.Mono[v.ID] = Mono{Phi: v.ID, Init: init, Step: step}
+		}
+	}
+}
+
+// chaseStep resolves arg = phi + delta through chains of constant add/sub.
+func (li *LoopInfo) chaseStep(arg, phi int, acc int32, fuel int) (int32, bool) {
+	if fuel == 0 {
+		return 0, false
+	}
+	arg = li.In.Resolve(arg)
+	if arg == phi {
+		return acc, true
+	}
+	v := li.In.Vals[arg]
+	if v.Kind != ir.ValOp {
+		return 0, false
+	}
+	switch v.Op {
+	case sparc.Add, sparc.Addcc:
+		a, b := li.In.Val(v.Args[0]), li.In.Val(v.Args[1])
+		if b.Kind == ir.ValConst {
+			return li.chaseStep(a.ID, phi, acc+b.Const, fuel-1)
+		}
+		if a.Kind == ir.ValConst {
+			return li.chaseStep(b.ID, phi, acc+a.Const, fuel-1)
+		}
+	case sparc.Sub, sparc.Subcc:
+		a, b := li.In.Val(v.Args[0]), li.In.Val(v.Args[1])
+		if b.Kind == ir.ValConst {
+			return li.chaseStep(a.ID, phi, acc-b.Const, fuel-1)
+		}
+	}
+	return 0, false
+}
+
+// findAsserts converts the loop's conditional branches into assert facts
+// (§4.3.1): on the edge where `cmp x, limit; b<rel>` holds, x is bounded.
+func (li *LoopInfo) findAsserts() {
+	f := li.In.F
+	for b := range li.Loop.Blocks {
+		blk := f.Blocks[b]
+		last := blk.End - 1
+		in := f.Instruction(last)
+		if in.Op != sparc.Br || in.Cond == sparc.BA || in.Cond == sparc.BN {
+			continue
+		}
+		cmp, ok := li.In.CmpAt[b]
+		if !ok || (cmp.Op != sparc.Subcc) {
+			continue
+		}
+		// cfg.Build orders a conditional block's successors as
+		// [taken, fallthrough].
+		if len(blk.Succs) != 2 {
+			continue
+		}
+		taken, fall := blk.Succs[0], blk.Succs[1]
+		if taken == fall {
+			continue
+		}
+		li.assertsForEdge(cmp, in.Cond, taken)
+		li.assertsForEdge(cmp, in.Cond.Negate(), fall)
+	}
+}
+
+func (li *LoopInfo) assertsForEdge(cmp ir.Cmp, cond sparc.Cond, target int) {
+	lhs, rhs := li.In.Resolve(cmp.Lhs), li.In.Resolve(cmp.Rhs)
+	add := func(val, limit int, adjust int32, upper bool) {
+		// Only record useful asserts: the bounded side varies, the limit is
+		// invariant.
+		if !li.Invariant(limit) || li.Invariant(val) {
+			return
+		}
+		li.Asserts = append(li.Asserts, Assert{Val: val, Limit: limit, Adjust: adjust, Upper: upper, Target: target})
+	}
+	switch cond {
+	case sparc.BL: // lhs < rhs
+		add(lhs, rhs, -1, true)
+		add(rhs, lhs, 1, false)
+	case sparc.BLE:
+		add(lhs, rhs, 0, true)
+		add(rhs, lhs, 0, false)
+	case sparc.BG:
+		add(lhs, rhs, 1, false)
+		add(rhs, lhs, -1, true)
+	case sparc.BGE:
+		add(lhs, rhs, 0, false)
+		add(rhs, lhs, 0, true)
+	case sparc.BE:
+		add(lhs, rhs, 0, true)
+		add(lhs, rhs, 0, false)
+	}
+}
+
+// ExprFor builds a materializable pre-header expression for an invariant
+// value: constants, symbol addresses, %fp, and values reloadable from a
+// scalar slot whose content is unchanged inside the loop.
+func (li *LoopInfo) ExprFor(id int) (*Expr, bool) {
+	id = li.In.Resolve(id)
+	if e, ok := li.exprs[id]; ok {
+		return e, e != nil
+	}
+	e := li.exprFor(id)
+	li.exprs[id] = e
+	return e, e != nil
+}
+
+func (li *LoopInfo) exprFor(id int) *Expr {
+	v := li.In.Vals[id]
+	switch v.Kind {
+	case ir.ValConst:
+		return &Expr{Kind: EConst, Const: v.Const}
+	case ir.ValSym:
+		return &Expr{Kind: ESym, Sym: v.Sym, Const: v.Const}
+	case ir.ValFP:
+		return &Expr{Kind: EFP}
+	case ir.ValOp:
+		if !li.Invariant(id) {
+			return nil
+		}
+		switch v.Op {
+		case sparc.Add, sparc.Sub, sparc.Sll, sparc.SMul:
+			a := li.exprFor(li.In.Resolve(v.Args[0]))
+			b := li.exprFor(li.In.Resolve(v.Args[1]))
+			if a == nil || b == nil {
+				return nil
+			}
+			op := v.Op
+			return &Expr{Kind: EOp, Op: op, Args: []*Expr{a, b}}
+		}
+		return li.slotExpr(id)
+	default:
+		return li.slotExpr(id)
+	}
+}
+
+// slotExpr finds a scalar slot whose value at loop entry is exactly id and
+// that is not modified inside the loop, so a pre-header reload recovers it.
+func (li *LoopInfo) slotExpr(id int) *Expr {
+	f := li.In.F
+	header := f.Blocks[li.Loop.Header]
+	entry := -1
+	for _, p := range header.Preds {
+		if !li.Loop.Blocks[p] {
+			if entry != -1 {
+				return nil // multiple entries: ambiguous
+			}
+			entry = p
+		}
+	}
+	if entry == -1 {
+		return nil
+	}
+	for s := range li.In.Slots {
+		if li.stored[s] {
+			continue
+		}
+		if !li.In.Slots[s].IsFP && li.calls {
+			continue // a call inside the loop may rewrite a global
+		}
+		if val, ok := li.In.ValAtEnd(ir.SlotVar(s), entry); ok && val == id {
+			return &Expr{Kind: ESlot, Slot: li.In.Slots[s]}
+		}
+	}
+	return nil
+}
+
+func addExpr(a *Expr, c int32) *Expr {
+	if c == 0 {
+		return a
+	}
+	return &Expr{Kind: EOp, Op: sparc.Add, Args: []*Expr{a, {Kind: EConst, Const: c}}}
+}
+
+func minKind(a, b Kind) Kind {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BoundsOf computes the symbolic bounds of value id for uses in block
+// useBlock (asserts only apply where their edge dominates the use). This is
+// the recursive form of Figure 4's fixed-point: the value graph is acyclic
+// apart from loop phis, which are classified as monotonic or ⊥ up front.
+func (li *LoopInfo) BoundsOf(id, useBlock int) Bounds {
+	id = li.In.Resolve(id)
+	key := id // memoized per value; assert applicability rechecked below
+	_ = key
+	return li.boundsOf(id, useBlock, 12)
+}
+
+func (li *LoopInfo) boundsOf(id, useBlock, fuel int) Bounds {
+	if fuel == 0 {
+		return Bounds{}
+	}
+	id = li.In.Resolve(id)
+	v := li.In.Vals[id]
+
+	// Constants.
+	if v.Kind == ir.ValConst {
+		e := &Expr{Kind: EConst, Const: v.Const}
+		return Bounds{L: Bound{KC, e}, U: Bound{KC, e}}
+	}
+	// Loop invariants (including symbol addresses).
+	if li.Invariant(id) {
+		if e, ok := li.ExprFor(id); ok {
+			return Bounds{L: Bound{KLI, e}, U: Bound{KLI, e}}
+		}
+		return Bounds{}
+	}
+	// Monotonic variables: the init value bounds one side (L_M); an assert
+	// bounds the other (L_A).
+	if m, ok := li.Mono[id]; ok {
+		var b Bounds
+		if initE, ok := li.ExprFor(m.Init); ok {
+			if m.Step > 0 {
+				b.L = Bound{KM, initE}
+			} else {
+				b.U = Bound{KM, initE}
+			}
+		}
+		if lim, adj, ok := li.assertFor(id, useBlock, m.Step > 0); ok {
+			if limE, eok := li.ExprFor(lim); eok {
+				if m.Step > 0 {
+					b.U = Bound{KA, addExpr(limE, adj)}
+				} else {
+					b.L = Bound{KA, addExpr(limE, adj)}
+				}
+			}
+		}
+		return b
+	}
+
+	if v.Kind != ir.ValOp {
+		return Bounds{}
+	}
+	switch v.Op {
+	case sparc.Add, sparc.Addcc:
+		a := li.boundsOf(v.Args[0], useBlock, fuel-1)
+		b := li.boundsOf(v.Args[1], useBlock, fuel-1)
+		return Bounds{
+			L: combine(a.L, b.L, sparc.Add),
+			U: combine(a.U, b.U, sparc.Add),
+		}
+	case sparc.Sub, sparc.Subcc:
+		a := li.boundsOf(v.Args[0], useBlock, fuel-1)
+		b := li.boundsOf(v.Args[1], useBlock, fuel-1)
+		return Bounds{
+			L: combine(a.L, b.U, sparc.Sub),
+			U: combine(a.U, b.L, sparc.Sub),
+		}
+	case sparc.Sll:
+		// Shifting left multiplies by a power of two (§4.5.1's overflow
+		// caveat applies; this reproduction is optimistic like the paper's
+		// measurements).
+		sh := li.In.Val(v.Args[1])
+		if sh.Kind != ir.ValConst || sh.Const < 0 || sh.Const > 30 {
+			return Bounds{}
+		}
+		a := li.boundsOf(v.Args[0], useBlock, fuel-1)
+		shift := func(b Bound) Bound {
+			if b.Kind == Bot {
+				return b
+			}
+			return Bound{b.Kind, &Expr{Kind: EOp, Op: sparc.Sll, Args: []*Expr{b.Expr, {Kind: EConst, Const: sh.Const}}}}
+		}
+		return Bounds{L: shift(a.L), U: shift(a.U)}
+	case sparc.SMul:
+		c := li.In.Val(v.Args[1])
+		x := v.Args[0]
+		if c.Kind != ir.ValConst {
+			c = li.In.Val(v.Args[0])
+			x = v.Args[1]
+		}
+		if c.Kind != ir.ValConst || c.Const <= 0 {
+			return Bounds{}
+		}
+		a := li.boundsOf(x, useBlock, fuel-1)
+		mul := func(b Bound) Bound {
+			if b.Kind == Bot {
+				return b
+			}
+			return Bound{b.Kind, &Expr{Kind: EOp, Op: sparc.SMul, Args: []*Expr{b.Expr, {Kind: EConst, Const: c.Const}}}}
+		}
+		return Bounds{L: mul(a.L), U: mul(a.U)}
+	}
+	return Bounds{}
+}
+
+// combine applies the "simple conjunction rule" of §4.3.2: the result kind
+// is the less useful of the operand kinds.
+func combine(a, b Bound, op sparc.Op) Bound {
+	if a.Kind == Bot || b.Kind == Bot {
+		return Bound{}
+	}
+	k := minKind(a.Kind, b.Kind)
+	// Constant folding keeps pre-header code short.
+	if a.Expr.Kind == EConst && b.Expr.Kind == EConst {
+		if op == sparc.Add {
+			return Bound{k, &Expr{Kind: EConst, Const: a.Expr.Const + b.Expr.Const}}
+		}
+		return Bound{k, &Expr{Kind: EConst, Const: a.Expr.Const - b.Expr.Const}}
+	}
+	if b.Expr.Kind == EConst && op == sparc.Add {
+		return Bound{k, addExpr(a.Expr, b.Expr.Const)}
+	}
+	if b.Expr.Kind == EConst && op == sparc.Sub {
+		return Bound{k, addExpr(a.Expr, -b.Expr.Const)}
+	}
+	return Bound{k, &Expr{Kind: EOp, Op: op, Args: []*Expr{a.Expr, b.Expr}}}
+}
+
+// assertFor finds an assert bounding val from the needed side whose edge
+// target dominates useBlock.
+func (li *LoopInfo) assertFor(val, useBlock int, wantUpper bool) (limit int, adjust int32, ok bool) {
+	for _, a := range li.Asserts {
+		if a.Val != val || a.Upper != wantUpper {
+			continue
+		}
+		if li.In.F.Dominates(a.Target, useBlock) {
+			return a.Limit, a.Adjust, true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 32})
+	if c.Access(0x100, DRead) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(0x100, DRead) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(0x11c, DRead) {
+		t.Fatal("same-line access must hit")
+	}
+	if c.Access(0x120, DRead) {
+		t.Fatal("next-line access must miss")
+	}
+	s := c.Stats()
+	if s.Accesses[DRead] != 4 || s.Misses[DRead] != 2 {
+		t.Fatalf("stats = %+v, want 4 accesses / 2 misses", s)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 32}) // 32 lines
+	a := uint32(0x0)
+	b := uint32(0x400) // same index, different tag
+	c.Access(a, IFetch)
+	if c.Access(b, IFetch) {
+		t.Fatal("conflicting line must miss")
+	}
+	if c.Access(a, IFetch) {
+		t.Fatal("evicted line must miss again")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(DefaultConfig)
+	c.Access(0x500, DWrite)
+	if !c.Probe(0x500) {
+		t.Fatal("line should be resident")
+	}
+	c.Invalidate(0x500)
+	if c.Probe(0x500) {
+		t.Fatal("line should be invalidated")
+	}
+	// Invalidating an address whose index holds a different tag is a no-op.
+	c.Access(0x500, DWrite)
+	c.Invalidate(0x500 + 1<<20)
+	if !c.Probe(0x500) {
+		t.Fatal("invalidate of a different tag must not evict")
+	}
+}
+
+func TestFlushKeepsStats(t *testing.T) {
+	c := New(DefaultConfig)
+	c.Access(0x40, DRead)
+	c.Flush()
+	if c.Probe(0x40) {
+		t.Fatal("flush must empty the cache")
+	}
+	if c.Stats().TotalAccesses() != 1 {
+		t.Fatal("flush must keep statistics")
+	}
+	c.ResetStats()
+	if c.Stats().TotalAccesses() != 0 {
+		t.Fatal("ResetStats must zero statistics")
+	}
+}
+
+func TestProbeMatchesAccess(t *testing.T) {
+	// Probe must predict exactly what a subsequent Access reports, and must
+	// not change state.
+	c := New(Config{SizeBytes: 512, LineBytes: 32})
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			want := c.Probe(a)
+			if c.Probe(a) != want { // Probe idempotent
+				return false
+			}
+			if c.Access(a, DRead) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 32},
+		{SizeBytes: 100, LineBytes: 32},
+		{SizeBytes: 1024, LineBytes: 0},
+		{SizeBytes: 1024, LineBytes: 33},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+	c := New(Config{SizeBytes: 64 * 1024, LineBytes: 32})
+	if c.Lines() != 2048 || c.LineBytes() != 32 {
+		t.Errorf("geometry: lines=%d lineBytes=%d", c.Lines(), c.LineBytes())
+	}
+}
+
+func TestStatsTotals(t *testing.T) {
+	c := New(DefaultConfig)
+	c.Access(0x0, IFetch)
+	c.Access(0x0, IFetch)
+	c.Access(0x1000, DRead)
+	c.Access(0x2000, DWrite)
+	s := c.Stats()
+	if s.TotalAccesses() != 4 {
+		t.Errorf("TotalAccesses = %d, want 4", s.TotalAccesses())
+	}
+	if s.TotalMisses() != 3 {
+		t.Errorf("TotalMisses = %d, want 3", s.TotalMisses())
+	}
+}

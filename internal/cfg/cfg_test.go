@@ -1,0 +1,223 @@
+package cfg
+
+import (
+	"testing"
+
+	"databreak/internal/asm"
+	"databreak/internal/minic"
+)
+
+func buildFromC(t *testing.T, src string) []*Func {
+	t.Helper()
+	asmSrc, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	u, err := asm.Parse("p.s", asmSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fns, err := SplitFunctions(u)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	return fns
+}
+
+func findFunc(t *testing.T, fns []*Func, name string) *Func {
+	t.Helper()
+	for _, f := range fns {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("function %q not found", name)
+	return nil
+}
+
+func TestSplitFunctions(t *testing.T) {
+	fns := buildFromC(t, `
+int helper(int x) { return x + 1; }
+int main() { return helper(41); }
+`)
+	if len(fns) != 2 {
+		t.Fatalf("found %d functions, want 2", len(fns))
+	}
+	if fns[0].Name != "helper" || fns[1].Name != "main" {
+		t.Fatalf("functions = %s, %s", fns[0].Name, fns[1].Name)
+	}
+	for _, f := range fns {
+		if len(f.Instrs) == 0 || len(f.Blocks) == 0 {
+			t.Fatalf("%s: empty function", f.Name)
+		}
+	}
+}
+
+func TestStraightLineIsOneLoopFree(t *testing.T) {
+	fns := buildFromC(t, `int main() { int x; x = 1; x = x + 2; return x; }`)
+	f := findFunc(t, fns, "main")
+	if len(f.Loops) != 0 {
+		t.Fatalf("straight-line code reports %d loops", len(f.Loops))
+	}
+}
+
+func TestSimpleLoopDetected(t *testing.T) {
+	fns := buildFromC(t, `
+int main() {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < 10; i = i + 1) s = s + i;
+	return s;
+}`)
+	f := findFunc(t, fns, "main")
+	if len(f.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(f.Loops))
+	}
+	l := f.Loops[0]
+	if l.Depth != 1 {
+		t.Fatalf("depth = %d", l.Depth)
+	}
+	if !f.EntryEdgesFallthrough(l) {
+		t.Fatal("compiler loops must be enterable by fallthrough")
+	}
+	// The header must dominate every block in the loop.
+	for b := range l.Blocks {
+		if !f.Dominates(l.Header, b) {
+			t.Fatalf("header %d does not dominate member %d", l.Header, b)
+		}
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	fns := buildFromC(t, `
+int m[100];
+int main() {
+	int i;
+	int j;
+	for (i = 0; i < 10; i = i + 1) {
+		for (j = 0; j < 10; j = j + 1) {
+			m[i * 10 + j] = i + j;
+		}
+	}
+	return 0;
+}`)
+	f := findFunc(t, fns, "main")
+	if len(f.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(f.Loops))
+	}
+	inner, outer := f.Loops[0], f.Loops[1]
+	if len(inner.Blocks) >= len(outer.Blocks) {
+		t.Fatal("loops must be sorted inner-first")
+	}
+	if inner.Parent != outer {
+		t.Fatal("inner loop's parent must be the outer loop")
+	}
+	if inner.Depth != 2 || outer.Depth != 1 {
+		t.Fatalf("depths = %d, %d", inner.Depth, outer.Depth)
+	}
+	// Inner loop blocks must all be members of the outer loop.
+	for b := range inner.Blocks {
+		if !outer.Blocks[b] {
+			t.Fatalf("inner block %d not in outer loop", b)
+		}
+	}
+}
+
+func TestDominators(t *testing.T) {
+	fns := buildFromC(t, `
+int main() {
+	int x;
+	x = 0;
+	if (x) { x = 1; } else { x = 2; }
+	return x;
+}`)
+	f := findFunc(t, fns, "main")
+	// Entry dominates everything.
+	for _, b := range f.Blocks {
+		if !f.Dominates(0, b.ID) {
+			t.Fatalf("entry must dominate block %d", b.ID)
+		}
+	}
+	// Parallel branches must not dominate each other or the join.
+	var thenB, elseB = -1, -1
+	for _, b := range f.Blocks {
+		if len(b.Preds) == 1 && len(f.Blocks[b.Preds[0]].Succs) == 2 {
+			if thenB == -1 {
+				thenB = b.ID
+			} else if elseB == -1 && b.Preds[0] == f.Blocks[thenB].Preds[0] {
+				elseB = b.ID
+			}
+		}
+	}
+	if thenB >= 0 && elseB >= 0 {
+		if f.Dominates(thenB, elseB) || f.Dominates(elseB, thenB) {
+			t.Fatal("sibling branches must not dominate each other")
+		}
+	}
+}
+
+func TestBlockPartitionCoversAllInstrs(t *testing.T) {
+	fns := buildFromC(t, `
+int f(int n) {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < n; i = i + 1) {
+		if (i % 2) { s = s + i; } else { s = s - i; }
+	}
+	return s;
+}
+int main() { return f(10); }
+`)
+	for _, f := range fns {
+		covered := make([]bool, len(f.Instrs))
+		for _, b := range f.Blocks {
+			for p := b.Start; p < b.End; p++ {
+				if covered[p] {
+					t.Fatalf("%s: instruction %d in two blocks", f.Name, p)
+				}
+				covered[p] = true
+				if f.BlockOf[p] != b.ID {
+					t.Fatalf("%s: BlockOf[%d] = %d, want %d", f.Name, p, f.BlockOf[p], b.ID)
+				}
+			}
+		}
+		for p, c := range covered {
+			if !c {
+				t.Fatalf("%s: instruction %d not in any block", f.Name, p)
+			}
+		}
+		// Edge symmetry.
+		for _, b := range f.Blocks {
+			for _, s := range b.Succs {
+				found := false
+				for _, p := range f.Blocks[s].Preds {
+					if p == b.ID {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s: edge %d->%d missing pred link", f.Name, b.ID, s)
+				}
+			}
+		}
+	}
+}
+
+func TestWhileLoopShape(t *testing.T) {
+	fns := buildFromC(t, `
+int main() {
+	int i;
+	i = 0;
+	while (i < 100) { i = i + 3; }
+	return i;
+}`)
+	f := findFunc(t, fns, "main")
+	if len(f.Loops) != 1 {
+		t.Fatalf("loops = %d", len(f.Loops))
+	}
+	if !f.EntryEdgesFallthrough(f.Loops[0]) {
+		t.Fatal("while loop must be fallthrough-entered")
+	}
+}

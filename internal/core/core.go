@@ -1,0 +1,245 @@
+// Package core provides the monitored region service (MRS) of "Practical
+// Data Breakpoints" (PLDI 1993) as a reusable Go library.
+//
+// A monitored region service detects writes to contiguous, word-aligned,
+// non-overlapping regions of a 32-bit address space. A host program — an
+// interpreter, a virtual machine, a simulator, or the instruction-patching
+// pipeline in this repository — calls CheckWrite on every store it executes;
+// the service invokes the registered notification callback on each monitor
+// hit. The interface follows §2 of the paper:
+//
+//	CreateMonitoredRegion(region)
+//	DeleteMonitoredRegion(region)
+//	NotificationCallBack(targetAddress, size)
+//
+// plus the PreMonitor/PostMonitor pair from §4.2 that drives dynamic
+// insertion and deletion of eliminated write checks through a client
+// supplied Patcher.
+//
+// Address lookup is pluggable: the segmented bitmap (the paper's choice) or
+// the hash table from the pilot study. A hierarchical range index answers
+// the loop pre-header range checks of §4.3.
+package core
+
+import (
+	"fmt"
+
+	"databreak/internal/bitmap"
+	"databreak/internal/hashtable"
+	"databreak/internal/rangecheck"
+)
+
+// Region is a contiguous monitored region: word aligned, non-overlapping.
+type Region struct {
+	Addr uint32
+	Size uint32 // bytes, word multiple
+}
+
+// End returns the exclusive upper bound of the region.
+func (r Region) End() uint32 { return r.Addr + r.Size }
+
+func (r Region) String() string {
+	return fmt.Sprintf("[%#x,+%d)", r.Addr, r.Size)
+}
+
+// HitFunc is the notification callback: addr is the store's target address,
+// size the store width in bytes.
+type HitFunc func(addr uint32, size uint32)
+
+// Lookup abstracts the address-lookup data structure.
+type Lookup interface {
+	// Add marks the region as monitored; it fails on overlap or misalignment.
+	Add(addr, size uint32) error
+	// Remove unmarks a region previously added with exactly these bounds.
+	Remove(addr, size uint32) error
+	// Contains reports whether the word containing addr is monitored.
+	Contains(addr uint32) bool
+	// ContainsAccess reports whether a size-byte store at addr hits.
+	ContainsAccess(addr, size uint32) bool
+}
+
+var (
+	_ Lookup = (*bitmap.Bitmap)(nil)
+	_ Lookup = (*hashtable.Table)(nil)
+)
+
+// Patcher re-inserts and removes eliminated write checks at run time
+// (Kessler-style code patching). The instruction-level pipeline registers an
+// implementation; pure-Go hosts may ignore it.
+type Patcher interface {
+	// InsertChecks re-arms the eliminated write checks for symbol sym.
+	InsertChecks(sym string)
+	// RemoveChecks disarms them again.
+	RemoveChecks(sym string)
+}
+
+// Stats counts service activity.
+type Stats struct {
+	Checks      uint64 // CheckWrite calls
+	Hits        uint64 // monitor hits delivered
+	RangeChecks uint64 // CheckRange calls
+	RangeHits   uint64 // conservative range intersections reported
+}
+
+// Option configures New.
+type Option func(*Service)
+
+// WithLookup selects the address-lookup structure (default: segmented
+// bitmap with the paper's 128-word segments).
+func WithLookup(l Lookup) Option { return func(s *Service) { s.lookup = l } }
+
+// WithCallback sets the notification callback.
+func WithCallback(f HitFunc) Option { return func(s *Service) { s.callback = f } }
+
+// WithPatcher registers the dynamic check patcher used by PreMonitor and
+// PostMonitor.
+func WithPatcher(p Patcher) Option { return func(s *Service) { s.patcher = p } }
+
+// Service is a monitored region service. Create with New. Service is not
+// safe for concurrent use; the debuggee it monitors is single-threaded, as
+// in the paper.
+type Service struct {
+	lookup   Lookup
+	ranges   *rangecheck.Index
+	callback HitFunc
+	patcher  Patcher
+	regions  map[Region]struct{}
+	symbols  map[string]Region // PreMonitor'd symbol -> its region
+	stats    Stats
+}
+
+// New builds a service. With no options it uses a segmented bitmap over the
+// full 32-bit address space and a callback that does nothing.
+func New(opts ...Option) *Service {
+	s := &Service{
+		ranges:  rangecheck.New(),
+		regions: make(map[Region]struct{}),
+		symbols: make(map[string]Region),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.lookup == nil {
+		s.lookup = bitmap.New(bitmap.DefaultConfig)
+	}
+	if s.callback == nil {
+		s.callback = func(uint32, uint32) {}
+	}
+	return s
+}
+
+// SetCallback replaces the notification callback.
+func (s *Service) SetCallback(f HitFunc) {
+	if f == nil {
+		f = func(uint32, uint32) {}
+	}
+	s.callback = f
+}
+
+// CreateMonitoredRegion installs r. The region must be word aligned and
+// disjoint from every installed region.
+func (s *Service) CreateMonitoredRegion(r Region) error {
+	if _, dup := s.regions[r]; dup {
+		return fmt.Errorf("core: region %v already monitored", r)
+	}
+	if err := s.lookup.Add(r.Addr, r.Size); err != nil {
+		return err
+	}
+	if err := s.ranges.Add(r.Addr, r.Size); err != nil {
+		// Keep lookup and range index in sync even on failure.
+		_ = s.lookup.Remove(r.Addr, r.Size)
+		return err
+	}
+	s.regions[r] = struct{}{}
+	return nil
+}
+
+// DeleteMonitoredRegion removes a region previously created with exactly
+// these bounds.
+func (s *Service) DeleteMonitoredRegion(r Region) error {
+	if _, ok := s.regions[r]; !ok {
+		return fmt.Errorf("core: region %v is not monitored", r)
+	}
+	if err := s.lookup.Remove(r.Addr, r.Size); err != nil {
+		return err
+	}
+	if err := s.ranges.Remove(r.Addr, r.Size); err != nil {
+		return err
+	}
+	delete(s.regions, r)
+	return nil
+}
+
+// Disabled reports whether no regions are installed — the paper's global
+// disabled flag, which write checks branch on to skip all work.
+func (s *Service) Disabled() bool { return len(s.regions) == 0 }
+
+// Regions returns the number of installed regions.
+func (s *Service) Regions() int { return len(s.regions) }
+
+// CheckWrite is the write check: the host calls it after every store of
+// size bytes at addr. On a monitor hit the notification callback runs.
+func (s *Service) CheckWrite(addr, size uint32) {
+	s.stats.Checks++
+	if len(s.regions) == 0 {
+		return
+	}
+	if s.lookup.ContainsAccess(addr, size) {
+		s.stats.Hits++
+		s.callback(addr, size)
+	}
+}
+
+// CheckRange is the loop pre-header range check of §4.3: it conservatively
+// reports whether the inclusive interval [lo, hi] may intersect a monitored
+// region. A true result never misses a real intersection.
+func (s *Service) CheckRange(lo, hi uint32) bool {
+	s.stats.RangeChecks++
+	if len(s.regions) == 0 {
+		return false
+	}
+	if s.ranges.Intersects(lo, hi) {
+		s.stats.RangeHits++
+		return true
+	}
+	return false
+}
+
+// PreMonitor arms the eliminated write checks associated with symbol sym
+// and then installs its region (§4.2: patch first, then create, so no hit
+// is missed).
+func (s *Service) PreMonitor(sym string, r Region) error {
+	if _, dup := s.symbols[sym]; dup {
+		return fmt.Errorf("core: symbol %q already monitored", sym)
+	}
+	if s.patcher != nil {
+		s.patcher.InsertChecks(sym)
+	}
+	if err := s.CreateMonitoredRegion(r); err != nil {
+		if s.patcher != nil {
+			s.patcher.RemoveChecks(sym)
+		}
+		return err
+	}
+	s.symbols[sym] = r
+	return nil
+}
+
+// PostMonitor removes the region installed for sym and disarms its checks.
+func (s *Service) PostMonitor(sym string) error {
+	r, ok := s.symbols[sym]
+	if !ok {
+		return fmt.Errorf("core: symbol %q is not monitored", sym)
+	}
+	if err := s.DeleteMonitoredRegion(r); err != nil {
+		return err
+	}
+	if s.patcher != nil {
+		s.patcher.RemoveChecks(sym)
+	}
+	delete(s.symbols, sym)
+	return nil
+}
+
+// Stats returns a copy of the activity counters.
+func (s *Service) Stats() Stats { return s.stats }

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"databreak/internal/hashtable"
+)
+
+func TestCreateCheckDelete(t *testing.T) {
+	var hits []uint32
+	s := New(WithCallback(func(addr, size uint32) { hits = append(hits, addr) }))
+	if !s.Disabled() {
+		t.Fatal("fresh service must be disabled")
+	}
+	r := Region{Addr: 0x1000, Size: 8}
+	if err := s.CreateMonitoredRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	if s.Disabled() || s.Regions() != 1 {
+		t.Fatal("service must be enabled with one region")
+	}
+	s.CheckWrite(0x1004, 4) // hit
+	s.CheckWrite(0x1008, 4) // miss
+	s.CheckWrite(0x0ffc, 8) // double word straddling into region: hit
+	if len(hits) != 2 || hits[0] != 0x1004 || hits[1] != 0x0ffc {
+		t.Fatalf("hits = %#v", hits)
+	}
+	if err := s.DeleteMonitoredRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	s.CheckWrite(0x1004, 4)
+	if len(hits) != 2 {
+		t.Fatal("deleted region must not hit")
+	}
+	st := s.Stats()
+	if st.Checks != 4 || st.Hits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDuplicateAndUnknownRegions(t *testing.T) {
+	s := New()
+	r := Region{Addr: 0x2000, Size: 4}
+	if err := s.CreateMonitoredRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateMonitoredRegion(r); err == nil {
+		t.Fatal("duplicate create must fail")
+	}
+	if err := s.CreateMonitoredRegion(Region{Addr: 0x2000, Size: 8}); err == nil {
+		t.Fatal("overlapping create must fail")
+	}
+	if err := s.DeleteMonitoredRegion(Region{Addr: 0x3000, Size: 4}); err == nil {
+		t.Fatal("deleting unknown region must fail")
+	}
+}
+
+func TestCheckRange(t *testing.T) {
+	s := New()
+	if s.CheckRange(0, 0xFFFF_FFFF) {
+		t.Fatal("disabled service must report no range hits")
+	}
+	s.CreateMonitoredRegion(Region{Addr: 0x8000, Size: 16})
+	if !s.CheckRange(0x8000, 0x800F) {
+		t.Fatal("exact range must intersect")
+	}
+	if s.CheckRange(0x4000_0000, 0x4000_1000) {
+		t.Fatal("far range must not intersect")
+	}
+	st := s.Stats()
+	if st.RangeChecks != 3 || st.RangeHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+type fakePatcher struct {
+	inserted []string
+	removed  []string
+}
+
+func (p *fakePatcher) InsertChecks(sym string) { p.inserted = append(p.inserted, sym) }
+func (p *fakePatcher) RemoveChecks(sym string) { p.removed = append(p.removed, sym) }
+
+func TestPreMonitorPatchesBeforeCreate(t *testing.T) {
+	p := &fakePatcher{}
+	var sawRegion bool
+	s := New(WithPatcher(p))
+	s.SetCallback(func(addr, size uint32) { sawRegion = true })
+
+	r := Region{Addr: 0x5000, Size: 4}
+	if err := s.PreMonitor("x", r); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.inserted) != 1 || p.inserted[0] != "x" {
+		t.Fatalf("patcher inserted = %v", p.inserted)
+	}
+	s.CheckWrite(0x5000, 4)
+	if !sawRegion {
+		t.Fatal("region from PreMonitor must be live")
+	}
+	if err := s.PreMonitor("x", r); err == nil {
+		t.Fatal("double PreMonitor of one symbol must fail")
+	}
+	if err := s.PostMonitor("x"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.removed) != 1 {
+		t.Fatalf("patcher removed = %v", p.removed)
+	}
+	if err := s.PostMonitor("x"); err == nil {
+		t.Fatal("PostMonitor of unmonitored symbol must fail")
+	}
+}
+
+func TestPreMonitorRollsBackOnBadRegion(t *testing.T) {
+	p := &fakePatcher{}
+	s := New(WithPatcher(p))
+	s.CreateMonitoredRegion(Region{Addr: 0x1000, Size: 8})
+	// Overlapping region: PreMonitor must fail and disarm the patches.
+	if err := s.PreMonitor("y", Region{Addr: 0x1004, Size: 8}); err == nil {
+		t.Fatal("overlapping PreMonitor must fail")
+	}
+	if len(p.inserted) != 1 || len(p.removed) != 1 {
+		t.Fatalf("patcher must be rolled back: %+v", p)
+	}
+}
+
+func TestHashTableLookupBackend(t *testing.T) {
+	var hits int
+	s := New(
+		WithLookup(hashtable.New(64)),
+		WithCallback(func(addr, size uint32) { hits++ }),
+	)
+	s.CreateMonitoredRegion(Region{Addr: 0x1000, Size: 4})
+	s.CheckWrite(0x1000, 4)
+	s.CheckWrite(0x2000, 4)
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	r := Region{Addr: 0x1000, Size: 8}
+	if got := r.String(); got != "[0x1000,+8)" {
+		t.Fatalf("String = %q", got)
+	}
+	if r.End() != 0x1008 {
+		t.Fatalf("End = %#x", r.End())
+	}
+}
+
+func TestNilCallbackSafe(t *testing.T) {
+	s := New()
+	s.SetCallback(nil)
+	s.CreateMonitoredRegion(Region{Addr: 0x1000, Size: 4})
+	s.CheckWrite(0x1000, 4) // must not panic
+}
+
+func BenchmarkCheckWriteDisabled(b *testing.B) {
+	s := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CheckWrite(0x1000, 4)
+	}
+}
+
+func BenchmarkCheckWriteMiss(b *testing.B) {
+	s := New()
+	s.CreateMonitoredRegion(Region{Addr: 0x9000_0000, Size: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CheckWrite(uint32(i%65536)*4, 4)
+	}
+}

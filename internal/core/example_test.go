@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"databreak/internal/core"
+)
+
+// Example demonstrates the monitored region service interface of §2: create
+// a region, check writes, receive notifications, delete the region.
+func Example() {
+	svc := core.New(core.WithCallback(func(addr, size uint32) {
+		fmt.Printf("hit: %d bytes at %#x\n", size, addr)
+	}))
+	_ = svc.CreateMonitoredRegion(core.Region{Addr: 0x1000, Size: 8})
+
+	svc.CheckWrite(0x0ffc, 4) // miss
+	svc.CheckWrite(0x1004, 4) // hit
+	svc.CheckWrite(0x0ffc, 8) // double word straddling in: hit
+
+	fmt.Println("range check:", svc.CheckRange(0x0f00, 0x10ff))
+	_ = svc.DeleteMonitoredRegion(core.Region{Addr: 0x1000, Size: 8})
+	fmt.Println("disabled:", svc.Disabled())
+	// Output:
+	// hit: 4 bytes at 0x1004
+	// hit: 8 bytes at 0xffc
+	// range check: true
+	// disabled: true
+}
+
+// ExampleService_PreMonitor shows the §4.2 dynamic-insertion pairing: the
+// patcher is asked to re-arm a symbol's eliminated checks before its region
+// is created, so no hit can be missed.
+func ExampleService_PreMonitor() {
+	patcher := &loggingPatcher{}
+	svc := core.New(core.WithPatcher(patcher))
+	_ = svc.PreMonitor("x", core.Region{Addr: 0x2000, Size: 4})
+	_ = svc.PostMonitor("x")
+	// Output:
+	// insert checks for x
+	// remove checks for x
+}
+
+type loggingPatcher struct{}
+
+func (loggingPatcher) InsertChecks(sym string) { fmt.Println("insert checks for", sym) }
+func (loggingPatcher) RemoveChecks(sym string) { fmt.Println("remove checks for", sym) }

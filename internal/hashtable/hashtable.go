@@ -1,0 +1,144 @@
+// Package hashtable implements the hash-table address lookup from Wahbe's
+// pilot study of data breakpoint implementations (ASPLOS 1992), reproduced
+// here as the baseline the segmented bitmap is measured against.
+//
+// The table hashes 32-byte address granules to buckets holding the monitored
+// regions overlapping that granule. Space is proportional to the number (and
+// footprint) of monitored regions, but a lookup must walk a bucket chain:
+// several dependent memory accesses per check, which is what produced the
+// 209%-642% overheads the paper reports for this scheme.
+package hashtable
+
+import "fmt"
+
+// granuleShift is log2 of the hashing granule in bytes.
+const granuleShift = 5
+
+type entry struct {
+	lo, hi uint32 // region byte bounds, inclusive lo, exclusive hi
+}
+
+// Table is a hash table of monitored regions. Create with New.
+type Table struct {
+	buckets [][]entry
+	mask    uint32
+	regions int
+}
+
+// New builds a table with the given bucket count (rounded up to a power of
+// two; minimum 16).
+func New(nbuckets int) *Table {
+	n := 16
+	for n < nbuckets {
+		n <<= 1
+	}
+	return &Table{buckets: make([][]entry, n), mask: uint32(n - 1)}
+}
+
+func (t *Table) bucketOf(addr uint32) uint32 {
+	g := addr >> granuleShift
+	// Multiplicative hash (Knuth).
+	return (g * 2654435761) & t.mask
+}
+
+func checkRegion(addr, size uint32) error {
+	if addr&3 != 0 || size == 0 || size&3 != 0 {
+		return fmt.Errorf("hashtable: region [%#x,+%d) is not word aligned", addr, size)
+	}
+	return nil
+}
+
+// Add records the region [addr, addr+size). Overlapping an existing region
+// is an error (the MRS keeps regions disjoint).
+func (t *Table) Add(addr, size uint32) error {
+	if err := checkRegion(addr, size); err != nil {
+		return err
+	}
+	if t.overlaps(addr, size) {
+		return fmt.Errorf("hashtable: region [%#x,+%d) overlaps an existing region", addr, size)
+	}
+	e := entry{lo: addr, hi: addr + size}
+	seen := make(map[uint32]bool)
+	for g := addr >> granuleShift; g <= (addr+size-1)>>granuleShift; g++ {
+		b := t.bucketOf(g << granuleShift)
+		if !seen[b] {
+			seen[b] = true
+			t.buckets[b] = append(t.buckets[b], e)
+		}
+	}
+	t.regions++
+	return nil
+}
+
+func (t *Table) overlaps(addr, size uint32) bool {
+	lo, hi := addr, addr+size
+	for g := addr >> granuleShift; g <= (addr+size-1)>>granuleShift; g++ {
+		b := t.bucketOf(g << granuleShift)
+		for _, e := range t.buckets[b] {
+			if e.lo < hi && lo < e.hi {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Remove erases the region previously added with exactly these bounds.
+func (t *Table) Remove(addr, size uint32) error {
+	if err := checkRegion(addr, size); err != nil {
+		return err
+	}
+	found := false
+	for g := addr >> granuleShift; g <= (addr+size-1)>>granuleShift; g++ {
+		b := t.bucketOf(g << granuleShift)
+		lst := t.buckets[b]
+		for i := range lst {
+			if lst[i].lo == addr && lst[i].hi == addr+size {
+				t.buckets[b] = append(lst[:i], lst[i+1:]...)
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("hashtable: region [%#x,+%d) was not added", addr, size)
+	}
+	t.regions--
+	return nil
+}
+
+// Contains reports whether the word containing addr is monitored.
+func (t *Table) Contains(addr uint32) bool {
+	a := addr &^ 3
+	b := t.bucketOf(a)
+	for _, e := range t.buckets[b] {
+		if e.lo <= a && a < e.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAccess reports whether a size-byte store at addr touches a
+// monitored word.
+func (t *Table) ContainsAccess(addr, size uint32) bool {
+	first := addr &^ 3
+	last := (addr + size - 1) &^ 3
+	for a := first; ; a += 4 {
+		if t.Contains(a) {
+			return true
+		}
+		if a == last {
+			return false
+		}
+	}
+}
+
+// Regions returns the number of installed regions.
+func (t *Table) Regions() int { return t.regions }
+
+// ChainLength returns the bucket chain length a lookup of addr must walk;
+// it quantifies why hash lookup loses to the bitmap.
+func (t *Table) ChainLength(addr uint32) int {
+	return len(t.buckets[t.bucketOf(addr&^3)])
+}

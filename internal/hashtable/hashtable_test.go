@@ -1,0 +1,170 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicAddContainsRemove(t *testing.T) {
+	h := New(256)
+	if h.Contains(0x1000) {
+		t.Fatal("empty table must not contain anything")
+	}
+	if err := h.Add(0x1000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Contains(0x1000) || !h.Contains(0x1004) {
+		t.Fatal("added words must be found")
+	}
+	if h.Contains(0x1008) || h.Contains(0xffc) {
+		t.Fatal("neighbors must not be found")
+	}
+	if err := h.Remove(0x1000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if h.Contains(0x1000) || h.Regions() != 0 {
+		t.Fatal("remove must clear the region")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	h := New(64)
+	h.Add(0x2000, 16)
+	if err := h.Add(0x2008, 8); err == nil {
+		t.Fatal("overlapping region must be rejected")
+	}
+	if err := h.Add(0x1FF8, 16); err == nil {
+		t.Fatal("straddling region must be rejected")
+	}
+}
+
+func TestRegionSpanningGranules(t *testing.T) {
+	h := New(64)
+	// 32-byte granules: a 96-byte region spans several.
+	if err := h.Add(0x3010, 96); err != nil {
+		t.Fatal(err)
+	}
+	for off := uint32(0); off < 96; off += 4 {
+		if !h.Contains(0x3010 + off) {
+			t.Fatalf("word %#x must be found", 0x3010+off)
+		}
+	}
+	if err := h.Remove(0x3010, 96); err != nil {
+		t.Fatal(err)
+	}
+	for off := uint32(0); off < 96; off += 4 {
+		if h.Contains(0x3010 + off) {
+			t.Fatalf("word %#x must be gone", 0x3010+off)
+		}
+	}
+}
+
+func TestRemoveUnknownFails(t *testing.T) {
+	h := New(64)
+	if err := h.Remove(0x1000, 4); err == nil {
+		t.Fatal("removing absent region must fail")
+	}
+}
+
+func TestContainsAccess(t *testing.T) {
+	h := New(64)
+	h.Add(0x1004, 4)
+	if !h.ContainsAccess(0x1000, 8) {
+		t.Fatal("double-word store overlapping region must hit")
+	}
+	if h.ContainsAccess(0x1008, 8) {
+		t.Fatal("store past region must miss")
+	}
+}
+
+func TestOracle(t *testing.T) {
+	h := New(128)
+	oracle := make(map[uint32]bool)
+	type region struct{ addr, size uint32 }
+	var live []region
+	rng := rand.New(rand.NewSource(2))
+	overlaps := func(addr, size uint32) bool {
+		for o := uint32(0); o < size; o += 4 {
+			if oracle[addr+o] {
+				return true
+			}
+		}
+		return false
+	}
+	for step := 0; step < 3000; step++ {
+		switch rng.Intn(4) {
+		case 0:
+			addr := uint32(rng.Intn(1<<16)) &^ 3
+			size := (uint32(rng.Intn(20)) + 1) * 4
+			err := h.Add(addr, size)
+			if overlaps(addr, size) {
+				if err == nil {
+					t.Fatalf("step %d: overlap not rejected", step)
+				}
+			} else if err != nil {
+				t.Fatalf("step %d: add failed: %v", step, err)
+			} else {
+				for o := uint32(0); o < size; o += 4 {
+					oracle[addr+o] = true
+				}
+				live = append(live, region{addr, size})
+			}
+		case 1:
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			r := live[i]
+			if err := h.Remove(r.addr, r.size); err != nil {
+				t.Fatalf("step %d: remove failed: %v", step, err)
+			}
+			for o := uint32(0); o < r.size; o += 4 {
+				delete(oracle, r.addr+o)
+			}
+			live = append(live[:i], live[i+1:]...)
+		default:
+			addr := uint32(rng.Intn(1<<16)) &^ 3
+			if got, want := h.Contains(addr), oracle[addr]; got != want {
+				t.Fatalf("step %d: Contains(%#x)=%v oracle=%v", step, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestChainLengthGrowsWithRegions(t *testing.T) {
+	h := New(16) // few buckets: force chains
+	for i := uint32(0); i < 64; i++ {
+		if err := h.Add(0x1000+i*64, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	long := 0
+	for i := uint32(0); i < 64; i++ {
+		if h.ChainLength(0x1000+i*64) > 1 {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Fatal("with 64 regions in 16 buckets some chains must exceed length 1")
+	}
+}
+
+func BenchmarkContainsMiss(b *testing.B) {
+	h := New(256)
+	for i := uint32(0); i < 32; i++ {
+		h.Add(0x1000+i*64, 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Contains(0x8000_0000 + uint32(i%4096)*4)
+	}
+}
+
+func BenchmarkContainsHit(b *testing.B) {
+	h := New(256)
+	h.Add(0x1000, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Contains(0x1000 + uint32(i%1024)*4)
+	}
+}

@@ -1,0 +1,699 @@
+// Package machine executes programs for the SPARC-subset ISA with a cycle
+// cost model and a direct-mapped combined cache, reproducing the performance
+// envelope of the workstation used in "Practical Data Breakpoints" (PLDI
+// 1993).
+//
+// The machine is deliberately observable: the debugger side of the monitored
+// region service reads and writes simulated memory directly, patches
+// instructions at run time (Kessler-style fast breakpoints), and receives
+// callbacks on monitor hits, range-check hits, and control-flow-check
+// violations, all without perturbing the cycle count of the program being
+// debugged except where the paper's design says it must.
+package machine
+
+import (
+	"bytes"
+	"fmt"
+
+	"databreak/internal/cache"
+	"databreak/internal/sparc"
+)
+
+// Address-space layout. These are conventions shared with the assembler.
+const (
+	TextBase  uint32 = 0x0001_0000 // instruction addresses (4 bytes each)
+	DataBase  uint32 = 0x2000_0000 // .data and .bss
+	HeapBase  uint32 = 0x4000_0000 // trap-based allocator arena
+	StackTop  uint32 = 0xEFFF_FFF0 // initial %sp (grows down)
+	MonBase   uint32 = 0x8000_0000 // monitor library data structures
+	PageBytes        = 1 << 12
+)
+
+// Trap numbers for the ta instruction.
+const (
+	TrapExit     int32 = iota // halt; exit code in %o0
+	TrapPrintInt              // print %o0 as signed decimal + newline
+	TrapPrintCh               // print %o0 as a byte
+	TrapPrintStr              // print bytes at [%o0], length %o1
+	TrapAlloc                 // %o0 = size in bytes -> %o0 = pointer
+	TrapFree                  // free pointer in %o0
+	TrapMonHit4               // monitor hit, 1 word,  address in %g5
+	TrapMonHit8               // monitor hit, 2 words, address in %g5
+	TrapRangeHit              // pre-header range check hit; site id in %o0
+	TrapCtlCheck              // control-flow check violation; detail in %o0
+	TrapMonRead4              // monitor hit on a 1-word READ, address in %g5
+	TrapMonRead8              // monitor hit on a 2-word READ, address in %g5
+)
+
+// NWindows is the number of physical register windows. Deeper call chains
+// trigger overflow spills, as on a real SPARC.
+const NWindows = 8
+
+// Costs parameterizes the cycle model. Zero value is not useful; use
+// DefaultCosts.
+type Costs struct {
+	Base        int64 // every instruction
+	MemExtra    int64 // extra cycles for a load/store that hits the cache
+	MissPenalty int64 // additional cycles on any cache miss (ifetch or data)
+	TakenBranch int64 // extra cycles for a taken branch/call/jmpl
+	Mul         int64 // extra cycles for smul
+	Div         int64 // extra cycles for sdiv
+	Trap        int64 // extra cycles for ta (OS service entry/exit)
+	WindowSpill int64 // extra cycles for window overflow or underflow
+}
+
+// DefaultCosts approximates the SPARCstation generation the paper measured:
+// single-issue, 1-cycle register ops, loads 2 cycles on a hit, a handful of
+// cycles on a miss (the paper's break-even analysis assumes loads take 2-8
+// cycles), multi-cycle multiply/divide, and expensive traps.
+var DefaultCosts = Costs{
+	Base:        1,
+	MemExtra:    1,
+	MissPenalty: 8,
+	TakenBranch: 1,
+	Mul:         4,
+	Div:         18,
+	Trap:        40, // library-call cost: the trap services model libc routines
+	WindowSpill: 64,
+}
+
+// Fault describes a runtime error in the simulated program.
+type Fault struct {
+	PC     int32
+	Instr  sparc.Instr
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("machine fault at pc=%d (%s): %s", f.PC, f.Instr, f.Reason)
+}
+
+type winRegs struct {
+	o, l, i [8]int32
+}
+
+// Counters records dynamic event counts declared via sparc.Instr.Count.
+type Counters []uint64
+
+// Machine is a simulated processor plus memory. Create with New, load a
+// program with LoadText/LoadData (usually via the asm package), then Run.
+type Machine struct {
+	text         []sparc.Instr
+	pc           int32
+	g            [8]int32
+	win          []winRegs // win[len-1] is the current window
+	resident     int       // windows currently held in the register file
+	cc           sparc.CC
+	pages        map[uint32]*[PageBytes]byte
+	lastPageAddr uint32
+	lastPage     *[PageBytes]byte
+
+	cache *cache.Cache
+	costs Costs
+
+	cycles   int64
+	instrs   int64
+	halted   bool
+	exitCode int32
+
+	output bytes.Buffer
+
+	heapNext uint32
+	freeList map[uint32][]uint32 // size -> free pointers
+
+	// MaxInstrs bounds execution (guard against runaway programs).
+	MaxInstrs int64
+
+	// PerInstrPenalty adds a fixed cycle cost to every instruction; the
+	// trap-per-instruction (dbx-style) baseline strategy sets this.
+	PerInstrPenalty int64
+
+	// StoreHook, if non-nil, is consulted on every store with the effective
+	// address and size; it returns extra cycles to charge. The page
+	// protection and hardware watchpoint baselines use it.
+	StoreHook func(addr uint32, size int32) int64
+
+	// OnMonHit is invoked when check code raises TrapMonHit: a store touched
+	// a monitored region. addr is the store's target, size 4 or 8.
+	OnMonHit func(addr uint32, size int32)
+
+	// OnMonRead is invoked for TrapMonRead: a load touched a monitored
+	// region (the read-monitoring extension of §5).
+	OnMonRead func(addr uint32, size int32)
+
+	// OnRangeHit is invoked when a loop pre-header range check intersects a
+	// monitored region; id identifies the pre-header site so the MRS can
+	// re-insert the eliminated in-loop checks.
+	OnRangeHit func(id int32)
+
+	// OnCtlViolation is invoked when a control-flow integrity check fails
+	// (indirect jump to an illegitimate target, or a corrupted %fp).
+	OnCtlViolation func(detail int32)
+
+	// Counters holds event counts; sized on demand by SetCounterCount.
+	Counters Counters
+}
+
+// New returns a machine with the given cache geometry and cost model.
+func New(cfg cache.Config, costs Costs) *Machine {
+	m := &Machine{
+		pages:     make(map[uint32]*[PageBytes]byte),
+		cache:     cache.New(cfg),
+		costs:     costs,
+		heapNext:  HeapBase,
+		freeList:  make(map[uint32][]uint32),
+		MaxInstrs: 4_000_000_000,
+	}
+	m.Reset()
+	return m
+}
+
+// Reset restores registers, windows, cycle counts, heap, and cache to their
+// initial state. Loaded text and data are preserved.
+func (m *Machine) Reset() {
+	m.g = [8]int32{}
+	m.win = m.win[:0]
+	m.win = append(m.win, winRegs{})
+	m.resident = 1
+	m.cc = sparc.CC{}
+	m.pc = 0
+	m.cycles = 0
+	m.instrs = 0
+	m.halted = false
+	m.exitCode = 0
+	m.output.Reset()
+	m.heapNext = HeapBase
+	m.freeList = make(map[uint32][]uint32)
+	m.cache.Flush()
+	m.cache.ResetStats()
+	cur := &m.win[0]
+	top := StackTop
+	cur.o[6] = int32(top)
+	cur.i[6] = int32(top)
+	for i := range m.Counters {
+		m.Counters[i] = 0
+	}
+}
+
+// LoadText installs the program text. PC starts at entry (a text index).
+func (m *Machine) LoadText(text []sparc.Instr, entry int32) {
+	m.text = text
+	m.pc = entry
+}
+
+// SetEntry sets the initial pc (text index).
+func (m *Machine) SetEntry(entry int32) { m.pc = entry }
+
+// TextLen returns the number of instructions loaded.
+func (m *Machine) TextLen() int { return len(m.text) }
+
+// InstrAt returns the instruction at text index idx.
+func (m *Machine) InstrAt(idx int32) sparc.Instr { return m.text[idx] }
+
+// PatchInstr replaces the instruction at text index idx, invalidating the
+// corresponding I-cache line (as the real system's patching must).
+func (m *Machine) PatchInstr(idx int32, in sparc.Instr) {
+	m.text[idx] = in
+	m.cache.Invalidate(TextBase + uint32(idx)*4)
+}
+
+// LoadData copies raw bytes into memory at addr without cache traffic or
+// cycle cost (loader action).
+func (m *Machine) LoadData(addr uint32, data []byte) {
+	for i, b := range data {
+		m.pokeByte(addr+uint32(i), b)
+	}
+}
+
+// SetCounterCount sizes the event counter vector.
+func (m *Machine) SetCounterCount(n int) {
+	m.Counters = make(Counters, n)
+}
+
+// Cycles returns the accumulated cycle count.
+func (m *Machine) Cycles() int64 { return m.cycles }
+
+// Instrs returns the number of instructions executed.
+func (m *Machine) Instrs() int64 { return m.instrs }
+
+// Output returns everything the program printed.
+func (m *Machine) Output() string { return m.output.String() }
+
+// ExitCode returns the value passed to TrapExit.
+func (m *Machine) ExitCode() int32 { return m.exitCode }
+
+// Halted reports whether the program has exited.
+func (m *Machine) Halted() bool { return m.halted }
+
+// CacheStats returns the cache statistics so far.
+func (m *Machine) CacheStats() cache.Stats { return m.cache.Stats() }
+
+// Reg reads a register in the current window (debugger view).
+func (m *Machine) Reg(r sparc.Reg) int32 { return m.readReg(r) }
+
+// SetReg writes a register in the current window (debugger view). Writes to
+// %g0 are ignored.
+func (m *Machine) SetReg(r sparc.Reg, v int32) { m.writeReg(r, v) }
+
+// PC returns the current text index.
+func (m *Machine) PC() int32 { return m.pc }
+
+func (m *Machine) page(addr uint32) *[PageBytes]byte {
+	base := addr &^ (PageBytes - 1)
+	if m.lastPage != nil && m.lastPageAddr == base {
+		return m.lastPage
+	}
+	p, ok := m.pages[base]
+	if !ok {
+		p = new([PageBytes]byte)
+		m.pages[base] = p
+	}
+	m.lastPageAddr = base
+	m.lastPage = p
+	return p
+}
+
+func (m *Machine) pokeByte(addr uint32, b byte) {
+	m.page(addr)[addr&(PageBytes-1)] = b
+}
+
+func (m *Machine) peekByte(addr uint32) byte {
+	return m.page(addr)[addr&(PageBytes-1)]
+}
+
+// ReadWord reads a 32-bit big-endian word without cache traffic or cycle
+// cost (debugger access).
+func (m *Machine) ReadWord(addr uint32) int32 {
+	p := m.page(addr)
+	o := addr & (PageBytes - 1)
+	if o+4 <= PageBytes {
+		return int32(uint32(p[o])<<24 | uint32(p[o+1])<<16 | uint32(p[o+2])<<8 | uint32(p[o+3]))
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		v = v<<8 | uint32(m.peekByte(addr+i))
+	}
+	return int32(v)
+}
+
+// WriteWord writes a 32-bit big-endian word without cache traffic or cycle
+// cost, invalidating any cached copy (debugger access).
+func (m *Machine) WriteWord(addr uint32, v int32) {
+	p := m.page(addr)
+	o := addr & (PageBytes - 1)
+	u := uint32(v)
+	if o+4 <= PageBytes {
+		p[o] = byte(u >> 24)
+		p[o+1] = byte(u >> 16)
+		p[o+2] = byte(u >> 8)
+		p[o+3] = byte(u)
+	} else {
+		for i := uint32(0); i < 4; i++ {
+			m.pokeByte(addr+i, byte(u>>(24-8*i)))
+		}
+	}
+	m.cache.Invalidate(addr)
+}
+
+func (m *Machine) readReg(r sparc.Reg) int32 {
+	switch {
+	case r == sparc.G0:
+		return 0
+	case r < 8:
+		return m.g[r]
+	case r < 16:
+		return m.win[len(m.win)-1].o[r-8]
+	case r < 24:
+		return m.win[len(m.win)-1].l[r-16]
+	default:
+		return m.win[len(m.win)-1].i[r-24]
+	}
+}
+
+func (m *Machine) writeReg(r sparc.Reg, v int32) {
+	switch {
+	case r == sparc.G0:
+		// writes to %g0 are discarded
+	case r < 8:
+		m.g[r] = v
+	case r < 16:
+		m.win[len(m.win)-1].o[r-8] = v
+	case r < 24:
+		m.win[len(m.win)-1].l[r-16] = v
+	default:
+		m.win[len(m.win)-1].i[r-24] = v
+	}
+}
+
+func (m *Machine) operand2(in *sparc.Instr) int32 {
+	if in.UseImm {
+		return in.Imm
+	}
+	return m.readReg(in.Rs2)
+}
+
+func (m *Machine) setCCAdd(a, b, r int32) {
+	m.cc.N = r < 0
+	m.cc.Z = r == 0
+	m.cc.V = (a >= 0 && b >= 0 && r < 0) || (a < 0 && b < 0 && r >= 0)
+	m.cc.C = uint32(r) < uint32(a)
+}
+
+func (m *Machine) setCCSub(a, b, r int32) {
+	m.cc.N = r < 0
+	m.cc.Z = r == 0
+	m.cc.V = (a >= 0 && b < 0 && r < 0) || (a < 0 && b >= 0 && r >= 0)
+	m.cc.C = uint32(a) < uint32(b)
+}
+
+func (m *Machine) setCCLogic(r int32) {
+	m.cc.N = r < 0
+	m.cc.Z = r == 0
+	m.cc.V = false
+	m.cc.C = false
+}
+
+// dataAccess charges cache+cycle cost for an n-byte data access.
+func (m *Machine) dataAccess(addr uint32, kind cache.Kind) {
+	m.cycles += m.costs.MemExtra
+	if !m.cache.Access(addr, kind) {
+		m.cycles += m.costs.MissPenalty
+	}
+}
+
+func (m *Machine) fault(in sparc.Instr, format string, args ...any) error {
+	return &Fault{PC: m.pc, Instr: in, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Step executes one instruction. It returns an error on a machine fault.
+func (m *Machine) Step() error {
+	if m.halted {
+		return nil
+	}
+	if m.pc < 0 || int(m.pc) >= len(m.text) {
+		return &Fault{PC: m.pc, Reason: "pc outside text"}
+	}
+	in := &m.text[m.pc]
+	m.instrs++
+	m.cycles += m.costs.Base + m.PerInstrPenalty
+	if !m.cache.Access(TextBase+uint32(m.pc)*4, cache.IFetch) {
+		m.cycles += m.costs.MissPenalty
+	}
+	if in.Count != 0 {
+		m.Counters[in.Count-1]++
+	}
+	next := m.pc + 1
+
+	switch in.Op {
+	case sparc.Nop:
+		// nothing
+
+	case sparc.Ld:
+		ea := uint32(m.readReg(in.Rs1) + m.operand2(in))
+		if ea&3 != 0 {
+			return m.fault(*in, "unaligned load at %#x", ea)
+		}
+		m.dataAccess(ea, cache.DRead)
+		m.writeReg(in.Rd, m.ReadWord(ea))
+
+	case sparc.Ldd:
+		ea := uint32(m.readReg(in.Rs1) + m.operand2(in))
+		if ea&7 != 0 {
+			return m.fault(*in, "unaligned ldd at %#x", ea)
+		}
+		if in.Rd&1 != 0 {
+			return m.fault(*in, "ldd destination must be even")
+		}
+		m.dataAccess(ea, cache.DRead)
+		m.cycles += m.costs.MemExtra // second word
+		m.writeReg(in.Rd, m.ReadWord(ea))
+		m.writeReg(in.Rd+1, m.ReadWord(ea+4))
+
+	case sparc.St:
+		ea := uint32(m.readReg(in.Rs1) + m.operand2(in))
+		if ea&3 != 0 {
+			return m.fault(*in, "unaligned store at %#x", ea)
+		}
+		if m.StoreHook != nil {
+			m.cycles += m.StoreHook(ea, 4)
+		}
+		m.dataAccess(ea, cache.DWrite)
+		m.storeWord(ea, m.readReg(in.Rd))
+
+	case sparc.Std:
+		ea := uint32(m.readReg(in.Rs1) + m.operand2(in))
+		if ea&7 != 0 {
+			return m.fault(*in, "unaligned std at %#x", ea)
+		}
+		if in.Rd&1 != 0 {
+			return m.fault(*in, "std source must be even")
+		}
+		if m.StoreHook != nil {
+			m.cycles += m.StoreHook(ea, 8)
+		}
+		m.dataAccess(ea, cache.DWrite)
+		m.cycles += m.costs.MemExtra
+		m.storeWord(ea, m.readReg(in.Rd))
+		m.storeWord(ea+4, m.readReg(in.Rd+1))
+
+	case sparc.Add:
+		m.writeReg(in.Rd, m.readReg(in.Rs1)+m.operand2(in))
+	case sparc.Sub:
+		m.writeReg(in.Rd, m.readReg(in.Rs1)-m.operand2(in))
+	case sparc.And:
+		m.writeReg(in.Rd, m.readReg(in.Rs1)&m.operand2(in))
+	case sparc.Andn:
+		m.writeReg(in.Rd, m.readReg(in.Rs1)&^m.operand2(in))
+	case sparc.Or:
+		m.writeReg(in.Rd, m.readReg(in.Rs1)|m.operand2(in))
+	case sparc.Orn:
+		m.writeReg(in.Rd, m.readReg(in.Rs1)|^m.operand2(in))
+	case sparc.Xor:
+		m.writeReg(in.Rd, m.readReg(in.Rs1)^m.operand2(in))
+	case sparc.Xnor:
+		m.writeReg(in.Rd, ^(m.readReg(in.Rs1) ^ m.operand2(in)))
+	case sparc.Sll:
+		m.writeReg(in.Rd, m.readReg(in.Rs1)<<(uint32(m.operand2(in))&31))
+	case sparc.Srl:
+		m.writeReg(in.Rd, int32(uint32(m.readReg(in.Rs1))>>(uint32(m.operand2(in))&31)))
+	case sparc.Sra:
+		m.writeReg(in.Rd, m.readReg(in.Rs1)>>(uint32(m.operand2(in))&31))
+	case sparc.SMul:
+		m.cycles += m.costs.Mul
+		m.writeReg(in.Rd, m.readReg(in.Rs1)*m.operand2(in))
+	case sparc.SDiv:
+		m.cycles += m.costs.Div
+		d := m.operand2(in)
+		if d == 0 {
+			return m.fault(*in, "division by zero")
+		}
+		m.writeReg(in.Rd, m.readReg(in.Rs1)/d)
+
+	case sparc.Addcc:
+		a, b := m.readReg(in.Rs1), m.operand2(in)
+		r := a + b
+		m.setCCAdd(a, b, r)
+		m.writeReg(in.Rd, r)
+	case sparc.Subcc:
+		a, b := m.readReg(in.Rs1), m.operand2(in)
+		r := a - b
+		m.setCCSub(a, b, r)
+		m.writeReg(in.Rd, r)
+	case sparc.Andcc:
+		r := m.readReg(in.Rs1) & m.operand2(in)
+		m.setCCLogic(r)
+		m.writeReg(in.Rd, r)
+	case sparc.Andncc:
+		r := m.readReg(in.Rs1) &^ m.operand2(in)
+		m.setCCLogic(r)
+		m.writeReg(in.Rd, r)
+	case sparc.Orcc:
+		r := m.readReg(in.Rs1) | m.operand2(in)
+		m.setCCLogic(r)
+		m.writeReg(in.Rd, r)
+	case sparc.Xorcc:
+		r := m.readReg(in.Rs1) ^ m.operand2(in)
+		m.setCCLogic(r)
+		m.writeReg(in.Rd, r)
+
+	case sparc.Sethi:
+		m.writeReg(in.Rd, in.Imm<<10)
+
+	case sparc.Br:
+		if in.Cond.Eval(m.cc) {
+			m.cycles += m.costs.TakenBranch
+			next = in.Target
+		}
+
+	case sparc.Call:
+		m.writeReg(sparc.O7, int32(TextBase)+(m.pc+1)*4)
+		m.cycles += m.costs.TakenBranch
+		next = in.Target
+
+	case sparc.Jmpl:
+		dest := uint32(m.readReg(in.Rs1) + m.operand2(in))
+		m.writeReg(in.Rd, int32(TextBase)+(m.pc+1)*4)
+		if dest < TextBase || dest&3 != 0 {
+			return m.fault(*in, "indirect jump to bad address %#x", dest)
+		}
+		idx := int32((dest - TextBase) / 4)
+		if int(idx) >= len(m.text) {
+			return m.fault(*in, "indirect jump outside text %#x", dest)
+		}
+		m.cycles += m.costs.TakenBranch
+		next = idx
+
+	case sparc.Save:
+		v := m.readReg(in.Rs1) + m.operand2(in)
+		cur := m.win[len(m.win)-1]
+		var nw winRegs
+		nw.i = cur.o
+		m.win = append(m.win, nw)
+		m.resident++
+		if m.resident > NWindows-1 {
+			m.resident = NWindows - 1
+			m.cycles += m.costs.WindowSpill
+		}
+		m.writeReg(in.Rd, v)
+
+	case sparc.Restore:
+		if len(m.win) < 2 {
+			return m.fault(*in, "register window underflow at top frame")
+		}
+		v := m.readReg(in.Rs1) + m.operand2(in)
+		cur := m.win[len(m.win)-1]
+		m.win = m.win[:len(m.win)-1]
+		m.win[len(m.win)-1].o = cur.i
+		m.resident--
+		if m.resident < 1 {
+			m.resident = 1
+			m.cycles += m.costs.WindowSpill
+		}
+		m.writeReg(in.Rd, v)
+
+	case sparc.Ta:
+		if err := m.trap(in); err != nil {
+			return err
+		}
+
+	case sparc.Unimp:
+		return m.fault(*in, "unimplemented instruction executed")
+
+	default:
+		return m.fault(*in, "unknown opcode")
+	}
+
+	if !m.halted {
+		m.pc = next
+	}
+	return nil
+}
+
+func (m *Machine) storeWord(addr uint32, v int32) {
+	p := m.page(addr)
+	o := addr & (PageBytes - 1)
+	u := uint32(v)
+	p[o] = byte(u >> 24)
+	p[o+1] = byte(u >> 16)
+	p[o+2] = byte(u >> 8)
+	p[o+3] = byte(u)
+}
+
+func (m *Machine) trap(in *sparc.Instr) error {
+	switch in.Imm {
+	case TrapExit:
+		m.halted = true
+		m.exitCode = m.readReg(sparc.O0)
+	case TrapPrintInt:
+		m.cycles += m.costs.Trap
+		fmt.Fprintf(&m.output, "%d\n", m.readReg(sparc.O0))
+	case TrapPrintCh:
+		m.cycles += m.costs.Trap
+		m.output.WriteByte(byte(m.readReg(sparc.O0)))
+	case TrapPrintStr:
+		m.cycles += m.costs.Trap
+		addr := uint32(m.readReg(sparc.O0))
+		n := m.readReg(sparc.O1)
+		for i := int32(0); i < n; i++ {
+			m.output.WriteByte(m.peekByte(addr + uint32(i)))
+		}
+	case TrapAlloc:
+		m.cycles += m.costs.Trap
+		size := uint32(m.readReg(sparc.O0))
+		m.writeReg(sparc.O0, int32(m.alloc(size)))
+	case TrapFree:
+		m.cycles += m.costs.Trap
+		// The allocator records block size in a hidden header word.
+		ptr := uint32(m.readReg(sparc.O0))
+		if ptr != 0 {
+			size := uint32(m.ReadWord(ptr - 4))
+			m.freeList[size] = append(m.freeList[size], ptr)
+		}
+	case TrapMonHit4, TrapMonHit8:
+		m.cycles += m.costs.Trap
+		size := int32(4)
+		if in.Imm == TrapMonHit8 {
+			size = 8
+		}
+		if m.OnMonHit != nil {
+			m.OnMonHit(uint32(m.readReg(sparc.G5)), size)
+		}
+	case TrapMonRead4, TrapMonRead8:
+		m.cycles += m.costs.Trap
+		size := int32(4)
+		if in.Imm == TrapMonRead8 {
+			size = 8
+		}
+		if m.OnMonRead != nil {
+			m.OnMonRead(uint32(m.readReg(sparc.G5)), size)
+		}
+	case TrapRangeHit:
+		m.cycles += m.costs.Trap
+		if m.OnRangeHit != nil {
+			m.OnRangeHit(m.readReg(sparc.O0))
+		}
+	case TrapCtlCheck:
+		m.cycles += m.costs.Trap
+		if m.OnCtlViolation != nil {
+			m.OnCtlViolation(m.readReg(sparc.O0))
+		} else {
+			return m.fault(*in, "control-flow check violation %d", m.readReg(sparc.O0))
+		}
+	default:
+		return m.fault(*in, "unknown trap %d", in.Imm)
+	}
+	return nil
+}
+
+// alloc implements the trap allocator: size-segregated free lists over a
+// bump arena, with a hidden size header so free can recycle exactly.
+func (m *Machine) alloc(size uint32) uint32 {
+	size = (size + 7) &^ 7
+	if size == 0 {
+		size = 8
+	}
+	if lst := m.freeList[size]; len(lst) > 0 {
+		ptr := lst[len(lst)-1]
+		m.freeList[size] = lst[:len(lst)-1]
+		return ptr
+	}
+	// Header word + payload, 8-byte aligned payloads.
+	m.heapNext = (m.heapNext + 7) &^ 7
+	ptr := m.heapNext + 8
+	m.WriteWord(ptr-4, int32(size))
+	m.heapNext = ptr + size
+	return ptr
+}
+
+// Run executes until the program exits, faults, or exceeds MaxInstrs.
+func (m *Machine) Run() (int32, error) {
+	for !m.halted {
+		if m.instrs >= m.MaxInstrs {
+			return 0, fmt.Errorf("machine: exceeded MaxInstrs=%d at pc=%d", m.MaxInstrs, m.pc)
+		}
+		if err := m.Step(); err != nil {
+			return 0, err
+		}
+	}
+	return m.exitCode, nil
+}

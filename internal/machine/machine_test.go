@@ -1,0 +1,499 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"databreak/internal/cache"
+	"databreak/internal/sparc"
+)
+
+func newM() *Machine { return New(cache.DefaultConfig, DefaultCosts) }
+
+func TestHaltAndExitCode(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		sparc.RI(sparc.Or, sparc.G0, 7, sparc.O0),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	code, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 7 || !m.Halted() {
+		t.Fatalf("code=%d halted=%v", code, m.Halted())
+	}
+}
+
+func TestG0IsAlwaysZero(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		sparc.RI(sparc.Or, sparc.G0, 99, sparc.G0), // write to %g0
+		sparc.RR(sparc.Or, sparc.G0, sparc.G0, sparc.O0),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	code, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("%%g0 must stay zero, got %d", code)
+	}
+}
+
+func TestMemoryBigEndianRoundTrip(t *testing.T) {
+	m := newM()
+	m.WriteWord(0x2000_0000, -123456789)
+	if got := m.ReadWord(0x2000_0000); got != -123456789 {
+		t.Fatalf("round trip = %d", got)
+	}
+	// Big-endian byte order.
+	m.WriteWord(0x3000, 0x11223344)
+	if b := m.peekByte(0x3000); b != 0x11 {
+		t.Fatalf("first byte = %#x, want 0x11 (big endian)", b)
+	}
+}
+
+func TestUnalignedAccessFaults(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		sparc.LoadRI(sparc.G0, 2, sparc.O0),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "unaligned") {
+		t.Fatalf("err = %v, want unaligned fault", err)
+	}
+}
+
+func TestDivisionByZeroFaults(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		sparc.RI(sparc.SDiv, sparc.O1, 0, sparc.O0),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "division") {
+		t.Fatalf("err = %v, want division fault", err)
+	}
+}
+
+func TestWindowOverflowCostsCycles(t *testing.T) {
+	// Nest saves past NWindows and confirm spill cycles are charged.
+	deep := make([]sparc.Instr, 0, 64)
+	for i := 0; i < NWindows+4; i++ {
+		deep = append(deep, sparc.Instr{Op: sparc.Save, Rs1: sparc.SP, Imm: -96, UseImm: true, Rd: sparc.SP})
+	}
+	for i := 0; i < NWindows+4; i++ {
+		deep = append(deep, sparc.Instr{Op: sparc.Restore, Rs1: sparc.G0, UseImm: true, Rd: sparc.G0})
+	}
+	deep = append(deep, sparc.Instr{Op: sparc.Ta, Imm: TrapExit, UseImm: true})
+
+	m := newM()
+	m.LoadText(deep, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spilled := m.Cycles()
+
+	// A shallow nest of the same instruction count but depth < NWindows.
+	shallow := make([]sparc.Instr, 0, 64)
+	for i := 0; i < NWindows+4; i++ {
+		shallow = append(shallow,
+			sparc.Instr{Op: sparc.Save, Rs1: sparc.SP, Imm: -96, UseImm: true, Rd: sparc.SP},
+			sparc.Instr{Op: sparc.Restore, Rs1: sparc.G0, UseImm: true, Rd: sparc.G0},
+		)
+	}
+	shallow = append(shallow, sparc.Instr{Op: sparc.Ta, Imm: TrapExit, UseImm: true})
+	m2 := newM()
+	m2.LoadText(shallow, 0)
+	if _, err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if spilled <= m2.Cycles() {
+		t.Fatalf("deep nesting (%d cycles) should cost more than shallow (%d)", spilled, m2.Cycles())
+	}
+}
+
+func TestWindowRestoreSeesCalleeResults(t *testing.T) {
+	// Callee writes %i0; after restore the caller must see it in %o0.
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		{Op: sparc.Save, Rs1: sparc.SP, Imm: -96, UseImm: true, Rd: sparc.SP},
+		sparc.RI(sparc.Or, sparc.G0, 42, sparc.I0),
+		{Op: sparc.Restore, Rs1: sparc.G0, UseImm: true, Rd: sparc.G0},
+		sparc.RR(sparc.Or, sparc.O0, sparc.G0, sparc.O0),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	code, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("restore must propagate %%i regs to caller %%o regs, got %d", code)
+	}
+}
+
+func TestRestoreUnderflowFaults(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		{Op: sparc.Restore, Rs1: sparc.G0, UseImm: true, Rd: sparc.G0},
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("restore at top frame must fault")
+	}
+}
+
+func TestMonHitCallback(t *testing.T) {
+	var hits []uint32
+	var sizes []int32
+	m := newM()
+	m.OnMonHit = func(addr uint32, size int32) {
+		hits = append(hits, addr)
+		sizes = append(sizes, size)
+	}
+	m.LoadText([]sparc.Instr{
+		sparc.RI(sparc.Or, sparc.G0, 0x100, sparc.G5),
+		{Op: sparc.Ta, Imm: TrapMonHit4, UseImm: true},
+		{Op: sparc.Ta, Imm: TrapMonHit8, UseImm: true},
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0] != 0x100 || sizes[0] != 4 || sizes[1] != 8 {
+		t.Fatalf("hits=%v sizes=%v", hits, sizes)
+	}
+}
+
+func TestStoreHookChargesCycles(t *testing.T) {
+	prog := []sparc.Instr{
+		sparc.StoreRI(sparc.G0, sparc.G0, 0x100),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}
+	m := newM()
+	m.LoadText(prog, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	base := m.Cycles()
+
+	m2 := newM()
+	m2.StoreHook = func(addr uint32, size int32) int64 {
+		if addr != 0x100 || size != 4 {
+			t.Errorf("hook got addr=%#x size=%d", addr, size)
+		}
+		return 1000
+	}
+	m2.LoadText(prog, 0)
+	if _, err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Cycles() != base+1000 {
+		t.Fatalf("cycles=%d, want %d", m2.Cycles(), base+1000)
+	}
+}
+
+func TestPerInstrPenalty(t *testing.T) {
+	prog := []sparc.Instr{
+		sparc.MakeNop(), sparc.MakeNop(),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}
+	m := newM()
+	m.LoadText(prog, 0)
+	m.Run()
+	base := m.Cycles()
+	m2 := newM()
+	m2.PerInstrPenalty = 85_000
+	m2.LoadText(prog, 0)
+	m2.Run()
+	if got := m2.Cycles() - base; got != 3*85_000 {
+		t.Fatalf("penalty cycles = %d, want %d", got, 3*85_000)
+	}
+}
+
+func TestPatchInstrInvalidatesICache(t *testing.T) {
+	// Run a loop; patch its body to exit; ensure the patch takes effect.
+	prog := []sparc.Instr{
+		sparc.MakeNop(),                             // 0: will be patched
+		sparc.Branch(sparc.BA, 0),                   // 1: loop forever
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true}, // 2
+	}
+	m := newM()
+	m.LoadText(prog, 0)
+	for i := 0; i < 10; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.PatchInstr(1, sparc.Branch(sparc.BA, 2))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("patched branch must redirect the loop to exit")
+	}
+}
+
+func TestResetPreservesProgram(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		sparc.RI(sparc.Or, sparc.G0, 5, sparc.O0),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.Cycles() != 0 || m.Instrs() != 0 || m.Halted() {
+		t.Fatal("Reset must clear execution state")
+	}
+	code, err := m.Run()
+	if err != nil || code != 5 {
+		t.Fatalf("second run: code=%d err=%v", code, err)
+	}
+}
+
+func TestMaxInstrsGuard(t *testing.T) {
+	m := newM()
+	m.MaxInstrs = 100
+	m.LoadText([]sparc.Instr{sparc.Branch(sparc.BA, 0)}, 0)
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "MaxInstrs") {
+		t.Fatalf("err = %v, want MaxInstrs guard", err)
+	}
+}
+
+func TestCyclesChargeCacheMisses(t *testing.T) {
+	// Loads that stride across lines must cost more than repeated loads of
+	// one address.
+	mkProg := func(stride int32) []sparc.Instr {
+		var p []sparc.Instr
+		p = append(p, sparc.RI(sparc.Or, sparc.G0, 0, sparc.O1))
+		for i := 0; i < 64; i++ {
+			p = append(p,
+				sparc.Instr{Op: sparc.Ld, Rs1: sparc.O1, Imm: 0x1000, UseImm: true, Rd: sparc.O0},
+				sparc.RI(sparc.Add, sparc.O1, stride, sparc.O1),
+			)
+		}
+		p = append(p, sparc.Instr{Op: sparc.Ta, Imm: TrapExit, UseImm: true})
+		return p
+	}
+	m := newM()
+	m.LoadText(mkProg(0), 0)
+	m.Run()
+	same := m.Cycles()
+	m2 := newM()
+	m2.LoadText(mkProg(64), 0)
+	m2.Run()
+	if m2.Cycles() <= same {
+		t.Fatalf("striding loads (%d) should cost more than repeated loads (%d)", m2.Cycles(), same)
+	}
+}
+
+func TestJmplIndirect(t *testing.T) {
+	// Compute the address of instruction 3 and jump there via jmpl.
+	target := int32(TextBase) + 3*4
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		sparc.MakeNop(),
+		{Op: sparc.Sethi, Imm: target >> 10, UseImm: true, Rd: sparc.O1},
+		{Op: sparc.Jmpl, Rs1: sparc.O1, Imm: target & 0x3ff, UseImm: true, Rd: sparc.G0},
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true}, // 3: target
+	}, 0)
+	code, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if m.Instrs() != 4 {
+		t.Fatalf("executed %d instructions, want 4", m.Instrs())
+	}
+}
+
+func TestJmplBadTargetFaults(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		{Op: sparc.Jmpl, Rs1: sparc.G0, Imm: 0x40, UseImm: true, Rd: sparc.G0},
+	}, 0)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("jump below TextBase must fault")
+	}
+}
+
+func TestCountersIncrement(t *testing.T) {
+	m := newM()
+	m.SetCounterCount(2)
+	loop := []sparc.Instr{
+		sparc.RI(sparc.Or, sparc.G0, 0, sparc.O1),
+		{Op: sparc.Add, Rs1: sparc.O1, Imm: 1, UseImm: true, Rd: sparc.O1, Count: 1},
+		{Op: sparc.Subcc, Rs1: sparc.O1, Imm: 10, UseImm: true, Rd: sparc.G0},
+		sparc.Branch(sparc.BL, 1),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true, Count: 2},
+	}
+	m.LoadText(loop, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters[0] != 10 || m.Counters[1] != 1 {
+		t.Fatalf("counters = %v", m.Counters)
+	}
+}
+
+func TestOutputAndPrintTraps(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		sparc.RI(sparc.Or, sparc.G0, -5, sparc.O0),
+		{Op: sparc.Ta, Imm: TrapPrintInt, UseImm: true},
+		sparc.RI(sparc.Or, sparc.G0, 'A', sparc.O0),
+		{Op: sparc.Ta, Imm: TrapPrintCh, UseImm: true},
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Output(); got != "-5\nA" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestAllocAlignmentAndHeader(t *testing.T) {
+	m := newM()
+	p1 := m.alloc(5)
+	p2 := m.alloc(5)
+	if p1%8 != 0 || p2%8 != 0 {
+		t.Fatalf("allocations must be 8-aligned: %#x %#x", p1, p2)
+	}
+	if p1 == p2 {
+		t.Fatal("distinct allocations must not alias")
+	}
+	if got := m.ReadWord(p1 - 4); got != 8 {
+		t.Fatalf("header size = %d, want rounded 8", got)
+	}
+}
+
+func TestLddStdPair(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		sparc.RI(sparc.Or, sparc.G0, 11, sparc.O0),
+		sparc.RI(sparc.Or, sparc.G0, 22, sparc.O1),
+		{Op: sparc.Std, Rd: sparc.O0, Rs1: sparc.G0, Imm: 0x100, UseImm: true},
+		{Op: sparc.Ldd, Rd: sparc.O2, Rs1: sparc.G0, Imm: 0x100, UseImm: true},
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(sparc.O2) != 11 || m.Reg(sparc.O3) != 22 {
+		t.Fatalf("ldd pair = %d,%d", m.Reg(sparc.O2), m.Reg(sparc.O3))
+	}
+	if m.ReadWord(0x100) != 11 || m.ReadWord(0x104) != 22 {
+		t.Fatal("std wrote wrong words")
+	}
+}
+
+func TestLddStdAlignmentAndRegParity(t *testing.T) {
+	cases := [][]sparc.Instr{
+		{{Op: sparc.Ldd, Rd: sparc.O1, Rs1: sparc.G0, Imm: 0x100, UseImm: true}}, // odd rd
+		{{Op: sparc.Std, Rd: sparc.O1, Rs1: sparc.G0, Imm: 0x100, UseImm: true}},
+		{{Op: sparc.Ldd, Rd: sparc.O0, Rs1: sparc.G0, Imm: 0x104, UseImm: true}}, // misaligned
+		{{Op: sparc.Std, Rd: sparc.O0, Rs1: sparc.G0, Imm: 0x104, UseImm: true}},
+	}
+	for i, prog := range cases {
+		m := newM()
+		m.LoadText(append(prog, sparc.Instr{Op: sparc.Ta, Imm: TrapExit, UseImm: true}), 0)
+		if _, err := m.Run(); err == nil {
+			t.Errorf("case %d must fault", i)
+		}
+	}
+}
+
+func TestMoreALUOps(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{
+		sparc.RI(sparc.Or, sparc.G0, 0b1100, sparc.O1),
+		sparc.RI(sparc.Orn, sparc.O1, 0b1010, sparc.O2),    // o1 | ^imm
+		sparc.RI(sparc.Andncc, sparc.O1, 0b1010, sparc.O3), // o1 &^ imm
+		sparc.RI(sparc.Xorcc, sparc.O1, 0b0110, sparc.O4),
+		{Op: sparc.Sethi, Imm: 0x12345, UseImm: true, Rd: sparc.O5},
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reg(sparc.O2); got != (12 | ^int32(10)) {
+		t.Errorf("orn = %d", got)
+	}
+	if got := m.Reg(sparc.O3); got != 4 {
+		t.Errorf("andncc = %d", got)
+	}
+	if got := m.Reg(sparc.O4); got != 10 {
+		t.Errorf("xorcc = %d", got)
+	}
+	if got := m.Reg(sparc.O5); got != 0x12345<<10 {
+		t.Errorf("sethi = %#x", got)
+	}
+}
+
+func TestPrintStrTrap(t *testing.T) {
+	m := newM()
+	m.LoadData(0x2000, []byte("hello"))
+	m.LoadText([]sparc.Instr{
+		sparc.RI(sparc.Or, sparc.G0, 0x2000, sparc.O0),
+		sparc.RI(sparc.Or, sparc.G0, 5, sparc.O1),
+		{Op: sparc.Ta, Imm: TrapPrintStr, UseImm: true},
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output() != "hello" {
+		t.Fatalf("output = %q", m.Output())
+	}
+}
+
+func TestUnknownTrapFaults(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{{Op: sparc.Ta, Imm: 99, UseImm: true}}, 0)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("unknown trap must fault")
+	}
+}
+
+func TestUnimpFaults(t *testing.T) {
+	m := newM()
+	m.LoadText([]sparc.Instr{{Op: sparc.Unimp}}, 0)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("unimp must fault")
+	}
+}
+
+func TestRangeAndCtlTraps(t *testing.T) {
+	m := newM()
+	var rangeIDs []int32
+	m.OnRangeHit = func(id int32) { rangeIDs = append(rangeIDs, id) }
+	var ctl []int32
+	m.OnCtlViolation = func(d int32) { ctl = append(ctl, d) }
+	m.LoadText([]sparc.Instr{
+		sparc.RI(sparc.Or, sparc.G0, 7, sparc.O0),
+		{Op: sparc.Ta, Imm: TrapRangeHit, UseImm: true},
+		sparc.RI(sparc.Or, sparc.G0, 3, sparc.O0),
+		{Op: sparc.Ta, Imm: TrapCtlCheck, UseImm: true},
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rangeIDs) != 1 || rangeIDs[0] != 7 {
+		t.Fatalf("range ids = %v", rangeIDs)
+	}
+	if len(ctl) != 1 || ctl[0] != 3 {
+		t.Fatalf("ctl = %v", ctl)
+	}
+	// Without a handler, the control-check trap is fatal.
+	m2 := newM()
+	m2.LoadText([]sparc.Instr{{Op: sparc.Ta, Imm: TrapCtlCheck, UseImm: true}}, 0)
+	if _, err := m2.Run(); err == nil {
+		t.Fatal("ctl violation without handler must fault")
+	}
+}

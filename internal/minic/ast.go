@@ -1,0 +1,244 @@
+package minic
+
+import "fmt"
+
+// TypeKind discriminates Type.
+type TypeKind int
+
+const (
+	TypeInt TypeKind = iota
+	TypeVoid
+	TypePtr
+	TypeArray
+	TypeStruct
+)
+
+// Type describes a mini-C type. Types are interned per declaration; compare
+// with Same, not ==.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type       // Ptr, Array
+	Len    int32       // Array
+	Struct *StructInfo // Struct
+}
+
+// StructInfo is a declared struct layout.
+type StructInfo struct {
+	Name   string
+	Fields []Field
+	Size   int32
+}
+
+// Field is one struct member.
+type Field struct {
+	Name string
+	Type *Type
+	Off  int32
+}
+
+// FieldByName returns the field with the given name.
+func (s *StructInfo) FieldByName(name string) (Field, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+var (
+	intType  = &Type{Kind: TypeInt}
+	voidType = &Type{Kind: TypeVoid}
+)
+
+// Size returns the byte size of t.
+func (t *Type) Size() int32 {
+	switch t.Kind {
+	case TypeInt, TypePtr:
+		return 4
+	case TypeArray:
+		return t.Len * t.Elem.Size()
+	case TypeStruct:
+		return t.Struct.Size
+	}
+	return 0
+}
+
+// Same reports structural type equality.
+func (t *Type) Same(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TypeInt, TypeVoid:
+		return true
+	case TypePtr:
+		return t.Elem.Same(u.Elem)
+	case TypeArray:
+		return t.Len == u.Len && t.Elem.Same(u.Elem)
+	case TypeStruct:
+		return t.Struct == u.Struct
+	}
+	return false
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeVoid:
+		return "void"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case TypeStruct:
+		return "struct " + t.Struct.Name
+	}
+	return "?"
+}
+
+// --- Expressions ---
+
+// Expr is an expression node. Type is filled in by the checker.
+type Expr struct {
+	Kind ExprKind
+	Line int
+	Type *Type
+
+	// literals and names
+	Val  int32  // NumLit
+	Name string // Ident, Field/Arrow member, Call callee, StrLit label
+	Str  string // StrLit content
+
+	// operator expressions
+	Op   string // Binary, Unary, Assign
+	X, Y *Expr  // operands (X only for unary/postfix)
+
+	// Call
+	Args []*Expr
+
+	// Sizeof: the measured type (Type holds the expression's own type, int)
+	SizeofType *Type
+
+	// checker annotations
+	Sym *VarSym // resolved variable for Ident
+}
+
+// ExprKind discriminates Expr.
+type ExprKind int
+
+const (
+	ExprNum ExprKind = iota
+	ExprStr
+	ExprIdent
+	ExprUnary   // Op in - ! ~ * &
+	ExprBinary  // arithmetic/logic/comparison
+	ExprAssign  // X = Y
+	ExprCall    // Name(Args) - direct calls only
+	ExprIndex   // X[Y]
+	ExprField   // X.Name
+	ExprArrow   // X->Name
+	ExprSizeof  // sizeof(type): Type holds the measured type, result int
+	ExprBuiltin // Name in print/printc/prints/alloc/free
+)
+
+// --- Statements ---
+
+// StmtKind discriminates Stmt.
+type StmtKind int
+
+const (
+	StmtExpr StmtKind = iota
+	StmtDecl
+	StmtIf
+	StmtWhile
+	StmtFor
+	StmtReturn
+	StmtBreak
+	StmtContinue
+	StmtBlock
+	StmtEmpty
+)
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind StmtKind
+	Line int
+
+	X *Expr // Expr, Return (nil for bare return), If/While/For condition
+
+	// Decl
+	Decl *VarDecl
+
+	// If
+	Then, Else *Stmt
+
+	// While/For
+	Body *Stmt
+	Init *Stmt // For
+	Post *Expr // For
+
+	// Block
+	List []*Stmt
+}
+
+// VarDecl declares one variable (locals and globals).
+type VarDecl struct {
+	Name     string
+	Type     *Type
+	Register bool
+	Init     *Expr // optional initializer (constant for globals)
+	Line     int
+	Sym      *VarSym // filled by the checker
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*VarDecl
+	Body   *Stmt // block
+	Line   int
+	Locals []*VarSym // all locals+params, filled by the checker
+	// LocalBytes is the stack space the checker assigned to memory-resident
+	// locals and params; codegen adds spill slots below it.
+	LocalBytes int32
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Structs []*StructInfo
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarSymKind classifies resolved variables.
+type VarSymKind int
+
+const (
+	SymGlobal VarSymKind = iota
+	SymLocal
+	SymParam
+	SymRegister
+)
+
+// VarSym is a resolved variable: where it lives.
+type VarSym struct {
+	Name string
+	Kind VarSymKind
+	Type *Type
+
+	// SymGlobal: assembly label (same as source name).
+	Label string
+	// SymLocal/SymParam: %fp-relative offset (negative).
+	FpOff int32
+	// SymRegister: local register index 0..5 (maps to %l0-%l5).
+	RegIdx int
+
+	// Func is the enclosing function name for locals.
+	Func string
+}

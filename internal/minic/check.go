@@ -1,0 +1,506 @@
+package minic
+
+import "fmt"
+
+// checker performs semantic analysis: name resolution, type checking, and
+// storage layout (stack slots and register-variable assignment).
+type checker struct {
+	prog    *Program
+	funcs   map[string]*FuncDecl
+	globals map[string]*VarSym
+
+	// per-function state
+	fn      *FuncDecl
+	scopes  []map[string]*VarSym
+	frame   int32 // bytes of locals allocated so far
+	regNext int   // next %l register index for register variables
+}
+
+// Check resolves and type-checks prog in place.
+func Check(prog *Program) error {
+	c := &checker{
+		prog:    prog,
+		funcs:   make(map[string]*FuncDecl),
+		globals: make(map[string]*VarSym),
+	}
+	for _, f := range prog.Funcs {
+		if builtinNames[f.Name] {
+			return fmt.Errorf("line %d: %q is a builtin", f.Line, f.Name)
+		}
+		if _, dup := c.funcs[f.Name]; dup {
+			return fmt.Errorf("line %d: function %q redefined", f.Line, f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return fmt.Errorf("line %d: global %q redefined", g.Line, g.Name)
+		}
+		if _, dup := c.funcs[g.Name]; dup {
+			return fmt.Errorf("line %d: %q is both global and function", g.Line, g.Name)
+		}
+		if g.Register {
+			return fmt.Errorf("line %d: global %q cannot be register", g.Line, g.Name)
+		}
+		if g.Init != nil {
+			if g.Init.Kind != ExprNum && !(g.Init.Kind == ExprUnary && g.Init.Op == "-" && g.Init.X.Kind == ExprNum) {
+				return fmt.Errorf("line %d: global initializer must be a constant", g.Line)
+			}
+			if g.Type.Kind != TypeInt {
+				return fmt.Errorf("line %d: only int globals may have initializers", g.Line)
+			}
+		}
+		sym := &VarSym{Name: g.Name, Kind: SymGlobal, Type: g.Type, Label: g.Name}
+		g.Sym = sym
+		c.globals[g.Name] = sym
+	}
+	if f, ok := c.funcs["main"]; !ok {
+		return fmt.Errorf("program has no main function")
+	} else if len(f.Params) != 0 || f.Ret.Kind != TypeInt {
+		return fmt.Errorf("line %d: main must be int main()", f.Line)
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.scopes = []map[string]*VarSym{make(map[string]*VarSym)}
+	c.frame = 0
+	c.regNext = 0
+	if f.Ret.Kind == TypeStruct || f.Ret.Kind == TypeArray {
+		return fmt.Errorf("line %d: function %q returns an aggregate", f.Line, f.Name)
+	}
+	for _, p := range f.Params {
+		sym, err := c.declare(p, SymParam)
+		if err != nil {
+			return err
+		}
+		p.Sym = sym
+	}
+	if err := c.checkStmt(f.Body); err != nil {
+		return err
+	}
+	f.LocalBytes = c.frame
+	return nil
+}
+
+// declare allocates storage for a variable in the current scope.
+func (c *checker) declare(d *VarDecl, kind VarSymKind) (*VarSym, error) {
+	scope := c.scopes[len(c.scopes)-1]
+	if _, dup := scope[d.Name]; dup {
+		return nil, fmt.Errorf("line %d: %q redeclared in this scope", d.Line, d.Name)
+	}
+	sym := &VarSym{Name: d.Name, Type: d.Type, Func: c.fn.Name}
+	if d.Register && kind == SymLocal && d.Type.Kind != TypeArray && d.Type.Kind != TypeStruct && c.regNext < 6 {
+		sym.Kind = SymRegister
+		sym.RegIdx = c.regNext
+		c.regNext++
+	} else {
+		sym.Kind = kind
+		size := d.Type.Size()
+		size = (size + 3) &^ 3
+		c.frame += size
+		sym.FpOff = -c.frame
+	}
+	scope[d.Name] = sym
+	c.fn.Locals = append(c.fn.Locals, sym)
+	return sym, nil
+}
+
+func (c *checker) lookup(name string) *VarSym {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkStmt(s *Stmt) error {
+	switch s.Kind {
+	case StmtEmpty:
+		return nil
+	case StmtExpr:
+		_, err := c.checkExpr(s.X)
+		return err
+	case StmtDecl:
+		d := s.Decl
+		if d.Type.Kind == TypeVoid {
+			return fmt.Errorf("line %d: void variable", d.Line)
+		}
+		if d.Init != nil {
+			if d.Type.Kind == TypeArray || d.Type.Kind == TypeStruct {
+				return fmt.Errorf("line %d: aggregate initializer not supported", d.Line)
+			}
+			it, err := c.checkExpr(d.Init)
+			if err != nil {
+				return err
+			}
+			if !assignable(d.Type, it, d.Init) {
+				return fmt.Errorf("line %d: cannot initialize %s with %s", d.Line, d.Type, it)
+			}
+		}
+		sym, err := c.declare(d, SymLocal)
+		if err != nil {
+			return err
+		}
+		d.Sym = sym
+		return nil
+	case StmtIf:
+		if err := c.checkCond(s.X); err != nil {
+			return err
+		}
+		if err := c.checkStmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case StmtWhile:
+		if err := c.checkCond(s.X); err != nil {
+			return err
+		}
+		return c.checkStmt(s.Body)
+	case StmtFor:
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.X != nil {
+			if err := c.checkCond(s.X); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if _, err := c.checkExpr(s.Post); err != nil {
+				return err
+			}
+		}
+		return c.checkStmt(s.Body)
+	case StmtReturn:
+		if s.X == nil {
+			if c.fn.Ret.Kind != TypeVoid {
+				return fmt.Errorf("line %d: missing return value in %q", s.Line, c.fn.Name)
+			}
+			return nil
+		}
+		t, err := c.checkExpr(s.X)
+		if err != nil {
+			return err
+		}
+		if c.fn.Ret.Kind == TypeVoid {
+			return fmt.Errorf("line %d: return with value in void function", s.Line)
+		}
+		if !assignable(c.fn.Ret, t, s.X) {
+			return fmt.Errorf("line %d: cannot return %s from %s function", s.Line, t, c.fn.Ret)
+		}
+		return nil
+	case StmtBreak, StmtContinue:
+		return nil // loop nesting validated during codegen
+	case StmtBlock:
+		c.scopes = append(c.scopes, make(map[string]*VarSym))
+		for _, sub := range s.List {
+			if err := c.checkStmt(sub); err != nil {
+				return err
+			}
+		}
+		c.scopes = c.scopes[:len(c.scopes)-1]
+		return nil
+	}
+	return fmt.Errorf("line %d: unhandled statement", s.Line)
+}
+
+func (c *checker) checkCond(e *Expr) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if t.Kind != TypeInt && t.Kind != TypePtr {
+		return fmt.Errorf("line %d: condition has type %s", e.Line, t)
+	}
+	return nil
+}
+
+// assignable reports whether a value of type src (from expression srcE) can
+// be stored into dst.
+func assignable(dst, src *Type, srcE *Expr) bool {
+	if dst.Same(src) {
+		return true
+	}
+	if dst.Kind == TypePtr {
+		// alloc() yields a generic pointer; the constant 0 is a null pointer;
+		// an array of T decays to T*.
+		if srcE != nil && srcE.Kind == ExprBuiltin && srcE.Name == "alloc" {
+			return true
+		}
+		if srcE != nil && srcE.Kind == ExprNum && srcE.Val == 0 {
+			return true
+		}
+		if src.Kind == TypeArray && dst.Elem.Same(src.Elem) {
+			return true
+		}
+	}
+	return false
+}
+
+// isLvalue reports whether e denotes a storage location.
+func isLvalue(e *Expr) bool {
+	switch e.Kind {
+	case ExprIdent:
+		return true
+	case ExprIndex, ExprField, ExprArrow:
+		return true
+	case ExprUnary:
+		return e.Op == "*"
+	}
+	return false
+}
+
+func (c *checker) checkExpr(e *Expr) (*Type, error) {
+	t, err := c.checkExprInner(e)
+	if err != nil {
+		return nil, err
+	}
+	e.Type = t
+	return t, nil
+}
+
+func (c *checker) checkExprInner(e *Expr) (*Type, error) {
+	switch e.Kind {
+	case ExprNum:
+		return intType, nil
+
+	case ExprStr:
+		return &Type{Kind: TypePtr, Elem: intType}, nil // only valid in prints
+
+	case ExprSizeof:
+		return intType, nil
+
+	case ExprIdent:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			return nil, fmt.Errorf("line %d: undefined variable %q", e.Line, e.Name)
+		}
+		e.Sym = sym
+		return sym.Type, nil
+
+	case ExprUnary:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-", "~", "!":
+			if xt.Kind != TypeInt {
+				return nil, fmt.Errorf("line %d: unary %s on %s", e.Line, e.Op, xt)
+			}
+			return intType, nil
+		case "*":
+			if xt.Kind == TypePtr {
+				return xt.Elem, nil
+			}
+			if xt.Kind == TypeArray {
+				return xt.Elem, nil
+			}
+			return nil, fmt.Errorf("line %d: dereference of %s", e.Line, xt)
+		case "&":
+			if !isLvalue(e.X) {
+				return nil, fmt.Errorf("line %d: & of non-lvalue", e.Line)
+			}
+			if e.X.Kind == ExprIdent && e.X.Sym.Kind == SymRegister {
+				return nil, fmt.Errorf("line %d: cannot take the address of register variable %q", e.Line, e.X.Name)
+			}
+			return &Type{Kind: TypePtr, Elem: xt}, nil
+		}
+		return nil, fmt.Errorf("line %d: unknown unary %s", e.Line, e.Op)
+
+	case ExprBinary:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		yt, err := c.checkExpr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "+", "-":
+			// pointer arithmetic: ptr +/- int
+			if (xt.Kind == TypePtr || xt.Kind == TypeArray) && yt.Kind == TypeInt {
+				elem := xt.Elem
+				return &Type{Kind: TypePtr, Elem: elem}, nil
+			}
+			if xt.Kind == TypeInt && (yt.Kind == TypePtr || yt.Kind == TypeArray) && e.Op == "+" {
+				return &Type{Kind: TypePtr, Elem: yt.Elem}, nil
+			}
+			if xt.Kind == TypeInt && yt.Kind == TypeInt {
+				return intType, nil
+			}
+			return nil, fmt.Errorf("line %d: invalid operands to %s: %s and %s", e.Line, e.Op, xt, yt)
+		case "*", "/", "%", "&", "|", "^", "<<", ">>":
+			if xt.Kind != TypeInt || yt.Kind != TypeInt {
+				return nil, fmt.Errorf("line %d: invalid operands to %s: %s and %s", e.Line, e.Op, xt, yt)
+			}
+			return intType, nil
+		case "==", "!=", "<", "<=", ">", ">=":
+			ok := xt.Kind == TypeInt && yt.Kind == TypeInt ||
+				xt.Kind == TypePtr && yt.Kind == TypePtr ||
+				xt.Kind == TypePtr && e.Y.Kind == ExprNum && e.Y.Val == 0 ||
+				yt.Kind == TypePtr && e.X.Kind == ExprNum && e.X.Val == 0
+			if !ok {
+				return nil, fmt.Errorf("line %d: invalid comparison of %s and %s", e.Line, xt, yt)
+			}
+			return intType, nil
+		case "&&", "||":
+			for _, t := range []*Type{xt, yt} {
+				if t.Kind != TypeInt && t.Kind != TypePtr {
+					return nil, fmt.Errorf("line %d: invalid operand to %s: %s", e.Line, e.Op, t)
+				}
+			}
+			return intType, nil
+		}
+		return nil, fmt.Errorf("line %d: unknown operator %s", e.Line, e.Op)
+
+	case ExprAssign:
+		if !isLvalue(e.X) {
+			return nil, fmt.Errorf("line %d: assignment to non-lvalue", e.Line)
+		}
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind == TypeArray || xt.Kind == TypeStruct {
+			return nil, fmt.Errorf("line %d: cannot assign aggregate %s", e.Line, xt)
+		}
+		yt, err := c.checkExpr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		if !assignable(xt, yt, e.Y) {
+			return nil, fmt.Errorf("line %d: cannot assign %s to %s", e.Line, yt, xt)
+		}
+		return xt, nil
+
+	case ExprIndex:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		yt, err := c.checkExpr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		if yt.Kind != TypeInt {
+			return nil, fmt.Errorf("line %d: array index has type %s", e.Line, yt)
+		}
+		if xt.Kind != TypeArray && xt.Kind != TypePtr {
+			return nil, fmt.Errorf("line %d: indexing non-array %s", e.Line, xt)
+		}
+		return xt.Elem, nil
+
+	case ExprField:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != TypeStruct {
+			return nil, fmt.Errorf("line %d: .%s on non-struct %s", e.Line, e.Name, xt)
+		}
+		f, ok := xt.Struct.FieldByName(e.Name)
+		if !ok {
+			return nil, fmt.Errorf("line %d: struct %s has no field %q", e.Line, xt.Struct.Name, e.Name)
+		}
+		return f.Type, nil
+
+	case ExprArrow:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != TypePtr || xt.Elem.Kind != TypeStruct {
+			return nil, fmt.Errorf("line %d: ->%s on %s", e.Line, e.Name, xt)
+		}
+		f, ok := xt.Elem.Struct.FieldByName(e.Name)
+		if !ok {
+			return nil, fmt.Errorf("line %d: struct %s has no field %q", e.Line, xt.Elem.Struct.Name, e.Name)
+		}
+		return f.Type, nil
+
+	case ExprCall:
+		fn, ok := c.funcs[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined function %q", e.Line, e.Name)
+		}
+		if len(e.Args) != len(fn.Params) {
+			return nil, fmt.Errorf("line %d: %q takes %d arguments, got %d", e.Line, e.Name, len(fn.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			at, err := c.checkExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			if !assignable(fn.Params[i].Type, at, a) {
+				return nil, fmt.Errorf("line %d: argument %d of %q: cannot pass %s as %s",
+					e.Line, i+1, e.Name, at, fn.Params[i].Type)
+			}
+		}
+		return fn.Ret, nil
+
+	case ExprBuiltin:
+		switch e.Name {
+		case "print", "printc":
+			if len(e.Args) != 1 {
+				return nil, fmt.Errorf("line %d: %s takes one argument", e.Line, e.Name)
+			}
+			at, err := c.checkExpr(e.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if at.Kind != TypeInt {
+				return nil, fmt.Errorf("line %d: %s takes an int", e.Line, e.Name)
+			}
+			return voidType, nil
+		case "prints":
+			if len(e.Args) != 1 || e.Args[0].Kind != ExprStr {
+				return nil, fmt.Errorf("line %d: prints takes a string literal", e.Line)
+			}
+			if _, err := c.checkExpr(e.Args[0]); err != nil {
+				return nil, err
+			}
+			return voidType, nil
+		case "alloc":
+			if len(e.Args) != 1 {
+				return nil, fmt.Errorf("line %d: alloc takes one argument", e.Line)
+			}
+			at, err := c.checkExpr(e.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if at.Kind != TypeInt {
+				return nil, fmt.Errorf("line %d: alloc takes an int size", e.Line)
+			}
+			return &Type{Kind: TypePtr, Elem: intType}, nil
+		case "free":
+			if len(e.Args) != 1 {
+				return nil, fmt.Errorf("line %d: free takes one argument", e.Line)
+			}
+			at, err := c.checkExpr(e.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if at.Kind != TypePtr {
+				return nil, fmt.Errorf("line %d: free takes a pointer", e.Line)
+			}
+			return voidType, nil
+		}
+		return nil, fmt.Errorf("line %d: unknown builtin %q", e.Line, e.Name)
+	}
+	return nil, fmt.Errorf("line %d: unhandled expression", e.Line)
+}

@@ -1,0 +1,709 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Codegen notes.
+//
+// The generator produces the naive "compiled for debugging" code shape the
+// paper assumes: every memory-resident variable access is an explicit load
+// or store, expression temporaries live in an %o-register evaluation stack
+// (%o0-%o4, with %o5 as scratch and frame spill slots when an operand must
+// survive a call), and each function carries a register window
+// (save/restore). Variables declared `register` live in %l0-%l5 and never
+// touch memory.
+//
+// Reserved for the monitored region service and never emitted here:
+// %g1-%g7, %l6, %l7 (see internal/patch).
+
+const maxEvalDepth = 4 // %o0..%o4 hold the evaluation stack; %o5 is scratch
+
+type codegen struct {
+	prog *Program
+	b    strings.Builder
+
+	fn        *FuncDecl
+	labelN    int
+	spillOff  []int32 // active spill slot offsets (stack discipline)
+	spillMax  int32
+	breakL    []string
+	contL     []string
+	strLabels map[string]string
+	strN      int
+	err       error
+}
+
+// Compile parses, checks, and compiles src to assembly text.
+func Compile(src string) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if err := Check(prog); err != nil {
+		return "", err
+	}
+	return Generate(prog)
+}
+
+// Generate emits assembly for a checked program.
+func Generate(prog *Program) (string, error) {
+	g := &codegen{prog: prog, strLabels: make(map[string]string)}
+	g.p("\t.text")
+	for _, f := range prog.Funcs {
+		g.genFunc(f)
+		if g.err != nil {
+			return "", g.err
+		}
+	}
+	g.p("\t.data")
+	for _, gd := range prog.Globals {
+		g.p("%s:", gd.Name)
+		if gd.Init != nil {
+			v := gd.Init.Val
+			if gd.Init.Kind == ExprUnary {
+				v = -gd.Init.X.Val
+			}
+			g.p("\t.word %d", v)
+		} else {
+			g.p("\t.space %d", gd.Type.Size())
+		}
+		g.p("\t.stabs %q, global, %s, %d", gd.Name, gd.Name, gd.Type.Size())
+	}
+	for s, label := range g.strLabels {
+		g.p("%s:", label)
+		g.p("\t.ascii %q", s)
+	}
+	return g.b.String(), nil
+}
+
+func (g *codegen) p(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *codegen) fail(line int, format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("line %d: "+format, append([]any{line}, args...)...)
+	}
+}
+
+func (g *codegen) newLabel() string {
+	g.labelN++
+	return fmt.Sprintf(".L%s_%d", g.fn.Name, g.labelN)
+}
+
+// oreg returns the evaluation-stack register for depth d.
+func oreg(d int) string { return fmt.Sprintf("%%o%d", d) }
+
+const scratch = "%o5"
+
+// spillAlloc reserves a frame slot below the locals and returns its
+// fp-relative offset.
+func (g *codegen) spillAlloc() int32 {
+	off := -(g.fn.LocalBytes + 4*int32(len(g.spillOff)) + 4)
+	g.spillOff = append(g.spillOff, off)
+	if n := 4 * int32(len(g.spillOff)); n > g.spillMax {
+		g.spillMax = n
+	}
+	return off
+}
+
+func (g *codegen) spillFree() {
+	g.spillOff = g.spillOff[:len(g.spillOff)-1]
+}
+
+// fpStore emits st reg, [%fp+off], handling offsets beyond simm13.
+func (g *codegen) fpStore(reg string, off int32) {
+	if off >= -4096 && off <= 4095 {
+		g.p("\tst %s, [%%fp%+d]", reg, off)
+		return
+	}
+	g.p("\tset %d, %s", off, scratch)
+	g.p("\tst %s, [%%fp+%s]", reg, scratch)
+}
+
+// fpLoad emits ld [%fp+off], reg, handling offsets beyond simm13.
+func (g *codegen) fpLoad(off int32, reg string) {
+	if off >= -4096 && off <= 4095 {
+		g.p("\tld [%%fp%+d], %s", off, reg)
+		return
+	}
+	g.p("\tset %d, %s", off, scratch)
+	g.p("\tld [%%fp+%s], %s", scratch, reg)
+}
+
+// fpAddr leaves %fp+off in reg.
+func (g *codegen) fpAddr(off int32, reg string) {
+	if off >= -4096 && off <= 4095 {
+		g.p("\tadd %%fp, %d, %s", off, reg)
+		return
+	}
+	g.p("\tset %d, %s", off, scratch)
+	g.p("\tadd %%fp, %s, %s", scratch, reg)
+}
+
+func (g *codegen) genFunc(f *FuncDecl) {
+	g.fn = f
+	g.labelN = 0
+	g.spillOff = g.spillOff[:0]
+	g.spillMax = 0
+	g.breakL = g.breakL[:0]
+	g.contL = g.contL[:0]
+
+	var body strings.Builder
+	saved := g.b
+	g.b = body
+	// Parameters arrive in %i0..%i5 and are spilled to their stack homes
+	// (naive debug compilation; gives the symbol-table optimizer its
+	// "known" parameter writes).
+	for i, p := range f.Params {
+		g.fpStore(fmt.Sprintf("%%i%d", i), p.Sym.FpOff)
+	}
+	g.genStmt(f.Body)
+	g.p(".Lep_%s:", f.Name)
+	g.p("\trestore")
+	g.p("\tretl")
+	bodyText := g.b.String()
+	g.b = saved
+
+	frame := 64 + f.LocalBytes + g.spillMax
+	frame = (frame + 7) &^ 7
+	g.p("%s:", f.Name)
+	g.p("\t.stabs %q, func, %s, 0", f.Name, f.Name)
+	if frame <= 4095 {
+		g.p("\tsave %%sp, %d, %%sp", -frame)
+	} else {
+		// Large frames: compute the displacement in a scratch register
+		// before the window shifts (use %o5 of the caller's window).
+		g.p("\tset %d, %%o5", -frame)
+		g.p("\tsave %%sp, %%o5, %%sp")
+	}
+	g.b.WriteString(bodyText)
+	// Symbol records for memory-resident locals and params.
+	for _, sym := range f.Locals {
+		switch sym.Kind {
+		case SymLocal:
+			g.p("\t.stabs %q, local, %%fp%+d, %d, %q", sym.Name, sym.FpOff, sym.Type.Size(), f.Name)
+		case SymParam:
+			g.p("\t.stabs %q, param, %%fp%+d, %d, %q", sym.Name, sym.FpOff, sym.Type.Size(), f.Name)
+		}
+	}
+}
+
+func (g *codegen) genStmt(s *Stmt) {
+	if g.err != nil {
+		return
+	}
+	switch s.Kind {
+	case StmtEmpty:
+	case StmtExpr:
+		g.genExpr(s.X, 0)
+	case StmtDecl:
+		d := s.Decl
+		if d.Init == nil {
+			return
+		}
+		g.genExpr(d.Init, 0)
+		sym := d.Sym
+		if sym.Kind == SymRegister {
+			g.p("\tmov %%o0, %%l%d", sym.RegIdx)
+		} else {
+			g.fpStore("%o0", sym.FpOff)
+		}
+	case StmtIf:
+		lThen, lElse, lEnd := g.newLabel(), g.newLabel(), g.newLabel()
+		g.genCond(s.X, lThen, lElse, 0)
+		g.p("%s:", lThen)
+		g.genStmt(s.Then)
+		g.p("\tba %s", lEnd)
+		g.p("%s:", lElse)
+		if s.Else != nil {
+			g.genStmt(s.Else)
+		}
+		g.p("%s:", lEnd)
+	case StmtWhile:
+		lCond, lBody, lEnd := g.newLabel(), g.newLabel(), g.newLabel()
+		g.p("%s:", lCond)
+		g.genCond(s.X, lBody, lEnd, 0)
+		g.p("%s:", lBody)
+		g.breakL = append(g.breakL, lEnd)
+		g.contL = append(g.contL, lCond)
+		g.genStmt(s.Body)
+		g.breakL = g.breakL[:len(g.breakL)-1]
+		g.contL = g.contL[:len(g.contL)-1]
+		g.p("\tba %s", lCond)
+		g.p("%s:", lEnd)
+	case StmtFor:
+		lCond, lBody, lPost, lEnd := g.newLabel(), g.newLabel(), g.newLabel(), g.newLabel()
+		if s.Init != nil {
+			g.genStmt(s.Init)
+		}
+		g.p("%s:", lCond)
+		if s.X != nil {
+			g.genCond(s.X, lBody, lEnd, 0)
+		}
+		g.p("%s:", lBody)
+		g.breakL = append(g.breakL, lEnd)
+		g.contL = append(g.contL, lPost)
+		g.genStmt(s.Body)
+		g.breakL = g.breakL[:len(g.breakL)-1]
+		g.contL = g.contL[:len(g.contL)-1]
+		g.p("%s:", lPost)
+		if s.Post != nil {
+			g.genExpr(s.Post, 0)
+		}
+		g.p("\tba %s", lCond)
+		g.p("%s:", lEnd)
+	case StmtReturn:
+		if s.X != nil {
+			g.genExpr(s.X, 0)
+			g.p("\tmov %%o0, %%i0")
+		}
+		g.p("\tba .Lep_%s", g.fn.Name)
+	case StmtBreak:
+		if len(g.breakL) == 0 {
+			g.fail(s.Line, "break outside a loop")
+			return
+		}
+		g.p("\tba %s", g.breakL[len(g.breakL)-1])
+	case StmtContinue:
+		if len(g.contL) == 0 {
+			g.fail(s.Line, "continue outside a loop")
+			return
+		}
+		g.p("\tba %s", g.contL[len(g.contL)-1])
+	case StmtBlock:
+		for _, sub := range s.List {
+			g.genStmt(sub)
+		}
+	}
+}
+
+// clobbers reports whether evaluating e may destroy %o registers other than
+// its own stack slot (calls and trap builtins do).
+func clobbers(e *Expr) bool {
+	if e == nil {
+		return false
+	}
+	if e.Kind == ExprCall || e.Kind == ExprBuiltin {
+		return true
+	}
+	if clobbers(e.X) || clobbers(e.Y) {
+		return true
+	}
+	for _, a := range e.Args {
+		if clobbers(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// genOperands evaluates X and Y, returning the registers holding them.
+// Fast path: X at depth d, Y at d+1. If Y may clobber or the stack is full,
+// X is spilled around Y's evaluation and reloaded into the scratch register.
+func (g *codegen) genOperands(x, y *Expr, d int) (rx, ry string) {
+	if clobbers(y) || d >= maxEvalDepth {
+		g.genExpr(x, d)
+		slot := g.spillAlloc()
+		g.fpStore(oreg(d), slot)
+		g.genExpr(y, d)
+		g.fpLoad(slot, scratch)
+		g.spillFree()
+		// Move Y out of the result register so the result can land in
+		// oreg(d): result = op(scratch, oreg(d)) works directly.
+		return scratch, oreg(d)
+	}
+	g.genExpr(x, d)
+	g.genExpr(y, d+1)
+	return oreg(d), oreg(d + 1)
+}
+
+var condBranch = map[string]string{
+	"==": "be", "!=": "bne", "<": "bl", "<=": "ble", ">": "bg", ">=": "bge",
+}
+
+// genCond emits control flow: jump to lTrue if e holds, else to lFalse.
+func (g *codegen) genCond(e *Expr, lTrue, lFalse string, d int) {
+	if g.err != nil {
+		return
+	}
+	switch {
+	case e.Kind == ExprBinary && condBranch[e.Op] != "":
+		rx, ry := g.genOperands(e.X, e.Y, d)
+		g.p("\tcmp %s, %s", rx, ry)
+		g.p("\t%s %s", condBranch[e.Op], lTrue)
+		g.p("\tba %s", lFalse)
+	case e.Kind == ExprBinary && e.Op == "&&":
+		mid := g.newLabel()
+		g.genCond(e.X, mid, lFalse, d)
+		g.p("%s:", mid)
+		g.genCond(e.Y, lTrue, lFalse, d)
+	case e.Kind == ExprBinary && e.Op == "||":
+		mid := g.newLabel()
+		g.genCond(e.X, lTrue, mid, d)
+		g.p("%s:", mid)
+		g.genCond(e.Y, lTrue, lFalse, d)
+	case e.Kind == ExprUnary && e.Op == "!":
+		g.genCond(e.X, lFalse, lTrue, d)
+	default:
+		g.genExpr(e, d)
+		g.p("\ttst %s", oreg(d))
+		g.p("\tbne %s", lTrue)
+		g.p("\tba %s", lFalse)
+	}
+}
+
+// genAddr leaves the address of lvalue e in oreg(d).
+func (g *codegen) genAddr(e *Expr, d int) {
+	if g.err != nil {
+		return
+	}
+	switch e.Kind {
+	case ExprIdent:
+		sym := e.Sym
+		switch sym.Kind {
+		case SymGlobal:
+			g.p("\tset %s, %s", sym.Label, oreg(d))
+		case SymLocal, SymParam:
+			g.fpAddr(sym.FpOff, oreg(d))
+		default:
+			g.fail(e.Line, "cannot take the address of register variable %q", sym.Name)
+		}
+	case ExprUnary: // *p
+		g.genExpr(e.X, d)
+	case ExprIndex:
+		base := e.X
+		if base.Type.Kind == TypeArray {
+			g.genAddr(base, d)
+		} else {
+			g.genExpr(base, d)
+		}
+		elem := e.Type
+		size := elem.Size()
+		// Index value with the usual operand discipline.
+		if clobbers(e.Y) || d >= maxEvalDepth {
+			slot := g.spillAlloc()
+			g.fpStore(oreg(d), slot)
+			g.genExpr(e.Y, d)
+			g.scaleReg(oreg(d), size, e.Line)
+			g.fpLoad(slot, scratch)
+			g.spillFree()
+			g.p("\tadd %s, %s, %s", scratch, oreg(d), oreg(d))
+		} else {
+			g.genExpr(e.Y, d+1)
+			g.scaleReg(oreg(d+1), size, e.Line)
+			g.p("\tadd %s, %s, %s", oreg(d), oreg(d+1), oreg(d))
+		}
+	case ExprField:
+		g.genAddr(e.X, d)
+		f, _ := e.X.Type.Struct.FieldByName(e.Name)
+		if f.Off != 0 {
+			g.p("\tadd %s, %d, %s", oreg(d), f.Off, oreg(d))
+		}
+	case ExprArrow:
+		g.genExpr(e.X, d)
+		f, _ := e.X.Type.Elem.Struct.FieldByName(e.Name)
+		if f.Off != 0 {
+			g.p("\tadd %s, %d, %s", oreg(d), f.Off, oreg(d))
+		}
+	default:
+		g.fail(e.Line, "not an lvalue")
+	}
+}
+
+// scaleReg multiplies reg by size in place (pointer/array arithmetic).
+func (g *codegen) scaleReg(reg string, size int32, line int) {
+	switch {
+	case size == 1:
+	case size&(size-1) == 0:
+		sh := 0
+		for s := size; s > 1; s >>= 1 {
+			sh++
+		}
+		g.p("\tsll %s, %d, %s", reg, sh, reg)
+	case size <= 4095:
+		g.p("\tsmul %s, %d, %s", reg, size, reg)
+	default:
+		g.fail(line, "element size %d too large for scaling", size)
+	}
+}
+
+// isAggregate reports whether t is an array or struct (whose "value" is its
+// address).
+func isAggregate(t *Type) bool {
+	return t != nil && (t.Kind == TypeArray || t.Kind == TypeStruct)
+}
+
+// genExpr leaves the value of e in oreg(d).
+func (g *codegen) genExpr(e *Expr, d int) {
+	if g.err != nil {
+		return
+	}
+	if d > maxEvalDepth {
+		g.fail(e.Line, "expression too deep")
+		return
+	}
+	switch e.Kind {
+	case ExprNum:
+		g.p("\tset %d, %s", e.Val, oreg(d))
+
+	case ExprSizeof:
+		g.p("\tset %d, %s", e.SizeofType.Size(), oreg(d))
+
+	case ExprStr:
+		g.p("\tset %s, %s", g.strLabel(e.Str), oreg(d))
+
+	case ExprIdent:
+		sym := e.Sym
+		switch {
+		case sym.Kind == SymRegister:
+			g.p("\tmov %%l%d, %s", sym.RegIdx, oreg(d))
+		case isAggregate(sym.Type):
+			g.genAddr(e, d)
+		case sym.Kind == SymGlobal:
+			g.p("\tset %s, %s", sym.Label, oreg(d))
+			g.p("\tld [%s], %s", oreg(d), oreg(d))
+		default:
+			g.fpLoad(sym.FpOff, oreg(d))
+		}
+
+	case ExprUnary:
+		switch e.Op {
+		case "-":
+			g.genExpr(e.X, d)
+			g.p("\tsub %%g0, %s, %s", oreg(d), oreg(d))
+		case "~":
+			g.genExpr(e.X, d)
+			g.p("\txnor %s, %%g0, %s", oreg(d), oreg(d))
+		case "!":
+			g.genExpr(e.X, d)
+			l := g.newLabel()
+			g.p("\ttst %s", oreg(d))
+			g.p("\tmov 1, %s", oreg(d))
+			g.p("\tbe %s", l)
+			g.p("\tmov 0, %s", oreg(d))
+			g.p("%s:", l)
+		case "*":
+			g.genExpr(e.X, d)
+			if !isAggregate(e.Type) {
+				g.p("\tld [%s], %s", oreg(d), oreg(d))
+			}
+		case "&":
+			g.genAddr(e.X, d)
+		}
+
+	case ExprBinary:
+		g.genBinary(e, d)
+
+	case ExprAssign:
+		g.genAssign(e, d)
+
+	case ExprIndex, ExprField, ExprArrow:
+		g.genAddr(e, d)
+		if !isAggregate(e.Type) {
+			g.p("\tld [%s], %s", oreg(d), oreg(d))
+		}
+
+	case ExprCall:
+		g.genCall(e, d)
+
+	case ExprBuiltin:
+		g.genBuiltin(e, d)
+	}
+}
+
+func (g *codegen) genBinary(e *Expr, d int) {
+	op := e.Op
+	if condBranch[op] != "" || op == "&&" || op == "||" {
+		// Comparison/logical as a value: materialize 0/1 via genCond.
+		lT, lF, lEnd := g.newLabel(), g.newLabel(), g.newLabel()
+		g.genCond(e, lT, lF, d)
+		g.p("%s:", lT)
+		g.p("\tmov 1, %s", oreg(d))
+		g.p("\tba %s", lEnd)
+		g.p("%s:", lF)
+		g.p("\tmov 0, %s", oreg(d))
+		g.p("%s:", lEnd)
+		return
+	}
+
+	// Pointer arithmetic scaling.
+	xPtr := e.X.Type.Kind == TypePtr || e.X.Type.Kind == TypeArray
+	yPtr := e.Y.Type.Kind == TypePtr || e.Y.Type.Kind == TypeArray
+
+	rx, ry := g.genOperands(e.X, e.Y, d)
+	switch op {
+	case "+":
+		if xPtr && !yPtr {
+			g.scaleReg(ry, e.X.Type.Elem.Size(), e.Line)
+		} else if yPtr && !xPtr {
+			g.scaleReg(rx, e.Y.Type.Elem.Size(), e.Line)
+		}
+		g.p("\tadd %s, %s, %s", rx, ry, oreg(d))
+	case "-":
+		if xPtr && !yPtr {
+			g.scaleReg(ry, e.X.Type.Elem.Size(), e.Line)
+		}
+		g.p("\tsub %s, %s, %s", rx, ry, oreg(d))
+	case "*":
+		g.p("\tsmul %s, %s, %s", rx, ry, oreg(d))
+	case "/":
+		g.p("\tsdiv %s, %s, %s", rx, ry, oreg(d))
+	case "%":
+		g.genModulo(e, rx, ry, d)
+	case "&":
+		g.p("\tand %s, %s, %s", rx, ry, oreg(d))
+	case "|":
+		g.p("\tor %s, %s, %s", rx, ry, oreg(d))
+	case "^":
+		g.p("\txor %s, %s, %s", rx, ry, oreg(d))
+	case "<<":
+		g.p("\tsll %s, %s, %s", rx, ry, oreg(d))
+	case ">>":
+		g.p("\tsra %s, %s, %s", rx, ry, oreg(d))
+	default:
+		g.fail(e.Line, "unhandled operator %s", op)
+	}
+}
+
+// genModulo lowers % as a - (a/b)*b without needing a third free register:
+// in the spill path the left operand is reloadable from its slot.
+func (g *codegen) genModulo(e *Expr, rx, ry string, d int) {
+	if rx == scratch {
+		// Spill path: rx=%o5 (also in a just-freed slot), ry=oreg(d).
+		slot := g.spillAlloc() // re-reserve the slot the operands used
+		g.fpStore(rx, slot)
+		g.p("\tsdiv %s, %s, %s", rx, ry, scratch) // q
+		g.p("\tsmul %s, %s, %s", scratch, ry, scratch)
+		g.fpLoad(slot, oreg(d)) // reload a over the dead rhs
+		g.spillFree()
+		g.p("\tsub %s, %s, %s", oreg(d), scratch, oreg(d))
+		return
+	}
+	// Fast path: rx=oreg(d), ry=oreg(d+1); %o5 is free.
+	g.p("\tsdiv %s, %s, %s", rx, ry, scratch)
+	g.p("\tsmul %s, %s, %s", scratch, ry, scratch)
+	g.p("\tsub %s, %s, %s", rx, scratch, oreg(d))
+}
+
+func (g *codegen) genAssign(e *Expr, d int) {
+	lhs := e.X
+	// Register destination: evaluate and move.
+	if lhs.Kind == ExprIdent && lhs.Sym.Kind == SymRegister {
+		g.genExpr(e.Y, d)
+		g.p("\tmov %s, %%l%d", oreg(d), lhs.Sym.RegIdx)
+		return
+	}
+	// Simple direct destinations: value first, then store straight to the
+	// variable's home (this is the canonical `st %oN, [%fp-20]` shape).
+	if lhs.Kind == ExprIdent {
+		sym := lhs.Sym
+		g.genExpr(e.Y, d)
+		if sym.Kind == SymGlobal {
+			g.p("\tset %s, %s", sym.Label, scratch)
+			g.p("\tst %s, [%s]", oreg(d), scratch)
+		} else {
+			g.fpStore(oreg(d), sym.FpOff)
+		}
+		return
+	}
+	// General lvalue: address, then value.
+	if clobbers(e.Y) || d >= maxEvalDepth {
+		g.genAddr(lhs, d)
+		slot := g.spillAlloc()
+		g.fpStore(oreg(d), slot)
+		g.genExpr(e.Y, d)
+		g.fpLoad(slot, scratch)
+		g.spillFree()
+		g.p("\tst %s, [%s]", oreg(d), scratch)
+		return
+	}
+	g.genAddr(lhs, d)
+	g.genExpr(e.Y, d+1)
+	g.p("\tst %s, [%s]", oreg(d+1), oreg(d))
+	g.p("\tmov %s, %s", oreg(d+1), oreg(d)) // assignment value
+}
+
+func (g *codegen) genCall(e *Expr, d int) {
+	n := len(e.Args)
+	anyClobber := false
+	for i, a := range e.Args {
+		if i > 0 && clobbers(a) {
+			anyClobber = true
+		}
+	}
+	if anyClobber || d+n-1 > maxEvalDepth {
+		// Evaluate each argument at depth d and park it in a slot; then
+		// reload into the outgoing registers (all ancestors have spilled,
+		// so %o0.. are free).
+		slots := make([]int32, n)
+		for i, a := range e.Args {
+			g.genExpr(a, d)
+			slots[i] = g.spillAlloc()
+			g.fpStore(oreg(d), slots[i])
+		}
+		for i := n - 1; i >= 0; i-- {
+			g.fpLoad(slots[i], fmt.Sprintf("%%o%d", i))
+			g.spillFree()
+		}
+	} else {
+		for i, a := range e.Args {
+			g.genExpr(a, d+i)
+		}
+		if d > 0 {
+			for i := 0; i < n; i++ {
+				g.p("\tmov %s, %%o%d", oreg(d+i), i)
+			}
+		}
+	}
+	g.p("\tcall %s", e.Name)
+	if e.Type.Kind != TypeVoid && d > 0 {
+		g.p("\tmov %%o0, %s", oreg(d))
+	}
+}
+
+func (g *codegen) genBuiltin(e *Expr, d int) {
+	mov0 := func() {
+		if d != 0 {
+			g.p("\tmov %s, %%o0", oreg(d))
+		}
+	}
+	switch e.Name {
+	case "print":
+		g.genExpr(e.Args[0], d)
+		mov0()
+		g.p("\tta 1")
+	case "printc":
+		g.genExpr(e.Args[0], d)
+		mov0()
+		g.p("\tta 2")
+	case "prints":
+		s := e.Args[0].Str
+		g.p("\tset %s, %%o0", g.strLabel(s))
+		g.p("\tset %d, %%o1", len(s))
+		g.p("\tta 3")
+	case "alloc":
+		g.genExpr(e.Args[0], d)
+		mov0()
+		g.p("\tta 4")
+		if d != 0 {
+			g.p("\tmov %%o0, %s", oreg(d))
+		}
+	case "free":
+		g.genExpr(e.Args[0], d)
+		mov0()
+		g.p("\tta 5")
+	}
+}
+
+func (g *codegen) strLabel(s string) string {
+	if l, ok := g.strLabels[s]; ok {
+		return l
+	}
+	l := fmt.Sprintf("__str_%d", g.strN)
+	g.strN++
+	g.strLabels[s] = l
+	return l
+}

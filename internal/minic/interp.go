@@ -1,0 +1,503 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Interp is a reference AST interpreter for mini-C, used to differentially
+// test the compiler: for any program, the interpreter's output and exit code
+// must match the compiled program's behaviour on the simulated machine. It
+// mirrors the machine's semantics exactly: 32-bit wrapping arithmetic,
+// truncating division, shift counts masked to 5 bits, and an allocator with
+// size-segregated free lists (so pointer-reuse observations agree).
+type Interp struct {
+	prog    *Program
+	mem     map[uint32]int32
+	globals map[string]uint32
+	funcs   map[string]*FuncDecl
+
+	sp       uint32 // descending stack allocator for locals
+	heapNext uint32
+	freeList map[uint32][]uint32
+
+	out   strings.Builder
+	steps int64
+	// MaxSteps bounds execution (guard against runaway programs).
+	MaxSteps int64
+}
+
+// frame is one function activation.
+type frame struct {
+	addrs map[*VarSym]uint32 // memory-resident vars -> address
+	regs  map[*VarSym]int32  // register vars -> value
+}
+
+// control-flow signals (via panic/recover, the classic tree-walker trick).
+type returnSignal struct{ val int32 }
+type breakSignal struct{}
+type continueSignal struct{}
+
+type interpError struct{ err error }
+
+// NewInterp prepares an interpreter for a checked program.
+func NewInterp(prog *Program) *Interp {
+	in := &Interp{
+		prog:     prog,
+		mem:      make(map[uint32]int32),
+		globals:  make(map[string]uint32),
+		funcs:    make(map[string]*FuncDecl),
+		sp:       0xE000_0000,
+		heapNext: 0x4000_0000,
+		freeList: make(map[uint32][]uint32),
+		MaxSteps: 1 << 30,
+	}
+	for _, f := range prog.Funcs {
+		in.funcs[f.Name] = f
+	}
+	// Lay out globals contiguously from a data base, like the assembler.
+	next := uint32(0x2000_0000)
+	for _, g := range prog.Globals {
+		in.globals[g.Name] = next
+		if g.Init != nil {
+			v := g.Init.Val
+			if g.Init.Kind == ExprUnary {
+				v = -g.Init.X.Val
+			}
+			in.mem[next] = v
+		}
+		size := uint32(g.Type.Size())
+		next += (size + 3) &^ 3
+	}
+	return in
+}
+
+// Interpret parses, checks, and interprets src, returning its printed
+// output and exit code.
+func Interpret(src string) (output string, exit int32, err error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := Check(prog); err != nil {
+		return "", 0, err
+	}
+	return NewInterp(prog).Run()
+}
+
+// Run executes main and returns the program's output and exit code.
+func (in *Interp) Run() (output string, exit int32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ie, ok := r.(interpError); ok {
+				err = ie.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	exit = in.call(in.funcs["main"], nil)
+	return in.out.String(), exit, nil
+}
+
+func (in *Interp) fail(format string, args ...any) {
+	panic(interpError{fmt.Errorf("interp: "+format, args...)})
+}
+
+func (in *Interp) tick() {
+	in.steps++
+	if in.steps > in.MaxSteps {
+		in.fail("exceeded MaxSteps=%d", in.MaxSteps)
+	}
+}
+
+func (in *Interp) load(addr uint32) int32 {
+	if addr&3 != 0 {
+		in.fail("unaligned load at %#x", addr)
+	}
+	return in.mem[addr]
+}
+
+func (in *Interp) store(addr uint32, v int32) {
+	if addr&3 != 0 {
+		in.fail("unaligned store at %#x", addr)
+	}
+	in.mem[addr] = v
+}
+
+func (in *Interp) alloc(size uint32) uint32 {
+	size = (size + 7) &^ 7
+	if size == 0 {
+		size = 8
+	}
+	if lst := in.freeList[size]; len(lst) > 0 {
+		ptr := lst[len(lst)-1]
+		in.freeList[size] = lst[:len(lst)-1]
+		return ptr
+	}
+	in.heapNext = (in.heapNext + 7) &^ 7
+	ptr := in.heapNext + 8
+	in.mem[ptr-4] = int32(size)
+	in.heapNext = ptr + size
+	return ptr
+}
+
+func (in *Interp) free(ptr uint32) {
+	if ptr == 0 {
+		return
+	}
+	size := uint32(in.mem[ptr-4])
+	in.freeList[size] = append(in.freeList[size], ptr)
+}
+
+func (in *Interp) call(f *FuncDecl, args []int32) int32 {
+	fr := &frame{
+		addrs: make(map[*VarSym]uint32),
+		regs:  make(map[*VarSym]int32),
+	}
+	// Allocate every local and param a slot (the checker hoisted them all).
+	for _, sym := range f.Locals {
+		if sym.Kind == SymRegister {
+			fr.regs[sym] = 0
+			continue
+		}
+		size := uint32(sym.Type.Size())
+		size = (size + 3) &^ 3
+		in.sp -= size
+		fr.addrs[sym] = in.sp
+		// Fresh frame memory starts zeroed only for determinism with the
+		// machine (pages are zero there too); clear reused stack words.
+		for o := uint32(0); o < size; o += 4 {
+			in.mem[in.sp+o] = 0
+		}
+	}
+	for i, p := range f.Params {
+		in.store(fr.addrs[p.Sym], args[i])
+	}
+	base := in.sp
+
+	var ret int32
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if rs, ok := r.(returnSignal); ok {
+					ret = rs.val
+					return
+				}
+				panic(r)
+			}
+		}()
+		in.execStmt(f.Body, fr)
+	}()
+	// Pop the frame.
+	in.sp = base
+	for _, a := range fr.addrs {
+		_ = a
+	}
+	in.sp += frameSize(f)
+	return ret
+}
+
+func frameSize(f *FuncDecl) uint32 {
+	var total uint32
+	for _, sym := range f.Locals {
+		if sym.Kind == SymRegister {
+			continue
+		}
+		total += (uint32(sym.Type.Size()) + 3) &^ 3
+	}
+	return total
+}
+
+func (in *Interp) execStmt(s *Stmt, fr *frame) {
+	in.tick()
+	switch s.Kind {
+	case StmtEmpty:
+	case StmtExpr:
+		in.eval(s.X, fr)
+	case StmtDecl:
+		if s.Decl.Init != nil {
+			v := in.eval(s.Decl.Init, fr)
+			in.assign(s.Decl.Sym, v, fr)
+		}
+	case StmtIf:
+		if in.eval(s.X, fr) != 0 {
+			in.execStmt(s.Then, fr)
+		} else if s.Else != nil {
+			in.execStmt(s.Else, fr)
+		}
+	case StmtWhile:
+		in.loop(fr, nil, s.X, nil, s.Body)
+	case StmtFor:
+		in.loop(fr, s.Init, s.X, s.Post, s.Body)
+	case StmtReturn:
+		var v int32
+		if s.X != nil {
+			v = in.eval(s.X, fr)
+		}
+		panic(returnSignal{v})
+	case StmtBreak:
+		panic(breakSignal{})
+	case StmtContinue:
+		panic(continueSignal{})
+	case StmtBlock:
+		for _, sub := range s.List {
+			in.execStmt(sub, fr)
+		}
+	}
+}
+
+func (in *Interp) loop(fr *frame, init *Stmt, cond *Expr, post *Expr, body *Stmt) {
+	if init != nil {
+		in.execStmt(init, fr)
+	}
+	for {
+		in.tick()
+		if cond != nil && in.eval(cond, fr) == 0 {
+			return
+		}
+		brk := func() (brk bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					switch r.(type) {
+					case breakSignal:
+						brk = true
+					case continueSignal:
+						brk = false
+					default:
+						panic(r)
+					}
+				}
+			}()
+			in.execStmt(body, fr)
+			return false
+		}()
+		if brk {
+			return
+		}
+		if post != nil {
+			in.eval(post, fr)
+		}
+	}
+}
+
+// addrOf computes the address of an lvalue.
+func (in *Interp) addrOf(e *Expr, fr *frame) uint32 {
+	switch e.Kind {
+	case ExprIdent:
+		sym := e.Sym
+		switch sym.Kind {
+		case SymGlobal:
+			return in.globals[sym.Name]
+		case SymRegister:
+			in.fail("address of register variable %q", sym.Name)
+		default:
+			return fr.addrs[sym]
+		}
+	case ExprUnary: // *p
+		return uint32(in.eval(e.X, fr))
+	case ExprIndex:
+		var base uint32
+		if e.X.Type.Kind == TypeArray {
+			base = in.addrOf(e.X, fr)
+		} else {
+			base = uint32(in.eval(e.X, fr))
+		}
+		idx := in.eval(e.Y, fr)
+		return base + uint32(idx*e.Type.Size())
+	case ExprField:
+		f, _ := e.X.Type.Struct.FieldByName(e.Name)
+		return in.addrOf(e.X, fr) + uint32(f.Off)
+	case ExprArrow:
+		f, _ := e.X.Type.Elem.Struct.FieldByName(e.Name)
+		return uint32(in.eval(e.X, fr)) + uint32(f.Off)
+	}
+	in.fail("not an lvalue")
+	return 0
+}
+
+func (in *Interp) assign(sym *VarSym, v int32, fr *frame) {
+	if sym.Kind == SymRegister {
+		fr.regs[sym] = v
+		return
+	}
+	if sym.Kind == SymGlobal {
+		in.store(in.globals[sym.Name], v)
+		return
+	}
+	in.store(fr.addrs[sym], v)
+}
+
+func (in *Interp) eval(e *Expr, fr *frame) int32 {
+	in.tick()
+	switch e.Kind {
+	case ExprNum:
+		return e.Val
+	case ExprSizeof:
+		return e.SizeofType.Size()
+	case ExprStr:
+		in.fail("string literal outside prints")
+	case ExprIdent:
+		sym := e.Sym
+		if sym.Kind == SymRegister {
+			return fr.regs[sym]
+		}
+		if isAggregate(sym.Type) {
+			return int32(in.addrOf(e, fr))
+		}
+		if sym.Kind == SymGlobal {
+			return in.load(in.globals[sym.Name])
+		}
+		return in.load(fr.addrs[sym])
+	case ExprUnary:
+		switch e.Op {
+		case "-":
+			return -in.eval(e.X, fr)
+		case "~":
+			return ^in.eval(e.X, fr)
+		case "!":
+			if in.eval(e.X, fr) == 0 {
+				return 1
+			}
+			return 0
+		case "*":
+			a := uint32(in.eval(e.X, fr))
+			if isAggregate(e.Type) {
+				return int32(a)
+			}
+			return in.load(a)
+		case "&":
+			return int32(in.addrOf(e.X, fr))
+		}
+	case ExprBinary:
+		return in.evalBinary(e, fr)
+	case ExprAssign:
+		v := in.eval(e.Y, fr)
+		if e.X.Kind == ExprIdent {
+			in.assign(e.X.Sym, v, fr)
+		} else {
+			in.store(in.addrOf(e.X, fr), v)
+		}
+		return v
+	case ExprIndex, ExprField, ExprArrow:
+		a := in.addrOf(e, fr)
+		if isAggregate(e.Type) {
+			return int32(a)
+		}
+		return in.load(a)
+	case ExprCall:
+		f := in.funcs[e.Name]
+		args := make([]int32, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = in.eval(a, fr)
+		}
+		return in.call(f, args)
+	case ExprBuiltin:
+		switch e.Name {
+		case "print":
+			fmt.Fprintf(&in.out, "%d\n", in.eval(e.Args[0], fr))
+			return 0
+		case "printc":
+			in.out.WriteByte(byte(in.eval(e.Args[0], fr)))
+			return 0
+		case "prints":
+			in.out.WriteString(e.Args[0].Str)
+			return 0
+		case "alloc":
+			return int32(in.alloc(uint32(in.eval(e.Args[0], fr))))
+		case "free":
+			in.free(uint32(in.eval(e.Args[0], fr)))
+			return 0
+		}
+	}
+	in.fail("unhandled expression kind %d", e.Kind)
+	return 0
+}
+
+func (in *Interp) evalBinary(e *Expr, fr *frame) int32 {
+	// Short-circuit operators evaluate lazily.
+	switch e.Op {
+	case "&&":
+		if in.eval(e.X, fr) == 0 {
+			return 0
+		}
+		if in.eval(e.Y, fr) != 0 {
+			return 1
+		}
+		return 0
+	case "||":
+		if in.eval(e.X, fr) != 0 {
+			return 1
+		}
+		if in.eval(e.Y, fr) != 0 {
+			return 1
+		}
+		return 0
+	}
+
+	x := in.eval(e.X, fr)
+	y := in.eval(e.Y, fr)
+
+	// Pointer arithmetic scaling, as in codegen.
+	xPtr := e.X.Type.Kind == TypePtr || e.X.Type.Kind == TypeArray
+	yPtr := e.Y.Type.Kind == TypePtr || e.Y.Type.Kind == TypeArray
+	switch e.Op {
+	case "+":
+		if xPtr && !yPtr {
+			return x + y*e.X.Type.Elem.Size()
+		}
+		if yPtr && !xPtr {
+			return y + x*e.Y.Type.Elem.Size()
+		}
+		return x + y
+	case "-":
+		if xPtr && !yPtr {
+			return x - y*e.X.Type.Elem.Size()
+		}
+		return x - y
+	case "*":
+		return x * y
+	case "/":
+		if y == 0 {
+			in.fail("division by zero")
+		}
+		return x / y
+	case "%":
+		if y == 0 {
+			in.fail("division by zero")
+		}
+		q := x / y
+		return x - q*y
+	case "&":
+		return x & y
+	case "|":
+		return x | y
+	case "^":
+		return x ^ y
+	case "<<":
+		return x << (uint32(y) & 31)
+	case ">>":
+		return x >> (uint32(y) & 31)
+	case "<":
+		return b2i(x < y)
+	case "<=":
+		return b2i(x <= y)
+	case ">":
+		return b2i(x > y)
+	case ">=":
+		return b2i(x >= y)
+	case "==":
+		return b2i(x == y)
+	case "!=":
+		return b2i(x != y)
+	}
+	in.fail("unhandled operator %q", e.Op)
+	return 0
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

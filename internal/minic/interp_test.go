@@ -1,0 +1,248 @@
+package minic
+
+import (
+	"testing"
+
+	"databreak/internal/asm"
+	"databreak/internal/cache"
+	"databreak/internal/machine"
+)
+
+// runCompiled compiles and executes src on the simulated machine.
+func runCompiled(t *testing.T, src string) (string, int32) {
+	t.Helper()
+	asmSrc, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	u, err := asm.Parse("p.s", asmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+	prog.Load(m)
+	code, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m.Output(), code
+}
+
+// differential asserts interpreter and compiled execution agree.
+func differential(t *testing.T, src string) {
+	t.Helper()
+	iOut, iCode, err := Interpret(src)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	cOut, cCode := runCompiled(t, src)
+	if iOut != cOut {
+		t.Fatalf("output mismatch:\ninterp:   %q\ncompiled: %q", iOut, cOut)
+	}
+	if iCode != cCode {
+		t.Fatalf("exit mismatch: interp %d, compiled %d", iCode, cCode)
+	}
+}
+
+func TestDifferentialBasics(t *testing.T) {
+	cases := []string{
+		`int main() { return 42; }`,
+		`int main() { print(2 + 3 * 4 - 6 / 2); return 0; }`,
+		`int main() { print(-2147483647 - 1); print(2147483647 + 1); return 0; }`,  // wrapping
+		`int main() { print(-17 / 5); print(-17 % 5); print(17 % -5); return 0; }`, // truncating
+		`int main() { print(1 << 31); print((1 << 31) >> 31); return 0; }`,
+		`int main() { int x; x = 0; print(x && (1 / x)); return 0; }`, // short circuit
+		`int main() { print('a' != 'b' || 1 / 0); return 0; }`,
+	}
+	for _, src := range cases {
+		differential(t, src)
+	}
+}
+
+func TestDifferentialControlFlow(t *testing.T) {
+	differential(t, `
+int main() {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < 20; i = i + 1) {
+		if (i % 3 == 0) continue;
+		if (i == 17) break;
+		s = s + i;
+	}
+	while (s > 100) s = s - 7;
+	print(s);
+	return s % 256;
+}`)
+}
+
+func TestDifferentialFunctionsAndRecursion(t *testing.T) {
+	differential(t, `
+int ack(int m, int n) {
+	if (m == 0) return n + 1;
+	if (n == 0) return ack(m - 1, 1);
+	return ack(m - 1, ack(m, n - 1));
+}
+int main() {
+	print(ack(2, 3));
+	return ack(1, 5);
+}`)
+}
+
+func TestDifferentialArraysPointersStructs(t *testing.T) {
+	differential(t, `
+struct P { int x; int y; };
+struct P pts[4];
+int g[8];
+int sum(int *a, int n) {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < n; i = i + 1) s = s + a[i];
+	return s;
+}
+int main() {
+	int i;
+	int local[5];
+	struct P *p;
+	for (i = 0; i < 8; i = i + 1) g[i] = i * i;
+	for (i = 0; i < 5; i = i + 1) local[i] = g[i + 2];
+	for (i = 0; i < 4; i = i + 1) {
+		pts[i].x = i;
+		pts[i].y = g[i];
+	}
+	p = &pts[2];
+	p->y = p->y + 100;
+	print(sum(g, 8));
+	print(sum(local, 5));
+	print(pts[2].y);
+	print(*(g + 3));
+	return 0;
+}`)
+}
+
+func TestDifferentialHeapChurn(t *testing.T) {
+	differential(t, `
+struct Cell { int v; struct Cell *next; };
+int main() {
+	struct Cell *head;
+	struct Cell *c;
+	int i;
+	int s;
+	head = 0;
+	for (i = 1; i <= 20; i = i + 1) {
+		c = alloc(sizeof(struct Cell));
+		c->v = i * 3;
+		c->next = head;
+		head = c;
+	}
+	s = 0;
+	c = head;
+	while (c != 0) {
+		s = s + c->v;
+		c = c->next;
+	}
+	// free and re-allocate: pointer identity must agree across backends
+	free(head);
+	c = alloc(sizeof(struct Cell));
+	print(c == head);
+	print(s);
+	return 0;
+}`)
+}
+
+func TestDifferentialRegisterVars(t *testing.T) {
+	differential(t, `
+int main() {
+	register int i;
+	register int acc;
+	int spill;
+	acc = 1;
+	spill = 0;
+	for (i = 0; i < 12; i = i + 1) {
+		acc = acc * 2 + i % 3;
+		spill = spill ^ acc;
+	}
+	print(acc);
+	print(spill);
+	return 0;
+}`)
+}
+
+func TestDifferentialStringsAndChars(t *testing.T) {
+	differential(t, `
+int main() {
+	prints("diff\ttest\n");
+	printc('X');
+	printc(10);
+	print('0' + 5);
+	return 0;
+}`)
+}
+
+// TestDifferentialWorkloadKernels runs scaled-down versions of the workload
+// kernels through both backends.
+func TestDifferentialWorkloadKernels(t *testing.T) {
+	differential(t, `
+int a[20][20];
+int b[20][20];
+int c[20][20];
+int main() {
+	int i;
+	int j;
+	int k;
+	int s;
+	for (i = 0; i < 20; i = i + 1) {
+		for (j = 0; j < 20; j = j + 1) {
+			a[i][j] = (i * 3 + j * 7) % 19;
+			b[i][j] = (i * 5 + j * 11) % 23;
+		}
+	}
+	for (i = 0; i < 20; i = i + 1) {
+		for (j = 0; j < 20; j = j + 1) {
+			s = 0;
+			for (k = 0; k < 20; k = k + 1) s = s + a[i][k] * b[k][j];
+			c[i][j] = s;
+		}
+	}
+	s = 0;
+	for (i = 0; i < 20; i = i + 1) s = (s + c[i][i]) % 65536;
+	print(s);
+	return 0;
+}`)
+	differential(t, `
+int seed;
+int nextrand() {
+	seed = seed * 1103515245 + 12345;
+	if (seed < 0) seed = -seed;
+	return seed;
+}
+int main() {
+	int i;
+	int acc;
+	seed = 7;
+	acc = 0;
+	for (i = 0; i < 500; i = i + 1) acc = (acc + nextrand() % 977) % 100000;
+	print(acc);
+	return 0;
+}`)
+}
+
+func TestInterpStepGuard(t *testing.T) {
+	prog, err := Parse(`int main() { while (1) {} return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(prog)
+	in.MaxSteps = 10_000
+	if _, _, err := in.Run(); err == nil {
+		t.Fatal("infinite loop must trip MaxSteps")
+	}
+}

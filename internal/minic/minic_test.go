@@ -1,0 +1,500 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"databreak/internal/asm"
+	"databreak/internal/cache"
+	"databreak/internal/machine"
+)
+
+// run compiles, assembles, and executes src, returning output and exit code.
+func run(t *testing.T, src string) (string, int32) {
+	t.Helper()
+	asmSrc, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	u, err := asm.Parse("prog.s", asmSrc)
+	if err != nil {
+		t.Fatalf("assemble parse: %v\n%s", err, numbered(asmSrc))
+	}
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+	prog.Load(m)
+	code, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, numbered(asmSrc))
+	}
+	return m.Output(), code
+}
+
+func numbered(s string) string {
+	lines := strings.Split(s, "\n")
+	var b strings.Builder
+	for i, l := range lines {
+		b.WriteString(strings.TrimRight(l, " "))
+		if i > 400 {
+			b.WriteString("\n...")
+			break
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestReturnConstant(t *testing.T) {
+	_, code := run(t, `int main() { return 42; }`)
+	if code != 42 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	out, code := run(t, `
+int main() {
+	print(2 + 3 * 4);
+	print(10 - 7);
+	print(100 / 7);
+	print(100 % 7);
+	print(-5);
+	print(~0);
+	print(1 << 10);
+	print(-16 >> 2);
+	print(12 & 10);
+	print(12 | 10);
+	print(12 ^ 10);
+	return 0;
+}`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	want := "14\n3\n14\n2\n-5\n-1\n1024\n-4\n8\n14\n6\n"
+	if out != want {
+		t.Fatalf("output = %q, want %q", out, want)
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	out, _ := run(t, `
+int main() {
+	print(3 < 4);
+	print(4 < 3);
+	print(3 <= 3);
+	print(5 > 2);
+	print(5 >= 6);
+	print(3 == 3);
+	print(3 != 3);
+	print(1 && 0);
+	print(1 && 2);
+	print(0 || 0);
+	print(0 || 7);
+	print(!5);
+	print(!0);
+	return 0;
+}`)
+	want := "1\n0\n1\n1\n0\n1\n0\n0\n1\n0\n1\n0\n1\n"
+	if out != want {
+		t.Fatalf("output = %q, want %q", out, want)
+	}
+}
+
+func TestLocalsAndAssignment(t *testing.T) {
+	out, _ := run(t, `
+int main() {
+	int x;
+	int y;
+	x = 10;
+	y = x * 2;
+	x = x + y;
+	print(x);
+	print(y);
+	return 0;
+}`)
+	if out != "30\n20\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestGlobalsWithInit(t *testing.T) {
+	out, _ := run(t, `
+int counter = 5;
+int bare;
+int main() {
+	bare = counter + 1;
+	counter = counter * 10;
+	print(counter);
+	print(bare);
+	return 0;
+}`)
+	if out != "50\n6\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out, _ := run(t, `
+int main() {
+	int i;
+	int sum;
+	sum = 0;
+	for (i = 1; i <= 10; i = i + 1) {
+		sum = sum + i;
+	}
+	print(sum);
+	i = 0;
+	while (i < 5) {
+		i = i + 1;
+		if (i == 3) continue;
+		if (i == 5) break;
+		print(i);
+	}
+	if (sum > 50) { print(1); } else { print(2); }
+	return 0;
+}`)
+	want := "55\n1\n2\n4\n1\n"
+	if out != want {
+		t.Fatalf("output = %q, want %q", out, want)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	out, code := run(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int add3(int a, int b, int c) { return a + b + c; }
+int main() {
+	print(fib(10));
+	print(add3(1, 2, 3));
+	return fib(7);
+}`)
+	if out != "55\n6\n" || code != 13 {
+		t.Fatalf("output = %q code = %d", out, code)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	out, _ := run(t, `
+int a[10];
+int main() {
+	int i;
+	int local[4];
+	for (i = 0; i < 10; i = i + 1) a[i] = i * i;
+	for (i = 0; i < 4; i = i + 1) local[i] = a[i + 2];
+	print(a[9]);
+	print(local[0]);
+	print(local[3]);
+	return 0;
+}`)
+	if out != "81\n4\n25\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestPointers(t *testing.T) {
+	out, _ := run(t, `
+int g;
+int main() {
+	int x;
+	int *p;
+	int a[3];
+	p = &x;
+	*p = 7;
+	print(x);
+	p = &g;
+	*p = 9;
+	print(g);
+	p = a;
+	p[0] = 1;
+	*(p + 1) = 2;
+	a[2] = p[0] + p[1];
+	print(a[2]);
+	return 0;
+}`)
+	if out != "7\n9\n3\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestStructs(t *testing.T) {
+	out, _ := run(t, `
+struct Point { int x; int y; };
+struct Rect { struct Point min; struct Point max; };
+struct Point origin;
+int main() {
+	struct Rect r;
+	struct Point *p;
+	r.min.x = 1;
+	r.min.y = 2;
+	r.max.x = 10;
+	r.max.y = 20;
+	print(r.max.y - r.min.y);
+	p = &r.min;
+	p->x = 100;
+	print(r.min.x);
+	origin.x = 5;
+	print(origin.x);
+	return 0;
+}`)
+	if out != "18\n100\n5\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestHeapAllocation(t *testing.T) {
+	out, _ := run(t, `
+struct Node { int val; struct Node *next; };
+int main() {
+	struct Node *head;
+	struct Node *n;
+	int i;
+	int sum;
+	head = 0;
+	for (i = 1; i <= 5; i = i + 1) {
+		n = alloc(sizeof(struct Node));
+		n->val = i;
+		n->next = head;
+		head = n;
+	}
+	sum = 0;
+	n = head;
+	while (n != 0) {
+		sum = sum + n->val;
+		n = n->next;
+	}
+	print(sum);
+	return 0;
+}`)
+	if out != "15\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestRegisterVariables(t *testing.T) {
+	src := `
+int main() {
+	register int i;
+	register int sum;
+	sum = 0;
+	for (i = 0; i < 100; i = i + 1) sum = sum + i;
+	print(sum);
+	return 0;
+}`
+	out, _ := run(t, src)
+	if out != "4950\n" {
+		t.Fatalf("output = %q", out)
+	}
+	// Register variables must not generate stack traffic for themselves:
+	// the emitted code must contain no %fp-relative stores.
+	asmSrc, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(asmSrc, "[%fp") {
+		t.Fatalf("register-only function emitted frame accesses:\n%s", asmSrc)
+	}
+}
+
+func TestCallClobberSpill(t *testing.T) {
+	// f(x) results must survive across later calls in one expression.
+	out, _ := run(t, `
+int id(int x) { return x; }
+int main() {
+	print(id(1) + id(2) + id(3));
+	print(id(10) * id(20) - id(5));
+	return 0;
+}`)
+	if out != "6\n195\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestDeepExpressions(t *testing.T) {
+	out, _ := run(t, `
+int main() {
+	print((1 + (2 * (3 + (4 * (5 + (6 * 7)))))));
+	print(((((((1 + 2) + 3) + 4) + 5) + 6) + 7));
+	return 0;
+}`)
+	if out != "383\n28\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestStringsAndChars(t *testing.T) {
+	out, _ := run(t, `
+int main() {
+	prints("hello\n");
+	printc('A');
+	printc('\n');
+	print('0');
+	return 0;
+}`)
+	if out != "hello\nA\n48\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	out, _ := run(t, `
+struct Pair { int a; int b; };
+int main() {
+	print(sizeof(int));
+	print(sizeof(int*));
+	print(sizeof(struct Pair));
+	return 0;
+}`)
+	if out != "4\n4\n8\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	out, _ := run(t, `
+int main() {
+	int *p;
+	int *q;
+	p = alloc(16);
+	p[0] = 11;
+	free(p);
+	q = alloc(16);
+	print(p == q);
+	return 0;
+}`)
+	if out != "1\n" {
+		t.Fatalf("allocator should reuse the freed block: %q", out)
+	}
+}
+
+func TestStabsEmitted(t *testing.T) {
+	asmSrc, err := Compile(`
+int g[4];
+int f(int a) { int loc; loc = a; return loc; }
+int main() { return f(1); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`.stabs "g", global, g, 16`,
+		`.stabs "f", func, f, 0`,
+		`.stabs "loc", local, %fp`,
+		`.stabs "a", param, %fp`,
+	} {
+		if !strings.Contains(asmSrc, want) {
+			t.Errorf("missing symbol record %q in:\n%s", want, asmSrc)
+		}
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`int main() { return x; }`, "undefined variable"},
+		{`int main() { return f(); }`, "undefined function"},
+		{`int f(int a) { return a; } int main() { return f(); }`, "takes 1 arguments"},
+		{`int main() { int x; x = "s"; return 0; }`, "cannot assign"},
+		{`int main() { 3 = 4; return 0; }`, "non-lvalue"},
+		{`int main() { register int r; return &r == 0; }`, "register variable"},
+		{`int main() { break; }`, "break outside"},
+		{`int x; int x; int main() { return 0; }`, "redefined"},
+		{`int main() { int y; int y; return 0; }`, "redeclared"},
+		{`int f() { return 0; }`, "no main"},
+		{`struct S { int a; }; int main() { struct S s; s.b = 1; return 0; }`, "no field"},
+		{`int main() { int *p; return *p + p; }`, "cannot return"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q) error = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`int main( { return 0; }`,
+		`int main() { return 0 }`,
+		`int main() { if return; }`,
+		`int 3x; int main(){return 0;}`,
+		`int main() { return "unterminated; }`,
+		`int a[0]; int main(){return 0;}`,
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestPointerArithScaling(t *testing.T) {
+	out, _ := run(t, `
+struct Big { int a; int b; int c; };
+struct Big arr[4];
+int main() {
+	struct Big *p;
+	p = arr;
+	p = p + 2;
+	p->a = 77;
+	print(arr[2].a);
+	print(p - 1 == &arr[1]);
+	return 0;
+}`)
+	if out != "77\n1\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	out, _ := run(t, `
+int x = 1;
+int main() {
+	int x;
+	x = 2;
+	{
+		int x;
+		x = 3;
+		print(x);
+	}
+	print(x);
+	return 0;
+}`)
+	if out != "3\n2\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestLargeLocalArrayFrame(t *testing.T) {
+	// Frame larger than simm13 forces the set/save path and wide fp offsets.
+	out, _ := run(t, `
+int main() {
+	int big[2000];
+	int i;
+	for (i = 0; i < 2000; i = i + 1) big[i] = i;
+	print(big[1999]);
+	print(big[0]);
+	return 0;
+}`)
+	if out != "1999\n0\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestCharLiteralsAndComments(t *testing.T) {
+	out, _ := run(t, `
+// line comment
+/* block
+   comment */
+int main() {
+	print('a' - 'A'); // 32
+	return 0;
+}`)
+	if out != "32\n" {
+		t.Fatalf("output = %q", out)
+	}
+}

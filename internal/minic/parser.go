@@ -1,0 +1,657 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	toks    []Token
+	pos     int
+	structs map[string]*StructInfo
+	prog    *Program
+}
+
+// Parse lexes and parses src into a Program (no semantic checking yet).
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:    toks,
+		structs: make(map[string]*StructInfo),
+		prog:    &Program{},
+	}
+	for !p.at(TokEOF, "") {
+		if err := p.parseTopLevel(); err != nil {
+			return nil, err
+		}
+	}
+	return p.prog, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[TokKind]string{TokIdent: "identifier", TokNumber: "number"}[kind]
+	}
+	return Token{}, fmt.Errorf("line %d: expected %s, found %s", p.cur().Line, want, p.cur())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: "+format, append([]any{p.cur().Line}, args...)...)
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *parser) isTypeStart() bool {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	return t.Text == "int" || t.Text == "void" || t.Text == "struct" || t.Text == "register"
+}
+
+// parseTypeSpec parses "int" | "void" | "struct NAME".
+func (p *parser) parseTypeSpec() (*Type, error) {
+	switch {
+	case p.accept(TokKeyword, "int"):
+		return intType, nil
+	case p.accept(TokKeyword, "void"):
+		return voidType, nil
+	case p.accept(TokKeyword, "struct"):
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		si, ok := p.structs[name.Text]
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown struct %q", name.Line, name.Text)
+		}
+		return &Type{Kind: TypeStruct, Struct: si}, nil
+	}
+	return nil, p.errf("expected a type, found %s", p.cur())
+}
+
+// parseStars wraps t in pointer types for each leading '*'.
+func (p *parser) parseStars(t *Type) *Type {
+	for p.accept(TokPunct, "*") {
+		t = &Type{Kind: TypePtr, Elem: t}
+	}
+	return t
+}
+
+// parseArraySuffix appends array dimensions after the identifier.
+func (p *parser) parseArraySuffix(t *Type) (*Type, error) {
+	var dims []int32
+	for p.accept(TokPunct, "[") {
+		n, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		if n.Val <= 0 {
+			return nil, fmt.Errorf("line %d: array length must be positive", n.Line)
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		dims = append(dims, n.Val)
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = &Type{Kind: TypeArray, Elem: t, Len: dims[i]}
+	}
+	return t, nil
+}
+
+func (p *parser) parseTopLevel() error {
+	if p.at(TokKeyword, "struct") && p.toks[p.pos+2].Kind == TokPunct && p.toks[p.pos+2].Text == "{" {
+		return p.parseStructDecl()
+	}
+	reg := p.accept(TokKeyword, "register")
+	base, err := p.parseTypeSpec()
+	if err != nil {
+		return err
+	}
+	t := p.parseStars(base)
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return err
+	}
+	if p.at(TokPunct, "(") {
+		if reg {
+			return fmt.Errorf("line %d: register on a function", name.Line)
+		}
+		return p.parseFuncRest(t, name)
+	}
+	// Global variable declaration (possibly a list).
+	for {
+		vt, err := p.parseArraySuffix(t)
+		if err != nil {
+			return err
+		}
+		if vt.Kind == TypeVoid {
+			return fmt.Errorf("line %d: variable %q has void type", name.Line, name.Text)
+		}
+		vd := &VarDecl{Name: name.Text, Type: vt, Register: reg, Line: name.Line}
+		if p.accept(TokPunct, "=") {
+			e, err := p.parseAssign()
+			if err != nil {
+				return err
+			}
+			vd.Init = e
+		}
+		p.prog.Globals = append(p.prog.Globals, vd)
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+		t = p.parseStars(base)
+		name, err = p.expect(TokIdent, "")
+		if err != nil {
+			return err
+		}
+	}
+	_, err = p.expect(TokPunct, ";")
+	return err
+}
+
+func (p *parser) parseStructDecl() error {
+	p.next() // struct
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return err
+	}
+	if _, dup := p.structs[name.Text]; dup {
+		return fmt.Errorf("line %d: struct %q redefined", name.Line, name.Text)
+	}
+	si := &StructInfo{Name: name.Text}
+	p.structs[name.Text] = si // visible for self-referential pointers
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return err
+	}
+	off := int32(0)
+	for !p.accept(TokPunct, "}") {
+		base, err := p.parseTypeSpec()
+		if err != nil {
+			return err
+		}
+		for {
+			ft := p.parseStars(base)
+			fname, err := p.expect(TokIdent, "")
+			if err != nil {
+				return err
+			}
+			ft, err = p.parseArraySuffix(ft)
+			if err != nil {
+				return err
+			}
+			if ft.Kind == TypeVoid {
+				return fmt.Errorf("line %d: field %q has void type", fname.Line, fname.Text)
+			}
+			if ft.Kind == TypeStruct && ft.Struct == si {
+				return fmt.Errorf("line %d: struct %q contains itself", fname.Line, name.Text)
+			}
+			if _, dup := si.FieldByName(fname.Text); dup {
+				return fmt.Errorf("line %d: duplicate field %q", fname.Line, fname.Text)
+			}
+			si.Fields = append(si.Fields, Field{Name: fname.Text, Type: ft, Off: off})
+			off += ft.Size()
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return err
+		}
+	}
+	si.Size = (off + 3) &^ 3
+	if si.Size == 0 {
+		si.Size = 4
+	}
+	p.prog.Structs = append(p.prog.Structs, si)
+	_, err = p.expect(TokPunct, ";")
+	return err
+}
+
+func (p *parser) parseFuncRest(ret *Type, name Token) error {
+	fd := &FuncDecl{Name: name.Text, Ret: ret, Line: name.Line}
+	p.next() // (
+	if !p.accept(TokPunct, ")") {
+		if p.at(TokKeyword, "void") && p.toks[p.pos+1].Text == ")" {
+			p.next()
+			p.next()
+		} else {
+			for {
+				base, err := p.parseTypeSpec()
+				if err != nil {
+					return err
+				}
+				pt := p.parseStars(base)
+				pname, err := p.expect(TokIdent, "")
+				if err != nil {
+					return err
+				}
+				pt, err = p.parseArraySuffix(pt)
+				if err != nil {
+					return err
+				}
+				// Arrays decay to pointers in parameters.
+				if pt.Kind == TypeArray {
+					pt = &Type{Kind: TypePtr, Elem: pt.Elem}
+				}
+				if pt.Kind == TypeVoid {
+					return fmt.Errorf("line %d: parameter %q has void type", pname.Line, pname.Text)
+				}
+				fd.Params = append(fd.Params, &VarDecl{Name: pname.Text, Type: pt, Line: pname.Line})
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return err
+			}
+		}
+	}
+	if len(fd.Params) > 6 {
+		return fmt.Errorf("line %d: function %q has more than 6 parameters", name.Line, name.Text)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	fd.Body = body
+	p.prog.Funcs = append(p.prog.Funcs, fd)
+	return nil
+}
+
+func (p *parser) parseBlock() (*Stmt, error) {
+	open, err := p.expect(TokPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	blk := &Stmt{Kind: StmtBlock, Line: open.Line}
+	for !p.accept(TokPunct, "}") {
+		if p.at(TokEOF, "") {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.List = append(blk.List, s)
+	}
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(TokPunct, "{"):
+		return p.parseBlock()
+
+	case p.at(TokPunct, ";"):
+		p.next()
+		return &Stmt{Kind: StmtEmpty, Line: t.Line}, nil
+
+	case p.isTypeStart():
+		// Local declaration; possibly a comma list, desugared into a block.
+		reg := p.accept(TokKeyword, "register")
+		base, err := p.parseTypeSpec()
+		if err != nil {
+			return nil, err
+		}
+		var decls []*Stmt
+		for {
+			vt := p.parseStars(base)
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			vt, err = p.parseArraySuffix(vt)
+			if err != nil {
+				return nil, err
+			}
+			if vt.Kind == TypeVoid {
+				return nil, fmt.Errorf("line %d: variable %q has void type", name.Line, name.Text)
+			}
+			vd := &VarDecl{Name: name.Text, Type: vt, Register: reg, Line: name.Line}
+			if p.accept(TokPunct, "=") {
+				e, err := p.parseAssign()
+				if err != nil {
+					return nil, err
+				}
+				vd.Init = e
+			}
+			decls = append(decls, &Stmt{Kind: StmtDecl, Decl: vd, Line: name.Line})
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if len(decls) == 1 {
+			return decls[0], nil
+		}
+		return &Stmt{Kind: StmtBlock, List: decls, Line: t.Line}, nil
+
+	case p.accept(TokKeyword, "if"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: StmtIf, X: cond, Then: then, Line: t.Line}
+		if p.accept(TokKeyword, "else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+		return s, nil
+
+	case p.accept(TokKeyword, "while"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtWhile, X: cond, Body: body, Line: t.Line}, nil
+
+	case p.accept(TokKeyword, "for"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: StmtFor, Line: t.Line}
+		if !p.at(TokPunct, ";") {
+			if p.isTypeStart() {
+				return nil, p.errf("declarations in for-init are not supported")
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &Stmt{Kind: StmtExpr, X: e, Line: t.Line}
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(TokPunct, ";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = cond
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(TokPunct, ")") {
+			post, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Post = post
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return s, nil
+
+	case p.accept(TokKeyword, "return"):
+		s := &Stmt{Kind: StmtReturn, Line: t.Line}
+		if !p.at(TokPunct, ";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = e
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case p.accept(TokKeyword, "break"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtBreak, Line: t.Line}, nil
+
+	case p.accept(TokKeyword, "continue"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtContinue, Line: t.Line}, nil
+
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtExpr, X: e, Line: t.Line}, nil
+	}
+}
+
+// --- Expressions (precedence climbing) ---
+
+func (p *parser) parseExpr() (*Expr, error) { return p.parseAssign() }
+
+func (p *parser) parseAssign() (*Expr, error) {
+	lhs, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TokPunct, "=") {
+		line := p.next().Line
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprAssign, X: lhs, Y: rhs, Line: line}, nil
+	}
+	return lhs, nil
+}
+
+// binary operator precedence levels, loosest first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseBinary(level int) (*Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range binLevels[level] {
+			if p.at(TokPunct, op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return lhs, nil
+		}
+		line := p.next().Line
+		rhs, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: ExprBinary, Op: matched, X: lhs, Y: rhs, Line: line}
+	}
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	for _, op := range []string{"-", "!", "~", "*", "&"} {
+		if p.at(TokPunct, op) {
+			line := p.next().Line
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExprUnary, Op: op, X: x, Line: line}, nil
+		}
+	}
+	if p.at(TokKeyword, "sizeof") {
+		line := p.next().Line
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		base, err := p.parseTypeSpec()
+		if err != nil {
+			return nil, err
+		}
+		t := p.parseStars(base)
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprSizeof, SizeofType: t, Line: line}, nil
+	}
+	return p.parsePostfix()
+}
+
+var builtinNames = map[string]bool{
+	"print": true, "printc": true, "prints": true, "alloc": true, "free": true,
+}
+
+func (p *parser) parsePostfix() (*Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokPunct, "["):
+			line := p.next().Line
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: ExprIndex, X: e, Y: idx, Line: line}
+		case p.at(TokPunct, "."):
+			line := p.next().Line
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: ExprField, X: e, Name: name.Text, Line: line}
+		case p.at(TokPunct, "->"):
+			line := p.next().Line
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: ExprArrow, X: e, Name: name.Text, Line: line}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		return &Expr{Kind: ExprNum, Val: t.Val, Line: t.Line}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &Expr{Kind: ExprStr, Str: t.Text, Line: t.Line}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.at(TokPunct, "(") {
+			p.next()
+			var args []*Expr
+			if !p.accept(TokPunct, ")") {
+				for {
+					a, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(TokPunct, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			kind := ExprCall
+			if builtinNames[t.Text] {
+				kind = ExprBuiltin
+			}
+			return &Expr{Kind: kind, Name: t.Text, Args: args, Line: t.Line}, nil
+		}
+		return &Expr{Kind: ExprIdent, Name: t.Text, Line: t.Line}, nil
+	case p.accept(TokPunct, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("expected an expression, found %s", t)
+}

@@ -1,0 +1,219 @@
+// Package minic implements a small C-like language compiler targeting the
+// SPARC-subset ISA, standing in for the Sun C and FORTRAN compilers in the
+// paper's pipeline. It emits the naive, debugging-style code the paper
+// assumes — every variable lives in memory at a %fp-relative or absolute
+// address, every access is an explicit load or store — together with
+// STAB-style symbol records that the symbol-table pattern matcher of §4.2
+// consumes. A `register` storage class keeps a variable in a register (as
+// SPEC's espresso and gcc use heavily), which removes both the need and the
+// opportunity for write-check optimization on it.
+package minic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int32 // for TokNumber
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokNumber:
+		return fmt.Sprintf("number %d", t.Val)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "struct": true, "register": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+}
+
+// multi-character operators, longest first.
+var punctuators = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ",", ";", ".",
+}
+
+// Lex tokenizes src. It returns an error with a line number on any invalid
+// input.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("line %d: unterminated block comment", line)
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (isIdentChar(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			base := int32(10)
+			if c == '0' && j+1 < len(src) && (src[j+1] == 'x' || src[j+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			var v int64
+			start := j
+			for j < len(src) && isDigit(src[j], base) {
+				v = v*int64(base) + int64(digitVal(src[j]))
+				if v > 1<<32 {
+					return nil, fmt.Errorf("line %d: integer constant too large", line)
+				}
+				j++
+			}
+			if base == 16 && j == start {
+				return nil, fmt.Errorf("line %d: malformed hex constant", line)
+			}
+			toks = append(toks, Token{Kind: TokNumber, Val: int32(v), Text: src[i:j], Line: line})
+			i = j
+		case c == '\'':
+			if i+2 < len(src) && src[i+1] == '\\' {
+				v, ok := escapeChar(src[i+2])
+				if !ok || i+3 >= len(src) || src[i+3] != '\'' {
+					return nil, fmt.Errorf("line %d: bad character literal", line)
+				}
+				toks = append(toks, Token{Kind: TokNumber, Val: int32(v), Text: src[i : i+4], Line: line})
+				i += 4
+			} else if i+2 < len(src) && src[i+2] == '\'' {
+				toks = append(toks, Token{Kind: TokNumber, Val: int32(src[i+1]), Text: src[i : i+3], Line: line})
+				i += 3
+			} else {
+				return nil, fmt.Errorf("line %d: bad character literal", line)
+			}
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					v, ok := escapeChar(src[j+1])
+					if !ok {
+						return nil, fmt.Errorf("line %d: bad escape in string", line)
+					}
+					sb.WriteByte(v)
+					j += 2
+					continue
+				}
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("line %d: newline in string literal", line)
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("line %d: unterminated string literal", line)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Line: line})
+			i = j + 1
+		default:
+			matched := false
+			for _, p := range punctuators {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isDigit(c byte, base int32) bool {
+	if base == 16 {
+		return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+	}
+	return c >= '0' && c <= '9'
+}
+
+func digitVal(c byte) int32 {
+	switch {
+	case c >= '0' && c <= '9':
+		return int32(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int32(c-'a') + 10
+	default:
+		return int32(c-'A') + 10
+	}
+}
+
+func escapeChar(c byte) (byte, bool) {
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	}
+	return 0, false
+}

@@ -1,0 +1,82 @@
+// Package monitor implements the runtime half of the monitored region
+// service for simulated programs: the segmented bitmap and range summary
+// structures living inside the debuggee's (simulated) address space, the
+// hand-written assembly check routines that the patching tool links into the
+// program, and the Go-side "debugger" operations that create and delete
+// monitored regions by editing those structures directly.
+//
+// This mirrors the paper's architecture: "For efficiency, the monitor
+// library data structures are maintained in the address space of the program
+// being debugged." Address lookups executed by check code are therefore real
+// loads that travel through the simulated cache, so their cost — and the
+// cache effects of §3.3.1 — emerge from the machine model rather than being
+// asserted.
+package monitor
+
+import "fmt"
+
+// Layout fixes where monitor data structures live in the simulated address
+// space (above machine.MonBase, far from program text, data, heap, stack).
+//
+// The shared zeroed bitmap segment is page zero of the address space: a
+// segment-table entry of 0 is thus a valid pointer to an always-zero
+// segment, which lets the table start life all-zeros without a 32 MB
+// initialization pass — the same trick as lazily mapped zero pages.
+const (
+	// SegTableBase is the segment table: one word per segment of the 2^32
+	// address space.
+	SegTableBase uint32 = 0x8000_0000
+	// Summary bitmap levels for range checks: one bit per 2^shift bytes.
+	SummaryL9Base  uint32 = 0x8400_0000 // shift 9: 1 MB of bits
+	SummaryL14Base uint32 = 0x8480_0000 // shift 14: 32 KB
+	SummaryL19Base uint32 = 0x8490_0000 // shift 19: 1 KB
+	// FpScratch is the word used by %fp-definition check sequences.
+	FpScratch uint32 = 0x84A0_0000
+	// SegArenaBase is where private bitmap segments are allocated.
+	SegArenaBase uint32 = 0x8500_0000
+	// HashBase is the bucket array of the pilot-study hash table (head
+	// pointers); entry records are allocated after it.
+	HashBase      uint32 = 0x8600_0000
+	HashArenaBase uint32 = 0x8601_0000
+	// HashBuckets is the bucket count (power of two).
+	HashBuckets uint32 = 1024
+)
+
+// Config selects the bitmap geometry and entry encoding.
+type Config struct {
+	// SegWords is the number of program words per bitmap segment (power of
+	// two, >= 32). The paper uses 128.
+	SegWords uint32
+	// Flags, when set, stores the paper's monitored/unmonitored flag in the
+	// low bit of each segment-table entry (entry = segment pointer | 1 when
+	// the segment holds monitored words). Segment-caching write checks need
+	// the flag; the plain bitmap lookup wants clean pointers so its 12
+	// instruction sequence can use the entry directly.
+	Flags bool
+}
+
+// DefaultConfig is the paper's choice: 128-word segments.
+var DefaultConfig = Config{SegWords: 128, Flags: false}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.SegWords < 32 || c.SegWords&(c.SegWords-1) != 0 {
+		return fmt.Errorf("monitor: SegWords must be a power of two >= 32, got %d", c.SegWords)
+	}
+	if c.SegWords > 1<<14 {
+		return fmt.Errorf("monitor: SegWords too large (%d)", c.SegWords)
+	}
+	return nil
+}
+
+// SegShift returns log2 of the segment size in bytes.
+func (c Config) SegShift() uint32 {
+	s := uint32(0)
+	for b := c.SegWords * 4; b > 1; b >>= 1 {
+		s++
+	}
+	return s
+}
+
+// SegBytesPerBitmap returns the byte size of one private segment's bitmap.
+func (c Config) SegBytesPerBitmap() uint32 { return c.SegWords / 8 }

@@ -1,0 +1,261 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Register conventions shared by the monitor library and the check sequences
+// emitted by internal/patch (see §2 and §3.1 of the paper):
+//
+//	%g4  segment table base (register-reserving and caching variants)
+//	%g5  target address of the checked write (all variants)
+//	%g6  global disabled flag (nonzero = no data breakpoints active)
+//	%g7  check-in-progress flag
+//	%g1  STACK segment cache  / scratch for BitmapInlineRegisters
+//	%g2  BSS segment cache (shared with BSS-VAR) / range-check site id / scratch
+//	%g3  HEAP segment cache / range-check upper bound / scratch
+//	%l6,%l7  scratch reserved from the compiler for inline sequences
+//
+// The check routines below are the "hand coded assembly" of §3.3; they are
+// assembled and linked into the debuggee by the patching tool.
+
+// trap numbers (mirrors machine.Trap*; kept literal so the generated source
+// stands alone).
+const (
+	trapHit4     = 6
+	trapHit8     = 7
+	trapRangeHit = 8
+	trapRead4    = 10
+	trapRead8    = 11
+)
+
+// Span thresholds for range-check level selection: the largest span whose
+// summary-word walk at that level touches at most three words.
+const (
+	spanL9  = 64 * (1 << 9)  // 32 KB
+	spanL14 = 64 * (1 << 14) // 1 MB
+)
+
+// LibrarySource generates the monitor library assembly for the given
+// geometry. It contains:
+//
+//	__mrs_check_w, __mrs_check_d       plain segmented-bitmap lookup (called)
+//	__mrs_miss_{stack,bss,heap}_{w,d}  segment-cache miss slow paths (called)
+//	__mrs_licheck_w                    loop-invariant pre-header check
+//	__mrs_range                        monotonic-write range check
+func LibrarySource(cfg Config) string {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	segShift := cfg.SegShift()
+	wmask := cfg.SegWords - 1
+	var b strings.Builder
+	p := func(format string, args ...any) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+
+	p("! Monitor library (generated): segment size %d words", cfg.SegWords)
+	p("\t.text")
+
+	// Plain bitmap lookup, procedure-call flavor. Word and double variants
+	// differ only in the tested bit mask and the trap number.
+	lookup := func(name string, mask, trap int, maskEntry bool) {
+		p("%s:", name)
+		p("\tsave %%sp, -96, %%sp")
+		p("\tmov 1, %%g7")
+		p("\tsrl %%g5, %d, %%l0", segShift)
+		p("\tsll %%l0, 2, %%l0")
+		p("\tset %d, %%l1", SegTableBase)
+		p("\tadd %%l1, %%l0, %%l0")
+		p("\tld [%%l0], %%l1")
+		if maskEntry {
+			p("\tandn %%l1, 1, %%l1")
+		}
+		p("\tsrl %%g5, 2, %%l2")
+		p("\tand %%l2, %d, %%l2", wmask)
+		p("\tsrl %%l2, 5, %%l3")
+		p("\tsll %%l3, 2, %%l3")
+		p("\tadd %%l1, %%l3, %%l3")
+		p("\tld [%%l3], %%l3")
+		p("\tsrl %%l3, %%l2, %%l3")
+		p("\tandcc %%l3, %d, %%g0", mask)
+		p("\tbe %s_out", name)
+		p("\tta %d", trap)
+		p("%s_out:", name)
+		p("\tmov 0, %%g7")
+		p("\trestore")
+		p("\tretl")
+	}
+	// In the plain-bitmap configuration table entries are clean pointers;
+	// with Flags set the low bit must be masked (one extra instruction, the
+	// price of supporting segment caching).
+	lookup("__mrs_check_w", 1, trapHit4, cfg.Flags)
+	lookup("__mrs_check_d", 3, trapHit8, cfg.Flags)
+	// Read-monitoring variants (§5 extension): identical lookup, read trap.
+	lookup("__mrs_checkrd_w", 1, trapRead4, cfg.Flags)
+	lookup("__mrs_checkrd_d", 3, trapRead8, cfg.Flags)
+
+	// Segment-cache miss slow paths: one per write type so each can update
+	// its own reserved cache register.
+	type cacheKind struct {
+		name string
+		reg  string
+	}
+	for _, ck := range []cacheKind{{"stack", "%g1"}, {"bss", "%g2"}, {"heap", "%g3"}} {
+		for _, sz := range []struct {
+			suffix string
+			mask   int
+			trap   int
+		}{
+			{"w", 1, trapHit4}, {"d", 3, trapHit8},
+			{"rd_w", 1, trapRead4}, {"rd_d", 3, trapRead8},
+		} {
+			name := fmt.Sprintf("__mrs_miss_%s_%s", ck.name, sz.suffix)
+			p("%s:", name)
+			p("\tsave %%sp, -96, %%sp")
+			p("\tmov 1, %%g7")
+			p("\tsrl %%g5, %d, %%l0", segShift)
+			p("\tsll %%l0, 2, %%l1")
+			p("\tset %d, %%l2", SegTableBase)
+			p("\tadd %%l2, %%l1, %%l1")
+			p("\tld [%%l1], %%l2")
+			p("\tandcc %%l2, 1, %%g0")
+			p("\tbne %s_full", name)
+			p("\tmov %%l0, %s", ck.reg) // unmonitored: cache this segment
+			p("\tba %s_out", name)
+			p("%s_full:", name)
+			p("\tandn %%l2, 1, %%l2")
+			p("\tsrl %%g5, 2, %%l3")
+			p("\tand %%l3, %d, %%l3", wmask)
+			p("\tsrl %%l3, 5, %%l4")
+			p("\tsll %%l4, 2, %%l4")
+			p("\tadd %%l2, %%l4, %%l4")
+			p("\tld [%%l4], %%l4")
+			p("\tsrl %%l4, %%l3, %%l4")
+			p("\tandcc %%l4, %d, %%g0", sz.mask)
+			p("\tbe %s_out", name)
+			p("\tta %d", sz.trap)
+			p("%s_out:", name)
+			p("\tmov 0, %%g7")
+			p("\trestore")
+			p("\tretl")
+		}
+	}
+
+	// Loop-invariant pre-header check: a plain lookup of %g5, but a
+	// monitored word means "re-insert the eliminated checks for site %g2"
+	// (trap 8), not a monitor hit — no write has happened yet.
+	p("__mrs_licheck_w:")
+	p("\tsave %%sp, -96, %%sp")
+	p("\tmov 1, %%g7")
+	p("\tsrl %%g5, %d, %%l0", segShift)
+	p("\tsll %%l0, 2, %%l0")
+	p("\tset %d, %%l1", SegTableBase)
+	p("\tadd %%l1, %%l0, %%l0")
+	p("\tld [%%l0], %%l1")
+	if cfg.Flags {
+		p("\tandn %%l1, 1, %%l1")
+	}
+	p("\tsrl %%g5, 2, %%l2")
+	p("\tand %%l2, %d, %%l2", wmask)
+	p("\tsrl %%l2, 5, %%l3")
+	p("\tsll %%l3, 2, %%l3")
+	p("\tadd %%l1, %%l3, %%l3")
+	p("\tld [%%l3], %%l3")
+	p("\tsrl %%l3, %%l2, %%l3")
+	p("\tandcc %%l3, 1, %%g0")
+	p("\tbe __mrs_licheck_w_out")
+	p("\tmov %%g2, %%o0")
+	p("\tta %d", trapRangeHit)
+	p("__mrs_licheck_w_out:")
+	p("\tmov 0, %%g7")
+	p("\trestore")
+	p("\tretl")
+
+	// Pilot-study hash-table lookup (ASPLOS 1992 baseline): hash the target
+	// address's 32-byte granule to a bucket of region records and walk the
+	// chain. Several dependent memory accesses per check are exactly why the
+	// paper replaced this structure with the segmented bitmap.
+	for _, sz := range []struct {
+		suffix string
+		trap   int
+	}{{"w", trapHit4}, {"d", trapHit8}} {
+		name := "__mrs_hash_" + sz.suffix
+		p("%s:", name)
+		p("\tsave %%sp, -96, %%sp")
+		p("\tmov 1, %%g7")
+		p("\tsrl %%g5, 5, %%l0")
+		p("\tset 40503, %%l1")
+		p("\tsmul %%l0, %%l1, %%l0")
+		p("\tand %%l0, %d, %%l0", HashBuckets-1)
+		p("\tsll %%l0, 2, %%l0")
+		p("\tset %d, %%l1", HashBase)
+		p("\tadd %%l1, %%l0, %%l0")
+		p("\tld [%%l0], %%l1")
+		p("%s_loop:", name)
+		p("\ttst %%l1")
+		p("\tbe %s_out", name)
+		p("\tld [%%l1], %%l2")
+		p("\tcmp %%g5, %%l2")
+		p("\tblu %s_next", name)
+		p("\tld [%%l1+4], %%l2")
+		p("\tcmp %%g5, %%l2")
+		p("\tbgeu %s_next", name)
+		p("\tta %d", sz.trap)
+		p("\tba %s_out", name)
+		p("%s_next:", name)
+		p("\tld [%%l1+8], %%l1")
+		p("\tba %s_loop", name)
+		p("%s_out:", name)
+		p("\tmov 0, %%g7")
+		p("\trestore")
+		p("\tretl")
+	}
+
+	// Range check: lower bound in %g5, upper bound in %g1, site id in %g2.
+	// Picks the finest summary level whose word walk is at most three words,
+	// then tests whole summary words (conservatively unmasked at the ends).
+	p("__mrs_range:")
+	p("\tsave %%sp, -96, %%sp")
+	p("\tmov 1, %%g7")
+	p("\tsub %%g1, %%g5, %%l0")
+	p("\tset %d, %%l1", spanL9)
+	p("\tcmp %%l0, %%l1")
+	p("\tbleu __mrs_range_l9")
+	p("\tset %d, %%l1", spanL14)
+	p("\tcmp %%l0, %%l1")
+	p("\tbleu __mrs_range_l14")
+	p("\tsrl %%g5, 24, %%l2") // level 19: word index = bit>>5 = addr>>24
+	p("\tsrl %%g1, 24, %%l3")
+	p("\tset %d, %%l4", SummaryL19Base)
+	p("\tba __mrs_range_loop")
+	p("__mrs_range_l14:")
+	p("\tsrl %%g5, 19, %%l2")
+	p("\tsrl %%g1, 19, %%l3")
+	p("\tset %d, %%l4", SummaryL14Base)
+	p("\tba __mrs_range_loop")
+	p("__mrs_range_l9:")
+	p("\tsrl %%g5, 14, %%l2")
+	p("\tsrl %%g1, 14, %%l3")
+	p("\tset %d, %%l4", SummaryL9Base)
+	p("__mrs_range_loop:")
+	p("\tsll %%l2, 2, %%l5")
+	p("\tadd %%l4, %%l5, %%l5")
+	p("\tld [%%l5], %%l5")
+	p("\ttst %%l5")
+	p("\tbne __mrs_range_hit")
+	p("\tcmp %%l2, %%l3")
+	p("\tbge __mrs_range_out")
+	p("\tinc %%l2")
+	p("\tba __mrs_range_loop")
+	p("__mrs_range_hit:")
+	p("\tmov %%g2, %%o0")
+	p("\tta %d", trapRangeHit)
+	p("__mrs_range_out:")
+	p("\tmov 0, %%g7")
+	p("\trestore")
+	p("\tretl")
+
+	return b.String()
+}

@@ -1,0 +1,322 @@
+package monitor
+
+import (
+	"fmt"
+
+	"databreak/internal/machine"
+	"databreak/internal/sparc"
+)
+
+// Hit records one monitor hit delivered by check code.
+type Hit struct {
+	Addr uint32
+	Size int32
+	// Read marks a read-monitoring hit (§5 extension); false means a write.
+	Read bool
+	// PC is the text index of the trap that reported the hit.
+	PC int32
+	// Instrs is the debuggee instruction count at the hit.
+	Instrs int64
+}
+
+// Service is the debugger-resident half of the monitored region service for
+// a simulated program. It edits the monitor data structures inside the
+// machine's memory (segment table, bitmap segments, range summaries) and
+// receives monitor-hit traps.
+type Service struct {
+	cfg Config
+	m   *machine.Machine
+
+	arenaNext uint32
+	segAddr   map[uint32]uint32 // segment number -> private segment address
+	counts    map[uint32]uint32 // segment number -> monitored words
+	sumCounts [3]map[uint32]uint32
+	regions   map[[2]uint32]struct{} // {addr,size}
+
+	// Hits accumulates every monitor hit (also delivered to OnHit).
+	Hits []Hit
+	// OnHit, when non-nil, observes each hit as it happens.
+	OnHit func(h Hit)
+	// DisabledOverride forces the disabled flag (%g6) on regardless of
+	// region count — used to measure the paper's "Disabled" column.
+	DisabledOverride bool
+
+	hashArena uint32
+}
+
+var summaryShifts = [3]uint32{9, 14, 19}
+var summaryBases = [3]uint32{SummaryL9Base, SummaryL14Base, SummaryL19Base}
+
+// NewService attaches a monitored region service to m. It wires the
+// monitor-hit trap and initializes the reserved registers (%g4 table base,
+// %g6 disabled, segment caches).
+func NewService(cfg Config, m *machine.Machine) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:       cfg,
+		m:         m,
+		arenaNext: SegArenaBase,
+		hashArena: HashArenaBase,
+		segAddr:   make(map[uint32]uint32),
+		counts:    make(map[uint32]uint32),
+		regions:   make(map[[2]uint32]struct{}),
+	}
+	for i := range s.sumCounts {
+		s.sumCounts[i] = make(map[uint32]uint32)
+	}
+	m.OnMonHit = func(addr uint32, size int32) {
+		h := Hit{Addr: addr, Size: size, PC: m.PC(), Instrs: m.Instrs()}
+		s.Hits = append(s.Hits, h)
+		if s.OnHit != nil {
+			s.OnHit(h)
+		}
+	}
+	m.OnMonRead = func(addr uint32, size int32) {
+		h := Hit{Addr: addr, Size: size, Read: true, PC: m.PC(), Instrs: m.Instrs()}
+		s.Hits = append(s.Hits, h)
+		if s.OnHit != nil {
+			s.OnHit(h)
+		}
+	}
+	s.syncRegisters()
+	return s, nil
+}
+
+// Config returns the service geometry.
+func (s *Service) Config() Config { return s.cfg }
+
+// syncRegisters refreshes the reserved registers the check code depends on.
+// Called after Reset and after region changes.
+func (s *Service) syncRegisters() {
+	tableBase := SegTableBase
+	s.m.SetReg(sparc.G4, int32(tableBase))
+	disabled := int32(0)
+	if len(s.regions) == 0 || s.DisabledOverride {
+		disabled = 1
+	}
+	s.m.SetReg(sparc.G6, disabled)
+}
+
+// Reinstall must be called after machine.Reset: it re-seeds the reserved
+// registers (monitor memory survives Reset only if regions are re-created,
+// so typical harness flow is Reset, Load, NewService or Reinstall, Create*).
+func (s *Service) Reinstall() { s.syncRegisters() }
+
+func (s *Service) checkRegion(addr, size uint32) error {
+	if addr&3 != 0 || size == 0 || size&3 != 0 {
+		return fmt.Errorf("monitor: region [%#x,+%d) is not word aligned", addr, size)
+	}
+	if addr < machine.TextBase {
+		return fmt.Errorf("monitor: region [%#x,+%d) below the program address space", addr, size)
+	}
+	// Reject regions inside the monitor's own reserved window. (The real
+	// system instead monitors its structures to protect their integrity;
+	// here the debugger owns them outright.)
+	monEnd := SegArenaBase + 0x0100_0000
+	if addr < monEnd && addr+size > SegTableBase {
+		return fmt.Errorf("monitor: region [%#x,+%d) overlaps monitor structures", addr, size)
+	}
+	return nil
+}
+
+func (s *Service) segOf(addr uint32) uint32 { return addr >> s.cfg.SegShift() }
+
+// ensureSegment gives the segment containing addr private bitmap storage
+// and returns its simulated address.
+func (s *Service) ensureSegment(n uint32) uint32 {
+	if a, ok := s.segAddr[n]; ok {
+		return a
+	}
+	a := s.arenaNext
+	s.arenaNext += s.cfg.SegBytesPerBitmap()
+	// Keep segments word-aligned with room for the flag bit.
+	s.arenaNext = (s.arenaNext + 7) &^ 7
+	s.segAddr[n] = a
+	return a
+}
+
+func (s *Service) writeEntry(n uint32) {
+	a, ok := s.segAddr[n]
+	if !ok {
+		a = 0 // shared zero segment at address 0
+	}
+	e := a
+	if s.cfg.Flags && s.counts[n] > 0 {
+		e |= 1
+	}
+	s.m.WriteWord(SegTableBase+n*4, int32(e))
+}
+
+func (s *Service) setBit(addr uint32, on bool) {
+	n := s.segOf(addr)
+	seg := s.ensureSegment(n)
+	w := (addr >> 2) & (s.cfg.SegWords - 1)
+	wordAddr := seg + (w>>5)*4
+	v := uint32(s.m.ReadWord(wordAddr))
+	if on {
+		v |= 1 << (w & 31)
+	} else {
+		v &^= 1 << (w & 31)
+	}
+	s.m.WriteWord(wordAddr, int32(v))
+}
+
+func (s *Service) adjustSummaries(addr, size uint32, delta int) {
+	for li, shift := range summaryShifts {
+		lo := addr >> shift
+		hi := (addr + size - 1) >> shift
+		for b := lo; ; b++ {
+			gLo := b << shift
+			gHi := gLo + (1 << shift) - 1
+			from := addr
+			if gLo > from {
+				from = gLo
+			}
+			to := addr + size - 1
+			if gHi < to {
+				to = gHi
+			}
+			words := (to-from)/4 + 1
+			c := s.sumCounts[li][b]
+			if delta > 0 {
+				c += words
+			} else {
+				c -= words
+			}
+			wordAddr := summaryBases[li] + (b>>5)*4
+			v := uint32(s.m.ReadWord(wordAddr))
+			if c > 0 {
+				s.sumCounts[li][b] = c
+				v |= 1 << (b & 31)
+			} else {
+				delete(s.sumCounts[li], b)
+				v &^= 1 << (b & 31)
+			}
+			s.m.WriteWord(wordAddr, int32(v))
+			if b == hi {
+				break
+			}
+		}
+	}
+}
+
+// Contains reports whether the word containing addr is currently monitored,
+// by reading the simulated bitmap the way check code would.
+func (s *Service) Contains(addr uint32) bool {
+	n := s.segOf(addr)
+	e := uint32(s.m.ReadWord(SegTableBase + n*4))
+	e &^= 1
+	w := (addr >> 2) & (s.cfg.SegWords - 1)
+	v := uint32(s.m.ReadWord(e + (w>>5)*4))
+	return v&(1<<(w&31)) != 0
+}
+
+// CreateRegion installs the monitored region [addr, addr+size).
+func (s *Service) CreateRegion(addr, size uint32) error {
+	if err := s.checkRegion(addr, size); err != nil {
+		return err
+	}
+	if _, dup := s.regions[[2]uint32{addr, size}]; dup {
+		return fmt.Errorf("monitor: region [%#x,+%d) already monitored", addr, size)
+	}
+	for o := uint32(0); o < size; o += 4 {
+		if s.Contains(addr + o) {
+			return fmt.Errorf("monitor: word %#x is already monitored", addr+o)
+		}
+	}
+	for o := uint32(0); o < size; o += 4 {
+		a := addr + o
+		s.setBit(a, true)
+		s.counts[s.segOf(a)]++
+		s.writeEntry(s.segOf(a))
+	}
+	s.adjustSummaries(addr, size, +1)
+	s.hashInsert(addr, size)
+	s.regions[[2]uint32{addr, size}] = struct{}{}
+	s.syncRegisters()
+	return nil
+}
+
+// hashBucketAddr mirrors the hash computed by __mrs_hash_* routines.
+func hashBucketAddr(addr uint32) uint32 {
+	g := addr >> 5
+	return HashBase + ((g*40503)&(HashBuckets-1))*4
+}
+
+// hashInsert records [addr, addr+size) in the simulated hash table: one
+// entry {lo, hi, next} per bucket whose granules the region overlaps.
+func (s *Service) hashInsert(addr, size uint32) {
+	seen := make(map[uint32]bool)
+	for g := addr >> 5; g <= (addr+size-1)>>5; g++ {
+		b := hashBucketAddr(g << 5)
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		e := s.hashArena
+		s.hashArena += 12
+		s.m.WriteWord(e, int32(addr))
+		s.m.WriteWord(e+4, int32(addr+size))
+		s.m.WriteWord(e+8, s.m.ReadWord(b))
+		s.m.WriteWord(b, int32(e))
+	}
+}
+
+// hashRemove unlinks the region's entries.
+func (s *Service) hashRemove(addr, size uint32) {
+	seen := make(map[uint32]bool)
+	for g := addr >> 5; g <= (addr+size-1)>>5; g++ {
+		b := hashBucketAddr(g << 5)
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		prev := b
+		e := uint32(s.m.ReadWord(b))
+		for e != 0 {
+			lo := uint32(s.m.ReadWord(e))
+			hi := uint32(s.m.ReadWord(e + 4))
+			next := uint32(s.m.ReadWord(e + 8))
+			if lo == addr && hi == addr+size {
+				s.m.WriteWord(prev, int32(next))
+				break
+			}
+			prev = e + 8
+			e = next
+		}
+	}
+}
+
+// DeleteRegion removes a region previously created with these exact bounds.
+func (s *Service) DeleteRegion(addr, size uint32) error {
+	if _, ok := s.regions[[2]uint32{addr, size}]; !ok {
+		return fmt.Errorf("monitor: region [%#x,+%d) is not monitored", addr, size)
+	}
+	for o := uint32(0); o < size; o += 4 {
+		a := addr + o
+		s.setBit(a, false)
+		n := s.segOf(a)
+		if c := s.counts[n] - 1; c == 0 {
+			delete(s.counts, n)
+		} else {
+			s.counts[n] = c
+		}
+		s.writeEntry(n)
+	}
+	s.adjustSummaries(addr, size, -1)
+	s.hashRemove(addr, size)
+	delete(s.regions, [2]uint32{addr, size})
+	s.syncRegisters()
+	return nil
+}
+
+// Regions returns the number of installed regions.
+func (s *Service) Regions() int { return len(s.regions) }
+
+// SegmentMonitored reports whether the segment containing addr has any
+// monitored words (the flag the caching slow path consults).
+func (s *Service) SegmentMonitored(addr uint32) bool {
+	return s.counts[s.segOf(addr)] > 0
+}

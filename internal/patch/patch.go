@@ -1,0 +1,535 @@
+// Package patch implements the write-check insertion half of the paper's
+// analysis tool: it rewrites assembled units, appending a check sequence
+// after every write instruction (§2: checks go after the write so that a
+// wild jump directly to a store is still detected).
+//
+// The five check implementations of Table 1 are provided, plus a
+// nop-insertion strategy used for the cache-alignment regression of §3.3.1:
+//
+//	Bitmap                  procedure-call segmented bitmap lookup
+//	BitmapInline            the same lookup expanded inline (pushes a window)
+//	BitmapInlineRegisters   inline lookup in reserved global registers
+//	Cache                   4-instruction inline segment-cache check,
+//	                        procedure call on a cache miss
+//	CacheInline             segment-cache check with the miss path inline
+//	Nops                    N nops before each write (alignment probe)
+//
+// Event counters (free of cycle cost) are attached so the harness can
+// recover dynamic write and check counts.
+package patch
+
+import (
+	"fmt"
+	"strings"
+
+	"databreak/internal/asm"
+	"databreak/internal/monitor"
+	"databreak/internal/sparc"
+)
+
+// Strategy selects a write-check implementation.
+type Strategy int
+
+const (
+	// None performs no patching (baseline timing runs).
+	None Strategy = iota
+	// Bitmap checks every write via a call to the monitor library.
+	Bitmap
+	// BitmapInline expands the bitmap lookup at every write.
+	BitmapInline
+	// BitmapInlineRegisters expands the lookup using reserved registers
+	// (%g1-%g4), avoiding the register-window push and the table-base
+	// materialization. This is the paper's recommended implementation.
+	BitmapInlineRegisters
+	// Cache checks a per-write-type segment cache inline and calls the
+	// monitor library on a cache miss.
+	Cache
+	// CacheInline expands the cache-miss path inline as well.
+	CacheInline
+	// Nops inserts Options.Nops nop instructions before each write.
+	Nops
+	// HashCall checks every write via the pilot study's hash-table lookup
+	// (the 209%-642% baseline the segmented bitmap replaced).
+	HashCall
+)
+
+var strategyNames = map[Strategy]string{
+	None: "None", Bitmap: "Bitmap", BitmapInline: "BitmapInline",
+	BitmapInlineRegisters: "BitmapInlineRegisters", Cache: "Cache",
+	CacheInline: "CacheInline", Nops: "Nops", HashCall: "HashCall",
+}
+
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// WriteType classifies writes for segment caching (§3.1). BSSVar is the
+// Fortran computed-base idiom; it shares the BSS cache register but is
+// counted separately.
+type WriteType int
+
+const (
+	WriteStack WriteType = iota
+	WriteBSS
+	WriteHeap
+	WriteBSSVar
+)
+
+func (t WriteType) String() string {
+	switch t {
+	case WriteStack:
+		return "stack"
+	case WriteBSS:
+		return "bss"
+	case WriteHeap:
+		return "heap"
+	case WriteBSSVar:
+		return "bssvar"
+	}
+	return "?"
+}
+
+// cacheReg returns the reserved global holding this type's segment cache.
+func (t WriteType) cacheReg() string {
+	switch t {
+	case WriteStack:
+		return "%g1"
+	case WriteHeap:
+		return "%g3"
+	default: // BSS and BSSVar share %g2
+		return "%g2"
+	}
+}
+
+// missRoutine returns the library slow path for this type, access size, and
+// access kind.
+func (t WriteType) missRoutine(double, read bool) string {
+	kind := "bss"
+	switch t {
+	case WriteStack:
+		kind = "stack"
+	case WriteHeap:
+		kind = "heap"
+	}
+	name := "__mrs_miss_" + kind + "_"
+	if read {
+		name += "rd_"
+	}
+	if double {
+		return name + "d"
+	}
+	return name + "w"
+}
+
+// Counter names attached to patched code.
+const (
+	CounterWrites = "writes" // dynamic count of write instructions
+	CounterChecks = "checks" // dynamic count of executed check preludes
+	CounterReads  = "reads"  // dynamic count of load instructions (CheckReads)
+)
+
+// CacheTotalCounter and CacheMissCounter name the per-write-type segment
+// cache statistics used for Figure 3.
+func CacheTotalCounter(t WriteType) string { return "cache_total_" + t.String() }
+func CacheMissCounter(t WriteType) string  { return "cache_miss_" + t.String() }
+
+// Options configures Apply.
+type Options struct {
+	Strategy Strategy
+	Monitor  monitor.Config
+	// Nops is the number of nops per write for the Nops strategy.
+	Nops int
+	// SkipDisabledBranch omits the disabled-flag fast path (used by unit
+	// tests that want the check body to run unconditionally).
+	SkipDisabledBranch bool
+	// CheckReads also instruments load instructions (the paper's §5
+	// extension for access anomaly detection: "the dynamic count of read
+	// instructions is typically two to three times that of write
+	// instructions").
+	CheckReads bool
+}
+
+// Result is the outcome of patching.
+type Result struct {
+	// Units holds the rewritten program units followed by the monitor
+	// library; assemble them in this order.
+	Units []*asm.Unit
+	// StaticWrites is the number of write instructions patched.
+	StaticWrites int
+	// StaticReads is the number of load instructions patched (CheckReads).
+	StaticReads int
+	// TypeCounts tallies static writes per write type.
+	TypeCounts map[WriteType]int
+}
+
+// reservedRegs are the registers the MRS claims; program code must not use
+// them (the mini-C compiler honors this).
+var reservedRegs = map[sparc.Reg]bool{
+	sparc.G1: true, sparc.G2: true, sparc.G3: true, sparc.G4: true,
+	sparc.G5: true, sparc.G6: true, sparc.G7: true,
+	sparc.L6: true, sparc.L7: true,
+}
+
+type patcher struct {
+	opts     Options
+	segShift uint32
+	wmask    uint32
+	nextID   int
+	out      []asm.Item
+	res      *Result
+}
+
+// Apply rewrites the given program units with the selected strategy and
+// returns them together with a matching monitor library unit.
+func Apply(opts Options, units ...*asm.Unit) (*Result, error) {
+	if opts.Monitor.SegWords == 0 {
+		opts.Monitor = monitor.DefaultConfig
+	}
+	if err := opts.Monitor.Validate(); err != nil {
+		return nil, err
+	}
+	// Segment caching requires the monitored flag in table entries.
+	if opts.Strategy == Cache || opts.Strategy == CacheInline {
+		opts.Monitor.Flags = true
+	}
+	p := &patcher{
+		opts:     opts,
+		segShift: opts.Monitor.SegShift(),
+		wmask:    opts.Monitor.SegWords - 1,
+		res:      &Result{TypeCounts: make(map[WriteType]int)},
+	}
+	for _, u := range units {
+		nu, err := p.patchUnit(u)
+		if err != nil {
+			return nil, err
+		}
+		p.res.Units = append(p.res.Units, nu)
+	}
+	if opts.Strategy != None && opts.Strategy != Nops {
+		lib := asm.MustParse("__mrslib", monitor.LibrarySource(opts.Monitor))
+		p.res.Units = append(p.res.Units, lib)
+	}
+	return p.res, nil
+}
+
+func (p *patcher) patchUnit(u *asm.Unit) (*asm.Unit, error) {
+	nu := &asm.Unit{Name: u.Name + "+mrs"}
+	p.out = nu.Items
+	for i := range u.Items {
+		it := u.Items[i]
+		if it.Kind == asm.ItemInstr && it.Instr.Op.IsLoad() && p.opts.CheckReads &&
+			p.opts.Strategy != None && p.opts.Strategy != Nops {
+			if err := checkReserved(&it); err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", u.Name, it.Line, err)
+			}
+			p.res.StaticReads++
+			wt := classifyWrite(u.Items, i)
+			it.CountName = CounterReads
+			p.emit(it)
+			p.emitCheck(&it, wt)
+			continue
+		}
+		if it.Kind != asm.ItemInstr || !it.Instr.Op.IsStore() {
+			p.emit(it)
+			continue
+		}
+		if err := checkReserved(&it); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", u.Name, it.Line, err)
+		}
+		p.res.StaticWrites++
+		wt := classifyWrite(u.Items, i)
+		p.res.TypeCounts[wt]++
+
+		if p.opts.Strategy == Nops {
+			for n := 0; n < p.opts.Nops; n++ {
+				p.emit(instrItem(sparc.MakeNop(), it.Section))
+			}
+		}
+		// Count the write itself (cost free).
+		it.CountName = CounterWrites
+		p.emit(it)
+		if p.opts.Strategy != None && p.opts.Strategy != Nops {
+			p.emitCheck(&it, wt)
+		}
+	}
+	nu.Items = p.out
+	return nu, nil
+}
+
+func (p *patcher) emit(it asm.Item) { p.out = append(p.out, it) }
+
+func (p *patcher) emitSrc(section, src string) {
+	u := asm.MustParse("__gen", src)
+	for _, it := range u.Items {
+		it.Section = section
+		p.out = append(p.out, it)
+	}
+}
+
+func instrItem(in sparc.Instr, section string) asm.Item {
+	return asm.Item{Kind: asm.ItemInstr, Instr: in, Section: section}
+}
+
+func checkReserved(it *asm.Item) error {
+	regs := []sparc.Reg{it.Instr.Rd, it.Instr.Rs1}
+	if !it.Instr.UseImm {
+		regs = append(regs, it.Instr.Rs2)
+	}
+	for _, r := range regs {
+		if reservedRegs[r] {
+			return fmt.Errorf("write instruction uses MRS-reserved register %s", r)
+		}
+	}
+	return nil
+}
+
+// classifyWrite assigns a write type by inspecting the store's base address
+// expression, scanning backwards within the basic block for the most recent
+// definition of the base register (§3.1's write types).
+func classifyWrite(items []asm.Item, idx int) WriteType {
+	st := items[idx].Instr
+	if st.Rs1 == sparc.FP || st.Rs1 == sparc.SP {
+		return WriteStack
+	}
+	// Walk backwards to the defining instruction of the base register,
+	// stopping at labels and control transfers (block boundaries).
+	base := st.Rs1
+	for j := idx - 1; j >= 0 && idx-j < 32; j-- {
+		it := &items[j]
+		if it.Kind == asm.ItemLabel {
+			break
+		}
+		if it.Kind != asm.ItemInstr {
+			continue
+		}
+		in := it.Instr
+		if in.Op == sparc.Br || in.Op == sparc.Call || in.Op == sparc.Jmpl || in.Op == sparc.Ta {
+			// Control transfers end the block; traps may redefine %o
+			// registers (the allocator returns through %o0).
+			break
+		}
+		if in.Rd != base || in.Op == sparc.St || in.Op == sparc.Std {
+			continue
+		}
+		switch in.Op {
+		case sparc.Sethi:
+			return WriteBSS // set of a data address (first half)
+		case sparc.Or:
+			if in.Rs1 == base && in.UseImm && it.ImmSym != "" {
+				return WriteBSS // second half of a set
+			}
+			if in.Rs1 == sparc.G0 && in.UseImm {
+				return WriteBSS // small constant address
+			}
+			return WriteHeap
+		case sparc.Ld, sparc.Ldd:
+			return WriteHeap // pointer loaded from memory
+		case sparc.Add, sparc.Sub:
+			// Computed from another register: the Fortran BSS-base idiom if
+			// that register was itself set to a data address.
+			if !in.UseImm || in.Rs1 != base {
+				return bssVarOrHeap(items, j, in.Rs1)
+			}
+			// add base, imm, base: keep tracing the same register.
+			continue
+		default:
+			return WriteHeap
+		}
+	}
+	return WriteHeap
+}
+
+// bssVarOrHeap resolves "st via reg computed from base+offset" to BSSVar
+// when base traces to a data-address set, Heap otherwise.
+func bssVarOrHeap(items []asm.Item, idx int, base sparc.Reg) WriteType {
+	for j := idx - 1; j >= 0 && idx-j < 32; j-- {
+		it := &items[j]
+		if it.Kind == asm.ItemLabel {
+			break
+		}
+		if it.Kind != asm.ItemInstr {
+			continue
+		}
+		in := it.Instr
+		if in.Op == sparc.Br || in.Op == sparc.Call || in.Op == sparc.Jmpl {
+			break
+		}
+		if in.Rd != base || in.Op.IsStore() {
+			continue
+		}
+		switch in.Op {
+		case sparc.Sethi:
+			return WriteBSSVar
+		case sparc.Or:
+			if in.Rs1 == base && in.UseImm && it.ImmSym != "" {
+				return WriteBSSVar
+			}
+			return WriteHeap
+		default:
+			return WriteHeap
+		}
+	}
+	return WriteHeap
+}
+
+// emitCheck appends the check sequence for the store in it.
+func (p *patcher) emitCheck(it *asm.Item, wt WriteType) {
+	id := p.nextID
+	p.nextID++
+	p.emitSrc(it.Section, CheckText(p.opts, it.Instr, wt, id))
+}
+
+// CheckText renders the check sequence for store st under the given options
+// as assembly text. id must be unique per emitted check (it names internal
+// labels). The elimination rewriter (internal/elim) reuses this for the
+// checks it keeps and for dynamically re-inserted patch-block checks.
+func CheckText(opts Options, st sparc.Instr, wt WriteType, id int) string {
+	segShift := opts.Monitor.SegShift()
+	wmask := opts.Monitor.SegWords - 1
+	double := st.Op == sparc.Std || st.Op == sparc.Ldd
+	read := st.Op.IsLoad()
+
+	var b strings.Builder
+	pr := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	skip := fmt.Sprintf("__ck%d_skip", id)
+
+	// Disabled-flag fast path (§2): branch around the check body.
+	if !opts.SkipDisabledBranch {
+		pr("\t.count %q", CounterChecks)
+		pr("\ttst %%g6")
+		pr("\tbne %s", skip)
+	}
+	// Target address into %g5.
+	if st.UseImm {
+		pr("\tadd %s, %d, %%g5", st.Rs1, st.Imm)
+	} else {
+		pr("\tadd %s, %s, %%g5", st.Rs1, st.Rs2)
+	}
+
+	mask, trap := 1, 6
+	if double {
+		mask, trap = 3, 7
+	}
+	if read {
+		trap += 4 // TrapMonRead4 / TrapMonRead8
+	}
+
+	routine := func(base string) string {
+		name := base
+		if read {
+			name += "rd"
+		}
+		if double {
+			return name + "_d"
+		}
+		return name + "_w"
+	}
+	switch opts.Strategy {
+	case Bitmap:
+		pr("\tcall %s", routine("__mrs_check"))
+
+	case HashCall:
+		// The hash routines report write hits only; read checking routes
+		// through the bitmap routines (reads are not part of the pilot
+		// study's comparison).
+		if read {
+			pr("\tcall %s", routine("__mrs_check"))
+		} else if double {
+			pr("\tcall __mrs_hash_d")
+		} else {
+			pr("\tcall __mrs_hash_w")
+		}
+
+	case BitmapInline:
+		// Full lookup inline; needs temporaries, so push a window.
+		pr("\tsave %%sp, -96, %%sp")
+		pr("\tsrl %%g5, %d, %%l0", segShift)
+		pr("\tsll %%l0, 2, %%l0")
+		pr("\tset %d, %%l1", monitor.SegTableBase)
+		pr("\tadd %%l1, %%l0, %%l0")
+		pr("\tld [%%l0], %%l1")
+		if opts.Monitor.Flags {
+			pr("\tandn %%l1, 1, %%l1")
+		}
+		pr("\tsrl %%g5, 2, %%l2")
+		pr("\tand %%l2, %d, %%l2", wmask)
+		pr("\tsrl %%l2, 5, %%l3")
+		pr("\tsll %%l3, 2, %%l3")
+		pr("\tadd %%l1, %%l3, %%l3")
+		pr("\tld [%%l3], %%l3")
+		pr("\tsrl %%l3, %%l2, %%l3")
+		pr("\tandcc %%l3, %d, %%g0", mask)
+		pr("\tbe __ck%d_out", id)
+		pr("\tta %d", trap)
+		pr("__ck%d_out:", id)
+		pr("\trestore")
+
+	case BitmapInlineRegisters:
+		// 12 register instructions and 2 loads, exactly as §3.3.3 costs it.
+		pr("\tsrl %%g5, %d, %%g1", segShift)
+		pr("\tsll %%g1, 2, %%g1")
+		pr("\tadd %%g4, %%g1, %%g1")
+		pr("\tld [%%g1], %%g1")
+		if opts.Monitor.Flags {
+			pr("\tandn %%g1, 1, %%g1")
+		}
+		pr("\tsrl %%g5, 2, %%g2")
+		pr("\tand %%g2, %d, %%g2", wmask)
+		pr("\tsrl %%g2, 5, %%g3")
+		pr("\tsll %%g3, 2, %%g3")
+		pr("\tadd %%g1, %%g3, %%g3")
+		pr("\tld [%%g3], %%g3")
+		pr("\tsrl %%g3, %%g2, %%g3")
+		pr("\tandcc %%g3, %d, %%g0", mask)
+		pr("\tbe %s", skip)
+		pr("\tta %d", trap)
+
+	case Cache:
+		// The four always-inlined cache-check instructions; slow path by
+		// call (§3.2).
+		pr("\t.count %q", CacheTotalCounter(wt))
+		pr("\tsrl %%g5, %d, %%l6", segShift)
+		pr("\tcmp %%l6, %s", wt.cacheReg())
+		pr("\tbe %s", skip)
+		pr("\t.count %q", CacheMissCounter(wt))
+		pr("\tcall %s", wt.missRoutine(double, read))
+
+	case CacheInline:
+		pr("\t.count %q", CacheTotalCounter(wt))
+		pr("\tsrl %%g5, %d, %%l6", segShift)
+		pr("\tcmp %%l6, %s", wt.cacheReg())
+		pr("\tbe %s", skip)
+		pr("\t.count %q", CacheMissCounter(wt))
+		pr("\tsave %%sp, -96, %%sp")
+		pr("\tsrl %%g5, %d, %%l0", segShift)
+		pr("\tsll %%l0, 2, %%l1")
+		pr("\tset %d, %%l2", monitor.SegTableBase)
+		pr("\tadd %%l2, %%l1, %%l1")
+		pr("\tld [%%l1], %%l2")
+		pr("\tandcc %%l2, 1, %%g0")
+		pr("\tbne __ck%d_full", id)
+		pr("\tmov %%l0, %s", wt.cacheReg())
+		pr("\tba __ck%d_out", id)
+		pr("__ck%d_full:", id)
+		pr("\tandn %%l2, 1, %%l2")
+		pr("\tsrl %%g5, 2, %%l3")
+		pr("\tand %%l3, %d, %%l3", wmask)
+		pr("\tsrl %%l3, 5, %%l4")
+		pr("\tsll %%l4, 2, %%l4")
+		pr("\tadd %%l2, %%l4, %%l4")
+		pr("\tld [%%l4], %%l4")
+		pr("\tsrl %%l4, %%l3, %%l4")
+		pr("\tandcc %%l4, %d, %%g0", mask)
+		pr("\tbe __ck%d_out", id)
+		pr("\tta %d", trap)
+		pr("__ck%d_out:", id)
+		pr("\trestore")
+	}
+
+	pr("%s:", skip)
+	return b.String()
+}

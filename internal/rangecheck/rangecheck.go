@@ -1,0 +1,187 @@
+// Package rangecheck implements the range-check data structure of §4.3: a
+// conservative intersection test between an address interval and the set of
+// monitored words, answerable in at most three memory accesses for ranges of
+// 2^25 bytes or less.
+//
+// The structure is a stack of summary bitmaps over the monitored-word set.
+// Level k has one bit per 2^shift[k] bytes; a bit is set iff at least one
+// monitored word lies inside its granule. A range query picks the finest
+// level at which the interval spans at most three summary words and tests
+// those words. Coarse granules make the test conservative: it may report an
+// intersection where none exists (costing only a redundant re-inserted write
+// check, never a missed monitor hit).
+package rangecheck
+
+import "fmt"
+
+// MaxRangeBytes is the span for which the paper promises at most three
+// memory accesses.
+const MaxRangeBytes = 1 << 25
+
+// levelShifts are the summary granule sizes (log2 bytes per bit). With
+// 64-bit summary words, three words at shift s cover 3*64*2^s bytes, so
+// shift 19 already covers > 2^25; the coarser level handles anything larger.
+var levelShifts = []uint{9, 14, 19, 24}
+
+type level struct {
+	shift  uint
+	words  []uint64
+	counts map[uint32]uint32 // bit index -> monitored words beneath it
+}
+
+// Index is the summary structure. Create with New.
+type Index struct {
+	levels []level
+}
+
+// New builds an empty index covering the full 32-bit address space.
+func New() *Index {
+	x := &Index{}
+	for _, s := range levelShifts {
+		bitsN := uint64(1) << (32 - s)
+		x.levels = append(x.levels, level{
+			shift:  s,
+			words:  make([]uint64, bitsN/64),
+			counts: make(map[uint32]uint32),
+		})
+	}
+	return x
+}
+
+func checkRegion(addr, size uint32) error {
+	if addr&3 != 0 || size == 0 || size&3 != 0 {
+		return fmt.Errorf("rangecheck: region [%#x,+%d) is not word aligned", addr, size)
+	}
+	return nil
+}
+
+// Add records the monitored region [addr, addr+size).
+func (x *Index) Add(addr, size uint32) error {
+	if err := checkRegion(addr, size); err != nil {
+		return err
+	}
+	for li := range x.levels {
+		l := &x.levels[li]
+		lo := addr >> l.shift
+		hi := (addr + size - 1) >> l.shift
+		for b := lo; ; b++ {
+			// Count the monitored words this region contributes under bit b.
+			gLo := b << l.shift
+			gHi := gLo + (1 << l.shift) - 1
+			from := max32(addr, gLo)
+			to := min32(addr+size-1, gHi)
+			words := (to-from)/4 + 1
+			l.counts[b] += words
+			l.words[b>>6] |= 1 << (b & 63)
+			if b == hi {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Remove erases the monitored region [addr, addr+size), which must have
+// been added with exactly these bounds (regions are non-overlapping).
+func (x *Index) Remove(addr, size uint32) error {
+	if err := checkRegion(addr, size); err != nil {
+		return err
+	}
+	for li := range x.levels {
+		l := &x.levels[li]
+		lo := addr >> l.shift
+		hi := (addr + size - 1) >> l.shift
+		for b := lo; ; b++ {
+			gLo := b << l.shift
+			gHi := gLo + (1 << l.shift) - 1
+			from := max32(addr, gLo)
+			to := min32(addr+size-1, gHi)
+			words := (to-from)/4 + 1
+			c, ok := l.counts[b]
+			if !ok || c < words {
+				return fmt.Errorf("rangecheck: removing region [%#x,+%d) that was not added", addr, size)
+			}
+			if c == words {
+				delete(l.counts, b)
+				l.words[b>>6] &^= 1 << (b & 63)
+			} else {
+				l.counts[b] = c - words
+			}
+			if b == hi {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// pickLevel returns the finest level at which [lo,hi] spans at most three
+// summary words.
+func (x *Index) pickLevel(lo, hi uint32) *level {
+	for li := range x.levels {
+		l := &x.levels[li]
+		span := (hi >> (l.shift + 6)) - (lo >> (l.shift + 6)) + 1
+		if span <= 3 {
+			return l
+		}
+	}
+	return &x.levels[len(x.levels)-1]
+}
+
+// Intersects conservatively reports whether the inclusive byte interval
+// [lo, hi] may contain a monitored word. False negatives never occur.
+func (x *Index) Intersects(lo, hi uint32) bool {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	l := x.pickLevel(lo, hi)
+	bLo := lo >> l.shift
+	bHi := hi >> l.shift
+	wLo := bLo >> 6
+	wHi := bHi >> 6
+	for w := wLo; ; w++ {
+		word := l.words[w]
+		if word != 0 {
+			// Mask to the queried bit range within this word.
+			var mask uint64 = ^uint64(0)
+			if w == wLo {
+				mask &= ^uint64(0) << (bLo & 63)
+			}
+			if w == wHi {
+				rem := bHi & 63
+				mask &= ^uint64(0) >> (63 - rem)
+			}
+			if word&mask != 0 {
+				return true
+			}
+		}
+		if w == wHi {
+			break
+		}
+	}
+	return false
+}
+
+// AccessesFor returns how many summary words Intersects examines for the
+// interval; the paper's bound is 3 for spans of MaxRangeBytes or less.
+func (x *Index) AccessesFor(lo, hi uint32) int {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	l := x.pickLevel(lo, hi)
+	return int((hi>>(l.shift+6))-(lo>>(l.shift+6))) + 1
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,394 @@
+// Package sparc defines the SPARC-subset instruction set used by the
+// simulator, assembler, and patching tool.
+//
+// The subset models the parts of SPARC v8 that matter for reproducing
+// "Practical Data Breakpoints" (PLDI 1993): integer ALU ops with and without
+// condition-code updates, word loads and stores, register windows
+// (save/restore), direct and indirect control transfer, sethi-based constant
+// synthesis, and software traps. Branch delay slots are intentionally not
+// modelled (see DESIGN.md §5).
+package sparc
+
+import "fmt"
+
+// Reg names one of the 32 visible integer registers. Register windows mean
+// that O/L/I registers are renamed on save/restore; G registers are global.
+type Reg uint8
+
+// Register numbering follows SPARC: %g0-%g7, %o0-%o7, %l0-%l7, %i0-%i7.
+const (
+	G0 Reg = iota
+	G1
+	G2
+	G3
+	G4
+	G5
+	G6
+	G7
+	O0
+	O1
+	O2
+	O3
+	O4
+	O5
+	O6 // %sp
+	O7 // call return address
+	L0
+	L1
+	L2
+	L3
+	L4
+	L5
+	L6
+	L7
+	I0
+	I1
+	I2
+	I3
+	I4
+	I5
+	I6 // %fp
+	I7 // callee view of caller's return address
+)
+
+// Conventional aliases.
+const (
+	SP = O6 // stack pointer
+	FP = I6 // frame pointer
+)
+
+// NumRegs is the number of architecturally visible registers.
+const NumRegs = 32
+
+var regNames = [NumRegs]string{
+	"%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7",
+	"%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%sp", "%o7",
+	"%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+	"%i0", "%i1", "%i2", "%i3", "%i4", "%i5", "%fp", "%i7",
+}
+
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("%%r?%d", uint8(r))
+}
+
+// IsGlobal reports whether r is one of the global registers %g0-%g7, which
+// are not subject to register-window renaming. The monitored region service
+// reserves globals precisely because they survive save/restore.
+func (r Reg) IsGlobal() bool { return r <= G7 }
+
+// Op is an operation code.
+type Op uint8
+
+const (
+	Nop Op = iota
+
+	// Memory. Ld: rd = mem[ea]; St: mem[ea] = rd (rd is the source).
+	// Ldd/Std move two consecutive words through rd and rd+1 (rd even).
+	Ld
+	St
+	Ldd
+	Std
+
+	// ALU: rd = rs1 op (rs2 or imm).
+	Add
+	Sub
+	And
+	Andn
+	Or
+	Orn
+	Xor
+	Xnor
+	Sll
+	Srl
+	Sra
+	SMul
+	SDiv
+
+	// ALU with condition-code update.
+	Addcc
+	Subcc
+	Andcc
+	Andncc
+	Orcc
+	Xorcc
+
+	// Sethi: rd = imm << 10 (imm is the high 22 bits).
+	Sethi
+
+	// Control transfer. Br uses Cond and Target (text word index).
+	// Call writes the address of the call into %o7 and jumps to Target.
+	// Jmpl: rd = current pc address; pc = rs1 + (rs2 or imm).
+	Br
+	Call
+	Jmpl
+
+	// Register windows. Save: compute rs1 + operand2 in the OLD window,
+	// shift the window, write the result to rd in the NEW window.
+	// Restore: compute in the old window, unshift, write in the new.
+	Save
+	Restore
+
+	// Ta: software trap; Imm selects the service (see machine.Trap*).
+	Ta
+
+	// Unimp: executing it is an error (used to fence patch areas).
+	Unimp
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	Nop: "nop", Ld: "ld", St: "st", Ldd: "ldd", Std: "std",
+	Add: "add", Sub: "sub", And: "and", Andn: "andn", Or: "or", Orn: "orn",
+	Xor: "xor", Xnor: "xnor", Sll: "sll", Srl: "srl", Sra: "sra",
+	SMul: "smul", SDiv: "sdiv",
+	Addcc: "addcc", Subcc: "subcc", Andcc: "andcc", Andncc: "andncc",
+	Orcc: "orcc", Xorcc: "xorcc",
+	Sethi: "sethi", Br: "b", Call: "call", Jmpl: "jmpl",
+	Save: "save", Restore: "restore", Ta: "ta", Unimp: "unimp",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", uint8(o))
+}
+
+// IsStore reports whether o writes memory. These are the instructions the
+// patching tool must check (the paper's "write instructions").
+func (o Op) IsStore() bool { return o == St || o == Std }
+
+// IsLoad reports whether o reads memory.
+func (o Op) IsLoad() bool { return o == Ld || o == Ldd }
+
+// SetsCC reports whether o updates the integer condition codes.
+func (o Op) SetsCC() bool {
+	switch o {
+	case Addcc, Subcc, Andcc, Andncc, Orcc, Xorcc:
+		return true
+	}
+	return false
+}
+
+// IsALU reports whether o is a register-to-register arithmetic/logic op.
+func (o Op) IsALU() bool {
+	switch o {
+	case Add, Sub, And, Andn, Or, Orn, Xor, Xnor, Sll, Srl, Sra, SMul, SDiv,
+		Addcc, Subcc, Andcc, Andncc, Orcc, Xorcc:
+		return true
+	}
+	return false
+}
+
+// Cond is a branch condition, tested against the integer condition codes.
+type Cond uint8
+
+const (
+	BA   Cond = iota // always
+	BN               // never
+	BE               // Z
+	BNE              // !Z
+	BL               // N xor V
+	BLE              // Z or (N xor V)
+	BG               // !(Z or (N xor V))
+	BGE              // !(N xor V)
+	BLU              // C (unsigned <)
+	BGEU             // !C
+	BGU              // !(C or Z)
+	BLEU             // C or Z
+	BPOS             // !N
+	BNEG             // N
+	BVC              // !V
+	BVS              // V
+
+	numConds
+)
+
+var condNames = [numConds]string{
+	BA: "ba", BN: "bn", BE: "be", BNE: "bne", BL: "bl", BLE: "ble",
+	BG: "bg", BGE: "bge", BLU: "blu", BGEU: "bgeu", BGU: "bgu", BLEU: "bleu",
+	BPOS: "bpos", BNEG: "bneg", BVC: "bvc", BVS: "bvs",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("b?%d", uint8(c))
+}
+
+// Negate returns the condition that is true exactly when c is false.
+func (c Cond) Negate() Cond {
+	switch c {
+	case BA:
+		return BN
+	case BN:
+		return BA
+	case BE:
+		return BNE
+	case BNE:
+		return BE
+	case BL:
+		return BGE
+	case BGE:
+		return BL
+	case BLE:
+		return BG
+	case BG:
+		return BLE
+	case BLU:
+		return BGEU
+	case BGEU:
+		return BLU
+	case BGU:
+		return BLEU
+	case BLEU:
+		return BGU
+	case BPOS:
+		return BNEG
+	case BNEG:
+		return BPOS
+	case BVC:
+		return BVS
+	case BVS:
+		return BVC
+	}
+	return BN
+}
+
+// CC holds the integer condition codes.
+type CC struct {
+	N, Z, V, C bool
+}
+
+// Eval reports whether condition c holds under cc.
+func (c Cond) Eval(cc CC) bool {
+	switch c {
+	case BA:
+		return true
+	case BN:
+		return false
+	case BE:
+		return cc.Z
+	case BNE:
+		return !cc.Z
+	case BL:
+		return cc.N != cc.V
+	case BGE:
+		return cc.N == cc.V
+	case BLE:
+		return cc.Z || (cc.N != cc.V)
+	case BG:
+		return !cc.Z && (cc.N == cc.V)
+	case BLU:
+		return cc.C
+	case BGEU:
+		return !cc.C
+	case BGU:
+		return !cc.C && !cc.Z
+	case BLEU:
+		return cc.C || cc.Z
+	case BPOS:
+		return !cc.N
+	case BNEG:
+		return cc.N
+	case BVC:
+		return !cc.V
+	case BVS:
+		return cc.V
+	}
+	return false
+}
+
+// Instr is one decoded instruction. The assembler resolves symbolic
+// operands, so Target is always a text word index and Imm a literal value.
+type Instr struct {
+	Op     Op
+	Rd     Reg   // destination (source operand for St/Std)
+	Rs1    Reg   // first source
+	Rs2    Reg   // second source (when !UseImm)
+	Imm    int32 // immediate second source (when UseImm); trap number for Ta
+	UseImm bool
+	Cond   Cond  // branch condition (Br only)
+	Target int32 // branch/call destination as a text word index
+
+	// Count, when nonzero, names an event counter (index Count-1) that the
+	// machine increments each time this instruction executes. Counters cost
+	// no cycles and occupy no code space, so they cannot perturb the very
+	// cache-alignment effects the harness measures; the patching tool uses
+	// them to gather the dynamic check counts reported in Tables 1 and 2.
+	Count int32
+}
+
+// MakeNop returns a canonical no-op instruction.
+func MakeNop() Instr { return Instr{Op: Nop} }
+
+// RI builds a register-immediate ALU instruction rd = rs1 op imm.
+func RI(op Op, rs1 Reg, imm int32, rd Reg) Instr {
+	return Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm, UseImm: true}
+}
+
+// RR builds a register-register ALU instruction rd = rs1 op rs2.
+func RR(op Op, rs1, rs2, rd Reg) Instr {
+	return Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+}
+
+// LoadRI builds ld [rs1+imm], rd.
+func LoadRI(rs1 Reg, imm int32, rd Reg) Instr {
+	return Instr{Op: Ld, Rd: rd, Rs1: rs1, Imm: imm, UseImm: true}
+}
+
+// StoreRI builds st rd, [rs1+imm].
+func StoreRI(rd, rs1 Reg, imm int32) Instr {
+	return Instr{Op: St, Rd: rd, Rs1: rs1, Imm: imm, UseImm: true}
+}
+
+// Branch builds a conditional branch to the given text index.
+func Branch(c Cond, target int32) Instr {
+	return Instr{Op: Br, Cond: c, Target: target}
+}
+
+// String renders i in assembler syntax (with numeric branch targets).
+func (i Instr) String() string {
+	op2 := func() string {
+		if i.UseImm {
+			return fmt.Sprintf("%d", i.Imm)
+		}
+		return i.Rs2.String()
+	}
+	ea := func() string {
+		if i.UseImm {
+			if i.Imm == 0 {
+				return fmt.Sprintf("[%s]", i.Rs1)
+			}
+			return fmt.Sprintf("[%s%+d]", i.Rs1, i.Imm)
+		}
+		return fmt.Sprintf("[%s+%s]", i.Rs1, i.Rs2)
+	}
+	switch i.Op {
+	case Nop:
+		return "nop"
+	case Ld, Ldd:
+		return fmt.Sprintf("%s %s, %s", i.Op, ea(), i.Rd)
+	case St, Std:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, ea())
+	case Sethi:
+		return fmt.Sprintf("sethi %d, %s", i.Imm, i.Rd)
+	case Br:
+		return fmt.Sprintf("%s .%+d", i.Cond, i.Target)
+	case Call:
+		return fmt.Sprintf("call .%d", i.Target)
+	case Jmpl:
+		return fmt.Sprintf("jmpl %s%+d, %s", i.Rs1, i.Imm, i.Rd)
+	case Ta:
+		return fmt.Sprintf("ta %d", i.Imm)
+	case Unimp:
+		return "unimp"
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rs1, op2(), i.Rd)
+	}
+}

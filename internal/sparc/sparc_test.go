@@ -1,0 +1,134 @@
+package sparc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := map[Reg]string{
+		G0: "%g0", G7: "%g7", O0: "%o0", SP: "%sp", O7: "%o7",
+		L0: "%l0", L7: "%l7", I0: "%i0", FP: "%fp", I7: "%i7",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestRegIsGlobal(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		want := r <= G7
+		if got := r.IsGlobal(); got != want {
+			t.Errorf("%s.IsGlobal() = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !St.IsStore() || !Std.IsStore() {
+		t.Error("St/Std must be stores")
+	}
+	if Ld.IsStore() || Add.IsStore() {
+		t.Error("Ld/Add must not be stores")
+	}
+	if !Ld.IsLoad() || !Ldd.IsLoad() {
+		t.Error("Ld/Ldd must be loads")
+	}
+	if !Subcc.SetsCC() || Add.SetsCC() {
+		t.Error("SetsCC wrong for Subcc/Add")
+	}
+	if !Add.IsALU() || !Subcc.IsALU() || St.IsALU() || Br.IsALU() {
+		t.Error("IsALU misclassifies")
+	}
+}
+
+func TestCondNegateInvolution(t *testing.T) {
+	for c := Cond(0); c < numConds; c++ {
+		if c.Negate().Negate() != c {
+			t.Errorf("%s: Negate is not an involution", c)
+		}
+	}
+}
+
+func TestCondNegateComplement(t *testing.T) {
+	// For every cc state, exactly one of c and !c holds.
+	f := func(n, z, v, carry bool) bool {
+		cc := CC{N: n, Z: z, V: v, C: carry}
+		for c := Cond(0); c < numConds; c++ {
+			if c.Eval(cc) == c.Negate().Eval(cc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondEvalSignedOrder(t *testing.T) {
+	// Signed comparison conditions must agree with Go's comparison when the
+	// cc was produced by a - b (no overflow cases here by construction).
+	check := func(a, b int32) {
+		r := a - b
+		cc := CC{
+			N: r < 0,
+			Z: r == 0,
+			V: (a >= 0 && b < 0 && r < 0) || (a < 0 && b >= 0 && r >= 0),
+			C: uint32(a) < uint32(b),
+		}
+		tests := []struct {
+			c    Cond
+			want bool
+		}{
+			{BE, a == b}, {BNE, a != b}, {BL, a < b}, {BLE, a <= b},
+			{BG, a > b}, {BGE, a >= b},
+			{BLU, uint32(a) < uint32(b)}, {BGEU, uint32(a) >= uint32(b)},
+			{BGU, uint32(a) > uint32(b)}, {BLEU, uint32(a) <= uint32(b)},
+		}
+		for _, tt := range tests {
+			if got := tt.c.Eval(cc); got != tt.want {
+				t.Errorf("a=%d b=%d cond=%s: got %v want %v", a, b, tt.c, got, tt.want)
+			}
+		}
+	}
+	vals := []int32{-1 << 30, -1000, -1, 0, 1, 2, 1000, 1 << 30}
+	for _, a := range vals {
+		for _, b := range vals {
+			check(a, b)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{MakeNop(), "nop"},
+		{RI(Add, O0, 4, O1), "add %o0, 4, %o1"},
+		{RR(Sub, L1, L2, L3), "sub %l1, %l2, %l3"},
+		{LoadRI(FP, -20, O0), "ld [%fp-20], %o0"},
+		{StoreRI(O0, FP, -20), "st %o0, [%fp-20]"},
+		{Branch(BNE, 7), "bne .+7"},
+		{Instr{Op: Ta, Imm: 3, UseImm: true}, "ta 3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	in := RI(Add, O0, 4, O1)
+	if in.Op != Add || in.Rs1 != O0 || in.Imm != 4 || !in.UseImm || in.Rd != O1 {
+		t.Errorf("RI built %+v", in)
+	}
+	in = StoreRI(O2, SP, 8)
+	if !in.Op.IsStore() || in.Rd != O2 || in.Rs1 != SP || in.Imm != 8 {
+		t.Errorf("StoreRI built %+v", in)
+	}
+}

@@ -1,0 +1,64 @@
+// Package symtab implements the symbol table pattern matching of §4.2: it
+// matches the target-address expression DAG of each write instruction
+// against the compiler's debugging symbol records. A write whose target is
+// provably inside a named variable's extent is a "known" write: its runtime
+// check can be eliminated and re-inserted dynamically only while that
+// variable is monitored (PreMonitor/PostMonitor).
+package symtab
+
+import (
+	"databreak/internal/asm"
+	"databreak/internal/ir"
+	"databreak/internal/sparc"
+)
+
+// Match records that a store writes within symbol Sym, Off bytes in.
+type Match struct {
+	Sym asm.Sym
+	Off int32
+}
+
+// MatchStores matches every store in the function against the symbol
+// records, returning store position -> match. Stores with computed
+// (unknown-offset) targets never match; they remain checked, which is what
+// keeps monitor-hit detection sound regardless of aliasing.
+func MatchStores(in *ir.Info, syms []asm.Sym) map[int]Match {
+	out := make(map[int]Match)
+	f := in.F
+	for pos, addrVal := range in.AddrOf {
+		insn := f.Instruction(pos)
+		if !insn.Op.IsStore() {
+			continue
+		}
+		size := int32(4)
+		if insn.Op == sparc.Std {
+			size = 8
+		}
+		sh := in.ShapeOf(addrVal)
+		if !sh.IsAddr || !sh.Known {
+			continue
+		}
+		for _, s := range syms {
+			switch {
+			case sh.FPRel && (s.Kind == asm.SymLocal || s.Kind == asm.SymParam):
+				if s.Func != f.Name {
+					continue
+				}
+				if s.FpOff <= sh.Off && sh.Off+size <= s.FpOff+s.Size {
+					out[pos] = Match{Sym: s, Off: sh.Off - s.FpOff}
+				}
+			case !sh.FPRel && sh.Sym != "" && s.Kind == asm.SymGlobal:
+				if s.Label != sh.Sym {
+					continue
+				}
+				if 0 <= sh.Off && sh.Off+size <= s.Size {
+					out[pos] = Match{Sym: s, Off: sh.Off}
+				}
+			}
+			if _, done := out[pos]; done {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,685 @@
+// Package workload provides the ten benchmark programs used to reproduce
+// the paper's evaluation. Each is a mini-C program whose kernel structure
+// mirrors the memory behaviour of the corresponding SPEC89 program (write
+// density, locality, loop structure, pointer use, register declarations):
+//
+//	eqntott    integer sorting/comparison over tables (C)
+//	espresso   bit-vector set operations with register cursors (C)
+//	gcc        many small functions over allocated expression trees (C)
+//	li         cons-cell interpreter churn: alloc/free + recursion (C)
+//	doduc      scalar-heavy iterative simulation, small loops (Fortran-like)
+//	fpppp      huge straight-line basic blocks over scalars (Fortran-like)
+//	matrix300  dense matrix multiply, perfectly analyzable loops (Fortran-like)
+//	nasker     mixed kernels: saxpy, stencil, scatter, reduction (Fortran-like)
+//	spice2g6   sparse matrix-vector with indirect indexing (Fortran-like)
+//	tomcatv    2-D stencil relaxation over mesh arrays (Fortran-like)
+//
+// Absolute running times are meaningless on a simulator; what matters is
+// that the *shape* of each program's write mix matches its model, because
+// that is what drives every number in Tables 1 and 2.
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is one benchmark.
+type Program struct {
+	Name   string
+	Lang   string // "C" or "F"
+	Source string
+}
+
+// expand substitutes @X@ tokens (avoids fmt-escaping % in mini-C source).
+func expand(src string, vars map[string]int) string {
+	for k, v := range vars {
+		src = strings.ReplaceAll(src, "@"+k+"@", fmt.Sprint(v))
+	}
+	return src
+}
+
+// All returns the benchmark suite at the given scale (1 = quick; larger
+// values grow iteration counts roughly linearly).
+func All(scale int) []Program {
+	if scale < 1 {
+		scale = 1
+	}
+	return []Program{
+		Eqntott(scale), Espresso(scale), GCC(scale), LI(scale),
+		Doduc(scale), Fpppp(scale), Matrix300(scale), Nasker(scale),
+		Spice(scale), Tomcatv(scale),
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string, scale int) (Program, bool) {
+	for _, p := range All(scale) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+// Eqntott mirrors 023.eqntott: quicksort over permutation tables; heavy
+// known scalar writes, comparison-dominated control flow.
+func Eqntott(scale int) Program {
+	src := `
+int perm[2048];
+int vals[2048];
+int seed;
+
+int nextrand() {
+	seed = seed * 1103515245 + 12345;
+	if (seed < 0) seed = -seed;
+	return seed;
+}
+
+int less(int i, int j) {
+	int vi;
+	int vj;
+	vi = vals[perm[i]];
+	vj = vals[perm[j]];
+	if (vi < vj) return 1;
+	if (vi > vj) return 0;
+	return perm[i] < perm[j];
+}
+
+int qsortr(int lo, int hi) {
+	int i;
+	int j;
+	int t;
+	int mid;
+	if (lo >= hi) return 0;
+	mid = perm[(lo + hi) / 2];
+	i = lo;
+	j = hi;
+	while (i <= j) {
+		while (vals[perm[i]] < vals[mid]) i = i + 1;
+		while (vals[perm[j]] > vals[mid]) j = j - 1;
+		if (i <= j) {
+			t = perm[i];
+			perm[i] = perm[j];
+			perm[j] = t;
+			i = i + 1;
+			j = j - 1;
+		}
+	}
+	qsortr(lo, j);
+	qsortr(i, hi);
+	return 0;
+}
+
+int main() {
+	int i;
+	int r;
+	int sum;
+	int n;
+	n = @N@;
+	sum = 0;
+	seed = 12345;
+	for (r = 0; r < @R@; r = r + 1) {
+		for (i = 0; i < n; i = i + 1) {
+			perm[i] = i;
+			vals[i] = nextrand() % 10000;
+		}
+		qsortr(0, n - 1);
+		for (i = 1; i < n; i = i + 1) {
+			if (vals[perm[i - 1]] > vals[perm[i]]) sum = sum + 1000000;
+		}
+		sum = sum + vals[perm[0]] + vals[perm[n - 1]] + less(0, n - 1);
+	}
+	print(sum);
+	return 0;
+}
+`
+	return Program{"eqntott", "C", expand(src, map[string]int{"N": 1200, "R": 2 * scale})}
+}
+
+// Espresso mirrors 008.espresso: bit-vector cube covers with register
+// declared loop cursors (reducing both the need and opportunity for
+// optimization, as §4.6.1 notes).
+func Espresso(scale int) Program {
+	src := `
+int cover[128][8];
+int temp[8];
+int seed;
+
+int nextrand() {
+	seed = seed * 1103515245 + 12345;
+	if (seed < 0) seed = -seed;
+	return seed;
+}
+
+int popcount(int x) {
+	register int c;
+	register int v;
+	c = 0;
+	v = x;
+	while (v != 0) {
+		c = c + (v & 1);
+		v = (v >> 1) & 0x7fffffff;
+	}
+	return c;
+}
+
+int intersect(int a, int b) {
+	register int k;
+	register int any;
+	any = 0;
+	for (k = 0; k < 8; k = k + 1) {
+		temp[k] = cover[a][k] & cover[b][k];
+		any = any | temp[k];
+	}
+	return any != 0;
+}
+
+int covers(int a, int b) {
+	register int k;
+	for (k = 0; k < 8; k = k + 1) {
+		if ((cover[a][k] & cover[b][k]) != cover[b][k]) return 0;
+	}
+	return 1;
+}
+
+int main() {
+	register int i;
+	register int j;
+	int bits;
+	int pairs;
+	int r;
+	seed = 99;
+	bits = 0;
+	pairs = 0;
+	for (i = 0; i < 128; i = i + 1) {
+		for (j = 0; j < 8; j = j + 1) {
+			cover[i][j] = nextrand();
+		}
+	}
+	for (r = 0; r < @R@; r = r + 1) {
+		for (i = 0; i < 127; i = i + 1) {
+			for (j = i + 1; j < 128; j = j + 2) {
+				if (intersect(i, j)) {
+					bits = bits + popcount(temp[0] ^ temp[7]);
+				}
+				pairs = pairs + covers(i, j);
+			}
+		}
+	}
+	print(bits + pairs);
+	return 0;
+}
+`
+	return Program{"espresso", "C", expand(src, map[string]int{"R": 2 * scale})}
+}
+
+// GCC mirrors 001.gcc: many small functions building, folding, and freeing
+// expression trees; frequent calls mean frequent %fp definitions.
+func GCC(scale int) Program {
+	src := `
+struct Node {
+	int op;
+	int val;
+	struct Node *l;
+	struct Node *r;
+};
+int seed;
+int folded;
+
+int nextrand() {
+	seed = seed * 1103515245 + 12345;
+	if (seed < 0) seed = -seed;
+	return seed;
+}
+
+struct Node *mkleaf(int v) {
+	struct Node *n;
+	n = alloc(sizeof(struct Node));
+	n->op = 0;
+	n->val = v;
+	n->l = 0;
+	n->r = 0;
+	return n;
+}
+
+struct Node *mknode(int op, struct Node *l, struct Node *r) {
+	struct Node *n;
+	n = alloc(sizeof(struct Node));
+	n->op = op;
+	n->val = 0;
+	n->l = l;
+	n->r = r;
+	return n;
+}
+
+struct Node *build(int depth) {
+	int op;
+	if (depth <= 0) return mkleaf(nextrand() % 100);
+	op = 1 + nextrand() % 3;
+	return mknode(op, build(depth - 1), build(depth - 1 - nextrand() % 2));
+}
+
+int eval(struct Node *n) {
+	int a;
+	int b;
+	if (n->op == 0) return n->val;
+	a = eval(n->l);
+	b = eval(n->r);
+	if (n->op == 1) return a + b;
+	if (n->op == 2) return a - b;
+	return a * b % 65536;
+}
+
+int fold(struct Node *n) {
+	if (n->op == 0) return n->val;
+	n->val = eval(n);
+	n->op = 0;
+	folded = folded + 1;
+	freetree(n->l);
+	freetree(n->r);
+	n->l = 0;
+	n->r = 0;
+	return n->val;
+}
+
+int freetree(struct Node *n) {
+	if (n == 0) return 0;
+	freetree(n->l);
+	freetree(n->r);
+	free(n);
+	return 0;
+}
+
+int main() {
+	struct Node *t;
+	int i;
+	int sum;
+	seed = 7;
+	sum = 0;
+	folded = 0;
+	for (i = 0; i < @R@; i = i + 1) {
+		t = build(7);
+		sum = (sum + eval(t)) % 1000000;
+		sum = (sum + fold(t)) % 1000000;
+		freetree(t);
+	}
+	print(sum + folded);
+	return 0;
+}
+`
+	return Program{"gcc", "C", expand(src, map[string]int{"R": 60 * scale})}
+}
+
+// LI mirrors 022.li: a cons-cell workload with allocation churn, deep
+// recursion, and the suite's highest dynamic write density.
+func LI(scale int) Program {
+	src := `
+struct Cell {
+	int car;
+	struct Cell *cdr;
+};
+int seed;
+
+int nextrand() {
+	seed = seed * 1103515245 + 12345;
+	if (seed < 0) seed = -seed;
+	return seed;
+}
+
+struct Cell *cons(int v, struct Cell *rest) {
+	struct Cell *c;
+	c = alloc(sizeof(struct Cell));
+	c->car = v;
+	c->cdr = rest;
+	return c;
+}
+
+struct Cell *buildlist(int n) {
+	struct Cell *head;
+	int i;
+	head = 0;
+	for (i = 0; i < n; i = i + 1) {
+		head = cons(nextrand() % 1000, head);
+	}
+	return head;
+}
+
+struct Cell *reverse(struct Cell *l) {
+	struct Cell *out;
+	struct Cell *next;
+	out = 0;
+	while (l != 0) {
+		next = l->cdr;
+		l->cdr = out;
+		out = l;
+		l = next;
+	}
+	return out;
+}
+
+int sumlist(struct Cell *l) {
+	if (l == 0) return 0;
+	return l->car + sumlist(l->cdr);
+}
+
+int freelist(struct Cell *l) {
+	struct Cell *next;
+	while (l != 0) {
+		next = l->cdr;
+		free(l);
+		l = next;
+	}
+	return 0;
+}
+
+int mapsq(struct Cell *l) {
+	while (l != 0) {
+		l->car = l->car * l->car % 4096;
+		l = l->cdr;
+	}
+	return 0;
+}
+
+int main() {
+	struct Cell *l;
+	int i;
+	int sum;
+	seed = 3;
+	sum = 0;
+	for (i = 0; i < @R@; i = i + 1) {
+		l = buildlist(400);
+		l = reverse(l);
+		mapsq(l);
+		sum = (sum + sumlist(l)) % 1000000;
+		freelist(l);
+	}
+	print(sum);
+	return 0;
+}
+`
+	return Program{"li", "C", expand(src, map[string]int{"R": 25 * scale})}
+}
+
+// Doduc mirrors 015.doduc: a scalar-heavy iterative simulation with many
+// short loops over small arrays.
+func Doduc(scale int) Program {
+	src := `
+int flux[64];
+int temp[64];
+int rho[64];
+
+int step(int t) {
+	int i;
+	int dl;
+	int dr;
+	int acc;
+	acc = 0;
+	for (i = 1; i < 63; i = i + 1) {
+		dl = temp[i] - temp[i - 1];
+		dr = temp[i + 1] - temp[i];
+		flux[i] = (dr - dl) * 3 + rho[i] / 2;
+	}
+	for (i = 1; i < 63; i = i + 1) {
+		temp[i] = temp[i] + flux[i] / 8;
+		rho[i] = (rho[i] * 15 + temp[i]) / 16;
+		acc = acc + temp[i];
+	}
+	return acc + t;
+}
+
+int main() {
+	int i;
+	int t;
+	int acc;
+	for (i = 0; i < 64; i = i + 1) {
+		temp[i] = i * 17 % 97;
+		rho[i] = i * 29 % 83;
+		flux[i] = 0;
+	}
+	acc = 0;
+	for (t = 0; t < @T@; t = t + 1) {
+		acc = (acc + step(t)) % 1000000;
+	}
+	print(acc);
+	return 0;
+}
+`
+	return Program{"doduc", "F", expand(src, map[string]int{"T": 700 * scale})}
+}
+
+// Fpppp mirrors 042.fpppp: enormous straight-line basic blocks of scalar
+// arithmetic with dense stack traffic.
+func Fpppp(scale int) Program {
+	var block strings.Builder
+	// A long straight-line block of dependent scalar updates (the fpppp
+	// signature: basic blocks hundreds of instructions long).
+	for k := 0; k < 24; k++ {
+		fmt.Fprintf(&block, "\tt%d = (t%d * 3 + t%d / 2 + g[%d]) %% 9973;\n",
+			k%6, (k+1)%6, (k+2)%6, k%16)
+		fmt.Fprintf(&block, "\tg[%d] = g[%d] + t%d;\n", k%16, (k+5)%16, k%6)
+	}
+	src := `
+int g[16];
+
+int kernel(int a, int b) {
+	int t0;
+	int t1;
+	int t2;
+	int t3;
+	int t4;
+	int t5;
+	t0 = a;
+	t1 = b;
+	t2 = a + b;
+	t3 = a - b;
+	t4 = a * 3;
+	t5 = b * 5;
+@BLOCK@
+	return (t0 + t1 + t2 + t3 + t4 + t5) % 1000000;
+}
+
+int main() {
+	int i;
+	int acc;
+	for (i = 0; i < 16; i = i + 1) g[i] = i * 13 + 1;
+	acc = 0;
+	for (i = 0; i < @R@; i = i + 1) {
+		acc = (acc + kernel(i, acc)) % 1000000;
+	}
+	print(acc);
+	return 0;
+}
+`
+	src = strings.ReplaceAll(src, "@BLOCK@", block.String())
+	return Program{"fpppp", "F", expand(src, map[string]int{"R": 900 * scale})}
+}
+
+// Matrix300 mirrors 030.matrix300: dense matrix multiply whose loop nest is
+// perfectly analyzable — the paper eliminates 100% of its checks.
+func Matrix300(scale int) Program {
+	src := `
+int a[@N@][@N@];
+int b[@N@][@N@];
+int c[@N@][@N@];
+
+int main() {
+	int i;
+	int j;
+	int k;
+	int s;
+	int r;
+	for (i = 0; i < @N@; i = i + 1) {
+		for (j = 0; j < @N@; j = j + 1) {
+			a[i][j] = (i * 3 + j * 7) % 19;
+			b[i][j] = (i * 5 + j * 11) % 23;
+			c[i][j] = 0;
+		}
+	}
+	for (r = 0; r < @R@; r = r + 1) {
+		for (i = 0; i < @N@; i = i + 1) {
+			for (j = 0; j < @N@; j = j + 1) {
+				s = 0;
+				for (k = 0; k < @N@; k = k + 1) {
+					s = s + a[i][k] * b[k][j];
+				}
+				c[i][j] = (c[i][j] + s) % 65536;
+			}
+		}
+	}
+	s = 0;
+	for (i = 0; i < @N@; i = i + 1) s = (s + c[i][i]) % 1000000;
+	print(s);
+	return 0;
+}
+`
+	return Program{"matrix300", "F", expand(src, map[string]int{"N": 40, "R": 2 * scale})}
+}
+
+// Nasker mirrors 020.nasker: a mix of numeric kernels — saxpy, stencil,
+// reduction, and a scatter whose indirect writes defeat loop analysis.
+func Nasker(scale int) Program {
+	src := `
+int x[512];
+int y[512];
+int z[512];
+int idx[512];
+
+int main() {
+	int i;
+	int r;
+	int acc;
+	int n;
+	n = 512;
+	for (i = 0; i < n; i = i + 1) {
+		x[i] = i % 37;
+		y[i] = (i * 3) % 41;
+		idx[i] = (i * 7 + 3) % n;
+		z[i] = 0;
+	}
+	acc = 0;
+	for (r = 0; r < @R@; r = r + 1) {
+		for (i = 0; i < n; i = i + 1) {
+			y[i] = y[i] + 3 * x[i];
+		}
+		for (i = 1; i < n - 1; i = i + 1) {
+			z[i] = (x[i - 1] + x[i] + x[i + 1]) / 3;
+		}
+		for (i = 0; i < n; i = i + 1) {
+			z[idx[i]] = z[idx[i]] + y[i] % 7;
+		}
+		for (i = 0; i < n; i = i + 1) {
+			acc = (acc + z[i]) % 1000000;
+		}
+	}
+	print(acc);
+	return 0;
+}
+`
+	return Program{"nasker", "F", expand(src, map[string]int{"R": 110 * scale})}
+}
+
+// Spice mirrors 013.spice2g6: sparse matrix-vector products with indirect
+// row/column indexing plus scalar-heavy model evaluation.
+func Spice(scale int) Program {
+	src := `
+int rowptr[257];
+int colidx[2048];
+int aval[2048];
+int xv[256];
+int yv[256];
+
+int modeleval(int v, int g) {
+	int i1;
+	int i2;
+	int i3;
+	i1 = v * g % 1009;
+	i2 = (i1 * 3 + v) % 2003;
+	i3 = (i2 - g) * 5 % 4001;
+	if (i3 < 0) i3 = -i3;
+	return (i1 + i2 + i3) % 997;
+}
+
+int main() {
+	int i;
+	int k;
+	int r;
+	int nnz;
+	int acc;
+	int n;
+	n = 256;
+	nnz = 0;
+	for (i = 0; i < n; i = i + 1) {
+		rowptr[i] = nnz;
+		for (k = 0; k < 8; k = k + 1) {
+			colidx[nnz] = (i + k * 31) % n;
+			aval[nnz] = (i * 13 + k * 7) % 29 + 1;
+			nnz = nnz + 1;
+		}
+		xv[i] = i % 17 + 1;
+	}
+	rowptr[n] = nnz;
+	acc = 0;
+	for (r = 0; r < @R@; r = r + 1) {
+		for (i = 0; i < n; i = i + 1) {
+			int s;
+			int e;
+			int sum;
+			s = rowptr[i];
+			e = rowptr[i + 1];
+			sum = 0;
+			for (k = s; k < e; k = k + 1) {
+				sum = sum + aval[k] * xv[colidx[k]];
+			}
+			yv[i] = sum % 10007;
+		}
+		for (i = 0; i < n; i = i + 1) {
+			xv[i] = (xv[i] + modeleval(yv[i], xv[i])) % 1000 + 1;
+		}
+		acc = (acc + yv[n - 1] + xv[0]) % 1000000;
+	}
+	print(acc);
+	return 0;
+}
+`
+	return Program{"spice2g6", "F", expand(src, map[string]int{"R": 35 * scale})}
+}
+
+// Tomcatv mirrors 047.tomcatv: 2-D stencil relaxation over mesh arrays with
+// vectorizable inner loops.
+func Tomcatv(scale int) Program {
+	src := `
+int u[66][66];
+int v[66][66];
+
+int main() {
+	int i;
+	int j;
+	int it;
+	int acc;
+	for (i = 0; i < 66; i = i + 1) {
+		for (j = 0; j < 66; j = j + 1) {
+			u[i][j] = (i * j) % 100;
+			v[i][j] = (i + j) % 100;
+		}
+	}
+	acc = 0;
+	for (it = 0; it < @T@; it = it + 1) {
+		for (i = 1; i < 65; i = i + 1) {
+			for (j = 1; j < 65; j = j + 1) {
+				v[i][j] = (u[i - 1][j] + u[i + 1][j] + u[i][j - 1] + u[i][j + 1]) / 4;
+			}
+		}
+		for (i = 1; i < 65; i = i + 1) {
+			for (j = 1; j < 65; j = j + 1) {
+				u[i][j] = u[i][j] + (v[i][j] - u[i][j]) / 2;
+			}
+		}
+		acc = (acc + u[33][33]) % 1000000;
+	}
+	print(acc);
+	return 0;
+}
+`
+	return Program{"tomcatv", "F", expand(src, map[string]int{"T": 28 * scale})}
+}

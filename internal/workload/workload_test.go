@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"databreak/internal/asm"
+	"databreak/internal/cache"
+	"databreak/internal/machine"
+	"databreak/internal/minic"
+)
+
+func runProgram(t *testing.T, p Program) (*machine.Machine, string) {
+	t.Helper()
+	asmSrc, err := minic.Compile(p.Source)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", p.Name, err)
+	}
+	u, err := asm.Parse(p.Name+".s", asmSrc)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", p.Name, err)
+	}
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u)
+	if err != nil {
+		t.Fatalf("%s: assemble: %v", p.Name, err)
+	}
+	m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+	prog.Load(m)
+	code, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s: run: %v", p.Name, err)
+	}
+	if code != 0 {
+		t.Fatalf("%s: exit code %d", p.Name, code)
+	}
+	return m, m.Output()
+}
+
+func TestAllProgramsCompileAndRun(t *testing.T) {
+	for _, p := range All(1) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			m, out := runProgram(t, p)
+			if out == "" {
+				t.Fatal("no checksum printed")
+			}
+			if m.Instrs() < 100_000 {
+				t.Fatalf("only %d instructions executed; workload too small", m.Instrs())
+			}
+			if m.Instrs() > 100_000_000 {
+				t.Fatalf("%d instructions executed; workload too large", m.Instrs())
+			}
+		})
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	for _, p := range []Program{Eqntott(1), LI(1), Matrix300(1)} {
+		_, out1 := runProgram(t, p)
+		_, out2 := runProgram(t, p)
+		if out1 != out2 {
+			t.Fatalf("%s: nondeterministic output %q vs %q", p.Name, out1, out2)
+		}
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	all := All(1)
+	if len(all) != 10 {
+		t.Fatalf("suite has %d programs, want 10", len(all))
+	}
+	c, f := 0, 0
+	for _, p := range all {
+		switch p.Lang {
+		case "C":
+			c++
+		case "F":
+			f++
+		default:
+			t.Fatalf("%s: bad lang %q", p.Name, p.Lang)
+		}
+	}
+	if c != 4 || f != 6 {
+		t.Fatalf("suite split C=%d F=%d, want 4 and 6 (as in the paper)", c, f)
+	}
+	if _, ok := ByName("matrix300", 1); !ok {
+		t.Fatal("ByName failed")
+	}
+	if _, ok := ByName("nonesuch", 1); ok {
+		t.Fatal("ByName found a ghost")
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	m1, _ := runProgram(t, Doduc(1))
+	m2, _ := runProgram(t, Doduc(2))
+	if m2.Instrs() < m1.Instrs()*3/2 {
+		t.Fatalf("scale 2 ran %d instrs vs %d at scale 1; scaling broken",
+			m2.Instrs(), m1.Instrs())
+	}
+}
+
+// TestDifferentialAgainstInterpreter cross-checks the compiled benchmarks
+// against the mini-C reference interpreter (full-program differential
+// testing of the compiler substrate).
+func TestDifferentialAgainstInterpreter(t *testing.T) {
+	for _, p := range []Program{Eqntott(1), Doduc(1), Fpppp(1), GCC(1)} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			_, compiled := runProgram(t, p)
+			iOut, iCode, err := minic.Interpret(p.Source)
+			if err != nil {
+				t.Fatalf("interpret: %v", err)
+			}
+			if iCode != 0 {
+				t.Fatalf("interp exit = %d", iCode)
+			}
+			if iOut != compiled {
+				t.Fatalf("interpreter %q != compiled %q", iOut, compiled)
+			}
+		})
+	}
+}
