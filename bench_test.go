@@ -2,6 +2,7 @@ package databreak
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"databreak/internal/asm"
@@ -236,6 +237,43 @@ func BenchmarkStrategies(b *testing.B) {
 		b.ReportMetric(100*(float64(hash.Cycles)-float64(base.Cycles))/float64(base.Cycles), "hash-overhead-%")
 		b.ReportMetric(100*(float64(bm.Cycles)-float64(base.Cycles))/float64(base.Cycles), "bitmap-overhead-%")
 	})
+}
+
+// BenchmarkTable1Matrix runs the full Table 1 matrix for a small program set
+// through the worker pool, serial vs one-worker-per-CPU, so the pool's
+// speedup (or, on one core, its scheduling cost) is measured where it is
+// used. The rows are asserted identical across worker counts each iteration.
+func BenchmarkTable1Matrix(b *testing.B) {
+	var programs []workload.Program
+	for _, n := range []string{"eqntott", "fpppp"} {
+		p, ok := workload.ByName(n, 1)
+		if !ok {
+			b.Fatalf("missing workload %s", n)
+		}
+		programs = append(programs, p)
+	}
+	var serialRows []bench.T1Row
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := bench.DefaultConfig()
+			cfg.Workers = workers
+			var rows []bench.T1Row
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = bench.Table1(cfg, programs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if workers == 1 {
+				serialRows = rows
+			} else if serialRows != nil && bench.FormatTable1(rows) != bench.FormatTable1(serialRows) {
+				b.Fatal("parallel Table 1 differs from serial")
+			}
+		})
+	}
 }
 
 // BenchmarkSimulator measures raw simulation speed (host ns per simulated

@@ -9,12 +9,18 @@
 //	mrsbench -table strategies §1 strategy comparison
 //	mrsbench -table breakeven  §3.3.3 break-even analysis
 //	mrsbench -table all        everything
+//
+// The benchmark matrix runs on a worker pool (-workers, default one per
+// CPU); table contents are identical for any worker count. -json also
+// writes each table as BENCH_<table>.json with wall-clock timing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"databreak/internal/bench"
 	"databreak/internal/workload"
@@ -24,11 +30,17 @@ func main() {
 	table := flag.String("table", "all", "which table to regenerate: 1, 2, fig3, strategies, breakeven, ablation, all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	only := flag.String("program", "", "run a single benchmark by name")
+	workers := flag.Int("workers", 0, "benchmark cells run concurrently (0 = one per CPU)")
+	jsonOut := flag.Bool("json", false, "also write each table as BENCH_<table>.json")
 	verbose := flag.Bool("v", false, "progress output")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
+	cfg.Workers = *workers
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
@@ -47,55 +59,86 @@ func main() {
 		os.Exit(1)
 	}
 
+	// report writes BENCH_<name>.json when -json is set; text output to
+	// stdout is identical with and without it.
+	report := func(name string, wall time.Duration, rows any) {
+		if !*jsonOut {
+			return
+		}
+		path := "BENCH_" + name + ".json"
+		if err := bench.NewReport(name, cfg, wall, rows).WriteFile(path); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%.0f ms, %d workers)\n",
+			path, float64(wall.Microseconds())/1000, cfg.Workers)
+	}
+
 	runT1 := func() {
+		start := time.Now()
 		rows, err := bench.Table1(cfg, programs)
 		if err != nil {
 			fail(err)
 		}
+		wall := time.Since(start)
 		fmt.Println("Table 1: monitored region service overhead by write check implementation")
 		fmt.Print(bench.FormatTable1(rows))
 		fmt.Println()
+		report("table1", wall, bench.Table1JSON(rows))
 	}
 	runT2 := func() {
+		start := time.Now()
 		rows, err := bench.Table2(cfg, programs)
 		if err != nil {
 			fail(err)
 		}
+		wall := time.Since(start)
 		fmt.Println("Table 2: write check elimination")
 		fmt.Print(bench.FormatTable2(rows))
 		fmt.Println()
+		report("table2", wall, bench.Table2JSON(rows))
 	}
 	runF3 := func() {
+		start := time.Now()
 		series, err := bench.Figure3(cfg, programs)
 		if err != nil {
 			fail(err)
 		}
+		wall := time.Since(start)
 		fmt.Println("Figure 3: segment cache locality vs segment size (hit rate)")
 		fmt.Print(bench.FormatFigure3(series, programs))
 		fmt.Println()
+		report("fig3", wall, bench.Figure3JSON(series, programs))
 	}
 	runStrat := func() {
+		start := time.Now()
 		rows, err := bench.StrategyTable(cfg, programs)
 		if err != nil {
 			fail(err)
 		}
+		wall := time.Since(start)
 		fmt.Println("Strategy comparison (paper §1)")
 		fmt.Print(bench.FormatStrategyTable(rows))
 		fmt.Println()
+		report("strategies", wall, rows)
 	}
 	runBE := func() {
+		start := time.Now()
 		fmt.Println("Break-even analysis (paper §3.3.3)")
 		fmt.Print(bench.FormatBreakEven())
 		fmt.Println()
+		report("breakeven", time.Since(start), bench.BreakEvenRows())
 	}
 	runAbl := func() {
+		start := time.Now()
 		rows, err := bench.Ablation(cfg, programs)
 		if err != nil {
 			fail(err)
 		}
+		wall := time.Since(start)
 		fmt.Println("Ablations: read monitoring (§5) and the segment-flag bit")
 		fmt.Print(bench.FormatAblation(rows))
 		fmt.Println()
+		report("ablation", wall, rows)
 	}
 
 	switch *table {

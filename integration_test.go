@@ -4,11 +4,13 @@ import (
 	"testing"
 
 	"databreak/internal/asm"
+	"databreak/internal/bench"
 	"databreak/internal/cache"
 	"databreak/internal/machine"
 	"databreak/internal/minic"
 	"databreak/internal/monitor"
 	"databreak/internal/patch"
+	"databreak/internal/workload"
 )
 
 // TestMidRunBreakpointLifecycle drives the real debugger workflow: the
@@ -158,5 +160,64 @@ int main() {
 	// of regions at all (bitmap lookups read the same words).
 	if one != many {
 		t.Fatalf("1 region: %d cycles; 200 regions: %d cycles — overhead must be independent", one, many)
+	}
+}
+
+// TestPinnedWorkloadCounts pins exact simulated cycle/instruction counts and
+// program output for representative workloads under the baseline and two
+// write-check strategies. The simulator is a deterministic cost model: these
+// numbers ARE the experiment results, so any interpreter change — including
+// host-speed optimizations — must reproduce them bit for bit. If an
+// intentional cost-model change moves them, update the constants and note it
+// in EXPERIMENTS.md; an unintentional diff here is a correctness bug.
+func TestPinnedWorkloadCounts(t *testing.T) {
+	type pin struct {
+		cycles, instrs int64
+		output         string
+	}
+	golden := map[string]map[string]pin{
+		"eqntott": {
+			"base":  {2145882, 1398794, "19987\n"},
+			"bir":   {4184323, 2713402, "19987\n"},
+			"cache": {2980393, 2041067, "19987\n"},
+		},
+		"matrix300": {
+			"base":  {7764135, 4207825, "317196\n"},
+			"bir":   {17363271, 8616273, "317196\n"},
+			"cache": {9835325, 5933398, "317196\n"},
+		},
+	}
+	cfg := bench.DefaultConfig()
+	for name, pins := range golden {
+		p, ok := workload.ByName(name, 1)
+		if !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+		u, err := bench.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs := map[string]func() (bench.Run, error){
+			"base": func() (bench.Run, error) { return cfg.RunBaseline(u) },
+			"bir": func() (bench.Run, error) {
+				return cfg.RunStrategy(u, patch.BitmapInlineRegisters, monitor.DefaultConfig, false)
+			},
+			"cache": func() (bench.Run, error) {
+				mcfg := monitor.DefaultConfig
+				mcfg.Flags = true
+				return cfg.RunStrategy(u, patch.Cache, mcfg, false)
+			},
+		}
+		for variant, want := range pins {
+			got, err := runs[variant]()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, variant, err)
+			}
+			if got.Cycles != want.cycles || got.Instrs != want.instrs || got.Output != want.output {
+				t.Errorf("%s/%s: cycles/instrs/output = %d/%d/%q, want %d/%d/%q",
+					name, variant, got.Cycles, got.Instrs, got.Output,
+					want.cycles, want.instrs, want.output)
+			}
+		}
 	}
 }

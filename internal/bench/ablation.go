@@ -51,51 +51,44 @@ func (c Config) RunPatched(u *asm.Unit, popts patch.Options, disabled bool) (Run
 	return c.execute(prog, effCfg, regions, disabled)
 }
 
-// Ablation measures the design-choice deltas for each program.
+// Ablation measures the design-choice deltas for each program. The three
+// patch configurations of each program are independent cells on the worker
+// pool.
 func Ablation(cfg Config, programs []workload.Program) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, p := range programs {
-		cfg.logf("ablation: %s", p.Name)
-		u, err := Compile(p)
+	cfg = cfg.normalized()
+	preps, err := cfg.prepare(programs, "ablation", true)
+	if err != nil {
+		return nil, err
+	}
+	variants := []patch.Options{
+		{Strategy: patch.BitmapInlineRegisters},
+		{Strategy: patch.BitmapInlineRegisters, CheckReads: true},
+		{Strategy: patch.BitmapInlineRegisters,
+			Monitor: monitor.Config{SegWords: monitor.DefaultConfig.SegWords, Flags: true}},
+	}
+	grid, err := matrix(cfg, preps, len(variants), func(p prepped, v int) (float64, error) {
+		cfg.logf("ablation: %s/%d", p.prog.Name, v)
+		r, err := cfg.RunPatched(p.unit, variants[v], false)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		base, err := cfg.RunBaseline(u)
-		if err != nil {
-			return nil, err
+		if err := checkOutput(p.prog, p.base.Output, r.Output, "ablation"); err != nil {
+			return 0, err
 		}
-		row := AblationRow{Name: p.Name}
-
-		measure := func(popts patch.Options) (float64, error) {
-			r, err := cfg.RunPatched(u, popts, false)
-			if err != nil {
-				return 0, err
-			}
-			if err := checkOutput(p, base.Output, r.Output, "ablation"); err != nil {
-				return 0, err
-			}
-			return overheadPct(base.Cycles, r.Cycles), nil
+		return overheadPct(p.base.Cycles, r.Cycles), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, len(preps))
+	for i, p := range preps {
+		rows[i] = AblationRow{
+			Name:      p.prog.Name,
+			WriteOnly: grid[i][0],
+			ReadWrite: grid[i][1],
+			FlagsOff:  grid[i][0],
+			FlagsOn:   grid[i][2],
 		}
-
-		if row.WriteOnly, err = measure(patch.Options{
-			Strategy: patch.BitmapInlineRegisters,
-		}); err != nil {
-			return nil, err
-		}
-		if row.ReadWrite, err = measure(patch.Options{
-			Strategy:   patch.BitmapInlineRegisters,
-			CheckReads: true,
-		}); err != nil {
-			return nil, err
-		}
-		row.FlagsOff = row.WriteOnly
-		if row.FlagsOn, err = measure(patch.Options{
-			Strategy: patch.BitmapInlineRegisters,
-			Monitor:  monitor.Config{SegWords: monitor.DefaultConfig.SegWords, Flags: true},
-		}); err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

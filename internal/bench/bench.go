@@ -30,7 +30,12 @@ type Config struct {
 	Scale int
 	Cache cache.Config
 	Costs machine.Costs
-	// Log, when non-nil, receives progress lines.
+	// Workers is the number of benchmark cells executed concurrently; <= 0
+	// means runtime.GOMAXPROCS(0). Results are independent of the setting:
+	// every table driver collects cells in deterministic input order.
+	Workers int
+	// Log, when non-nil, receives progress lines. The table drivers wrap it
+	// so concurrent workers may share it; see SyncWriter.
 	Log io.Writer
 }
 

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelMapOrderAndCompleteness(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		cfg := Config{Workers: workers}
+		got, err := parallelMap(cfg, 50, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParallelMapZeroCells(t *testing.T) {
+	out, err := parallelMap(Config{Workers: 4}, 0, func(i int) (int, error) {
+		t.Fatal("fn must not be called")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestParallelMapReturnsLowestIndexError(t *testing.T) {
+	// Several cells fail; the reported error must be the lowest-index one
+	// regardless of scheduling, so failures are reproducible.
+	for _, workers := range []int{1, 4} {
+		_, err := parallelMap(Config{Workers: workers}, 20, func(i int) (int, error) {
+			if i == 7 || i == 13 {
+				return 0, fmt.Errorf("cell %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "cell 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want cell 7", workers, err)
+		}
+	}
+}
+
+func TestParallelMapCancelsAfterError(t *testing.T) {
+	// After the first error no new cells may start. With one slow worker
+	// holding the error, the feeder must stop well short of n.
+	var started atomic.Int64
+	_, err := parallelMap(Config{Workers: 2}, 1000, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// In-flight cells may finish, but the 1000-cell feed must have stopped
+	// early. Allow generous slack for cells issued before cancellation won
+	// the race.
+	if n := started.Load(); n > 900 {
+		t.Fatalf("%d cells started after early error; cancellation did not take", n)
+	}
+}
+
+func TestSyncWriterSharedByWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	w := SyncWriter(&buf)
+	if SyncWriter(w) != w {
+		t.Fatal("SyncWriter must be idempotent")
+	}
+	if SyncWriter(nil) != nil {
+		t.Fatal("SyncWriter(nil) must stay nil")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				fmt.Fprintf(w, "line\n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := bytes.Count(buf.Bytes(), []byte("line\n")); got != 800 {
+		t.Fatalf("interleaved writes: %d intact lines, want 800", got)
+	}
+}
+
+// TestTable1DeterministicAcrossWorkerCounts is the parallelism regression
+// test from the issue: the same table, serial and with 8 workers, must be
+// identical row for row — the worker pool may change wall-clock time only.
+func TestTable1DeterministicAcrossWorkerCounts(t *testing.T) {
+	programs := testPrograms(t)
+
+	serial := DefaultConfig()
+	serial.Workers = 1
+	want, err := Table1(serial, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := DefaultConfig()
+	par.Workers = 8
+	got, err := Table1(par, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("Table1 differs between Workers=1 and Workers=8:\nserial: %+v\nparallel: %+v", want, got)
+	}
+	if FormatTable1(want) != FormatTable1(got) {
+		t.Fatal("rendered Table 1 text differs between worker counts")
+	}
+}

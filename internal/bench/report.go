@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"databreak/internal/workload"
+)
+
+// Report is the machine-readable result of one table run, written by
+// mrsbench -json as BENCH_<table>.json. Rows hold the same numbers the text
+// formatters print; Wall* record host time so the harness's own performance
+// is tracked from PR to PR.
+type Report struct {
+	Table      string  `json:"table"`
+	Scale      int     `json:"scale"`
+	Workers    int     `json:"workers"`
+	WallMillis float64 `json:"wall_ms"`
+	Rows       any     `json:"rows"`
+}
+
+// NewReport stamps a report for one table run.
+func NewReport(table string, cfg Config, wall time.Duration, rows any) Report {
+	c := cfg.normalized()
+	return Report{
+		Table:      table,
+		Scale:      c.Scale,
+		Workers:    c.Workers,
+		WallMillis: float64(wall.Microseconds()) / 1000,
+		Rows:       rows,
+	}
+}
+
+// WriteFile writes the report as indented JSON.
+func (r Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("report %s: %w", r.Table, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// T1RowJSON is the JSON shape of a Table 1 row: strategy columns keyed by
+// strategy name rather than by internal enum value.
+type T1RowJSON struct {
+	Name     string             `json:"name"`
+	Lang     string             `json:"lang,omitempty"`
+	Disabled float64            `json:"disabled_pct"`
+	Overhead map[string]float64 `json:"overhead_pct"`
+	Sigma    float64            `json:"sigma_pct"`
+}
+
+// Table1JSON converts Table 1 rows (plus the average lines) for a report.
+func Table1JSON(rows []T1Row) []T1RowJSON {
+	cAvg, fAvg, all := Averages(rows)
+	full := append(append([]T1Row{}, rows...), cAvg, fAvg, all)
+	out := make([]T1RowJSON, len(full))
+	for i, r := range full {
+		j := T1RowJSON{
+			Name:     r.Name,
+			Lang:     r.Lang,
+			Disabled: r.Disabled,
+			Sigma:    r.Sigma,
+			Overhead: make(map[string]float64, len(r.Overhead)),
+		}
+		for s, v := range r.Overhead {
+			j.Overhead[s.String()] = v
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// Table2JSON converts Table 2 rows (plus the average lines) for a report.
+// T2Row is already flat and exported, so it marshals as-is.
+func Table2JSON(rows []T2Row) []T2Row {
+	cAvg, fAvg, all := AveragesT2(rows)
+	return append(append([]T2Row{}, rows...), cAvg, fAvg, all)
+}
+
+// Fig3SeriesJSON is one program's segment-cache locality curve.
+type Fig3SeriesJSON struct {
+	Program string         `json:"program"`
+	Points  []Figure3Point `json:"points"`
+}
+
+// Figure3JSON flattens the locality series into deterministic program order.
+func Figure3JSON(series map[string][]Figure3Point, programs []workload.Program) []Fig3SeriesJSON {
+	var out []Fig3SeriesJSON
+	for _, p := range programs {
+		if pts, ok := series[p.Name]; ok {
+			out = append(out, Fig3SeriesJSON{Program: p.Name, Points: pts})
+		}
+	}
+	return out
+}
+
+// BreakEvenJSON tabulates the §3.3.3 analysis the same way FormatBreakEven
+// prints it.
+type BreakEvenJSON struct {
+	MissRate    float64 `json:"miss_rate"`
+	Load2Cycles float64 `json:"full_lookup_frac_load2"`
+	Load8Cycles float64 `json:"full_lookup_frac_load8"`
+}
+
+// BreakEvenRows evaluates the break-even fractions reported by the text
+// formatter.
+func BreakEvenRows() []BreakEvenJSON {
+	var out []BreakEvenJSON
+	for _, miss := range []float64{0.3, 0.5, 0.7} {
+		out = append(out, BreakEvenJSON{
+			MissRate:    miss,
+			Load2Cycles: BreakEven(2, miss),
+			Load8Cycles: BreakEven(8, miss),
+		})
+	}
+	return out
+}

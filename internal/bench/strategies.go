@@ -28,55 +28,68 @@ type StrategyRow struct {
 	BitmapPct float64
 }
 
-// StrategyTable reproduces the strategy comparison of §1.
+// StrategyTable reproduces the strategy comparison of §1. The four measured
+// variants of each program (cold/hot page protection, hash table, bitmap)
+// are independent cells on the worker pool.
 func StrategyTable(cfg Config, programs []workload.Program) ([]StrategyRow, error) {
-	var rows []StrategyRow
-	for _, p := range programs {
-		cfg.logf("strategies: %s", p.Name)
-		u, err := Compile(p)
-		if err != nil {
-			return nil, err
+	cfg = cfg.normalized()
+	preps, err := cfg.prepare(programs, "strategies", true)
+	if err != nil {
+		return nil, err
+	}
+	variants := []string{"page-cold", "page-hot", "hash", "bitmap"}
+	grid, err := matrix(cfg, preps, len(variants), func(p prepped, v int) (float64, error) {
+		cfg.logf("strategies: %s/%s", p.prog.Name, variants[v])
+		switch variants[v] {
+		case "page-cold":
+			// Page protection with the watched word far from anything the
+			// program writes.
+			cold, err := cfg.runPageProtect(p.unit, FarRegion)
+			if err != nil {
+				return 0, err
+			}
+			return overheadPct(p.base.Cycles, cold), nil
+		case "page-hot":
+			// Watched word on the first data page, where the globals live.
+			hot, err := cfg.runPageProtect(p.unit, machine.DataBase)
+			if err != nil {
+				return 0, err
+			}
+			return overheadPct(p.base.Cycles, hot), nil
+		case "hash":
+			hash, err := cfg.RunStrategy(p.unit, patch.HashCall, monitor.DefaultConfig, false)
+			if err != nil {
+				return 0, err
+			}
+			if err := checkOutput(p.prog, p.base.Output, hash.Output, "HashCall"); err != nil {
+				return 0, err
+			}
+			return overheadPct(p.base.Cycles, hash.Cycles), nil
+		default: // segmented bitmap, for comparison
+			bm, err := cfg.RunStrategy(p.unit, patch.BitmapInlineRegisters, monitor.DefaultConfig, false)
+			if err != nil {
+				return 0, err
+			}
+			return overheadPct(p.base.Cycles, bm.Cycles), nil
 		}
-		base, err := cfg.RunBaseline(u)
-		if err != nil {
-			return nil, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]StrategyRow, len(preps))
+	for i, p := range preps {
+		rows[i] = StrategyRow{
+			Name: p.prog.Name,
+			// dbx-style trap checking: two context switches plus debugger
+			// work per instruction. The run is deterministic, so the
+			// slowdown is the per-instruction penalty amortized over the
+			// baseline CPI.
+			TrapFactor: float64(p.base.Cycles+p.base.Instrs*baseline.TrapPerInstr) / float64(p.base.Cycles),
+			PageCold:   grid[i][0],
+			PageHot:    grid[i][1],
+			HashPct:    grid[i][2],
+			BitmapPct:  grid[i][3],
 		}
-		row := StrategyRow{Name: p.Name}
-
-		// dbx-style trap checking: two context switches plus debugger work
-		// per instruction. The run is deterministic, so the slowdown is the
-		// per-instruction penalty amortized over the baseline CPI.
-		row.TrapFactor = float64(base.Cycles+base.Instrs*baseline.TrapPerInstr) / float64(base.Cycles)
-
-		// Page protection, cold page (far region) and hot page (first data
-		// page, where the program's globals live).
-		cold, err := cfg.runPageProtect(u, FarRegion)
-		if err != nil {
-			return nil, err
-		}
-		row.PageCold = overheadPct(base.Cycles, cold)
-		hot, err := cfg.runPageProtect(u, machine.DataBase)
-		if err != nil {
-			return nil, err
-		}
-		row.PageHot = overheadPct(base.Cycles, hot)
-
-		// Hash-table write checks vs the segmented bitmap.
-		hash, err := cfg.RunStrategy(u, patch.HashCall, monitor.DefaultConfig, false)
-		if err != nil {
-			return nil, err
-		}
-		if err := checkOutput(p, base.Output, hash.Output, "HashCall"); err != nil {
-			return nil, err
-		}
-		row.HashPct = overheadPct(base.Cycles, hash.Cycles)
-		bm, err := cfg.RunStrategy(u, patch.BitmapInlineRegisters, monitor.DefaultConfig, false)
-		if err != nil {
-			return nil, err
-		}
-		row.BitmapPct = overheadPct(base.Cycles, bm.Cycles)
-
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -29,48 +29,60 @@ type T1Row struct {
 
 // Table1 reproduces Table 1: monitored region service overhead for each
 // write-check implementation, plus the Disabled column and the σ column
-// from the nop-insertion regression of §3.3.1.
+// from the nop-insertion regression of §3.3.1. The (program, variant) cells
+// run on the worker pool; rows come back in program order regardless of
+// Workers.
 func Table1(cfg Config, programs []workload.Program) ([]T1Row, error) {
-	var rows []T1Row
-	for _, p := range programs {
-		cfg.logf("table1: %s", p.Name)
-		u, err := Compile(p)
-		if err != nil {
-			return nil, err
-		}
-		base, err := cfg.RunBaseline(u)
-		if err != nil {
-			return nil, err
-		}
-		row := T1Row{Name: p.Name, Lang: p.Lang, Overhead: make(map[patch.Strategy]float64)}
-
-		// Disabled: fully patched (call-based bitmap), no active breakpoints.
-		dis, err := cfg.RunStrategy(u, patch.Bitmap, monitor.DefaultConfig, true)
-		if err != nil {
-			return nil, err
-		}
-		if err := checkOutput(p, base.Output, dis.Output, "Disabled"); err != nil {
-			return nil, err
-		}
-		row.Disabled = overheadPct(base.Cycles, dis.Cycles)
-
-		for _, strat := range Table1Strategies {
-			r, err := cfg.RunStrategy(u, strat, monitor.DefaultConfig, false)
+	cfg = cfg.normalized()
+	preps, err := cfg.prepare(programs, "table1", true)
+	if err != nil {
+		return nil, err
+	}
+	// Variant cells per program: 0 = Disabled, 1..len(strategies) = the
+	// Table 1 columns, last = the σ nop-regression.
+	nVar := len(Table1Strategies) + 2
+	grid, err := matrix(cfg, preps, nVar, func(p prepped, v int) (float64, error) {
+		switch {
+		case v == 0:
+			// Disabled: fully patched (call-based bitmap), no active
+			// breakpoints.
+			cfg.logf("table1: %s/Disabled", p.prog.Name)
+			dis, err := cfg.RunStrategy(p.unit, patch.Bitmap, monitor.DefaultConfig, true)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", p.Name, strat, err)
+				return 0, err
 			}
-			if err := checkOutput(p, base.Output, r.Output, strat.String()); err != nil {
-				return nil, err
+			if err := checkOutput(p.prog, p.base.Output, dis.Output, "Disabled"); err != nil {
+				return 0, err
 			}
-			row.Overhead[strat] = overheadPct(base.Cycles, r.Cycles)
+			return overheadPct(p.base.Cycles, dis.Cycles), nil
+		case v == nVar-1:
+			cfg.logf("table1: %s/sigma", p.prog.Name)
+			return cfg.nopSigma(p.unit, p.base.Cycles)
+		default:
+			strat := Table1Strategies[v-1]
+			cfg.logf("table1: %s/%v", p.prog.Name, strat)
+			r, err := cfg.RunStrategy(p.unit, strat, monitor.DefaultConfig, false)
+			if err != nil {
+				return 0, fmt.Errorf("%s/%v: %w", p.prog.Name, strat, err)
+			}
+			if err := checkOutput(p.prog, p.base.Output, r.Output, strat.String()); err != nil {
+				return 0, err
+			}
+			return overheadPct(p.base.Cycles, r.Cycles), nil
 		}
-
-		sigma, err := cfg.nopSigma(u, base.Cycles)
-		if err != nil {
-			return nil, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]T1Row, len(preps))
+	for i, p := range preps {
+		row := T1Row{Name: p.prog.Name, Lang: p.prog.Lang, Overhead: make(map[patch.Strategy]float64)}
+		row.Disabled = grid[i][0]
+		for vi, strat := range Table1Strategies {
+			row.Overhead[strat] = grid[i][vi+1]
 		}
-		row.Sigma = sigma
-		rows = append(rows, row)
+		row.Sigma = grid[i][nVar-1]
+		rows[i] = row
 	}
 	return rows, nil
 }

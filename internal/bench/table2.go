@@ -25,33 +25,34 @@ type T2Row struct {
 	Full, SymOv float64
 }
 
-// Table2 reproduces Table 2: write-check elimination results.
+// Table2 reproduces Table 2: write-check elimination results. The two
+// analysis configurations of each program are independent cells on the
+// worker pool.
 func Table2(cfg Config, programs []workload.Program) ([]T2Row, error) {
-	var rows []T2Row
-	for _, p := range programs {
-		cfg.logf("table2: %s", p.Name)
-		u, err := Compile(p)
+	cfg = cfg.normalized()
+	preps, err := cfg.prepare(programs, "table2", true)
+	if err != nil {
+		return nil, err
+	}
+	modes := []elim.Mode{elim.Full, elim.SymOnly}
+	grid, err := matrix(cfg, preps, len(modes), func(p prepped, v int) (Run, error) {
+		mode := modes[v]
+		cfg.logf("table2: %s/%v", p.prog.Name, mode)
+		r, err := cfg.RunElim(p.unit, mode, monitor.DefaultConfig)
 		if err != nil {
-			return nil, err
+			return Run{}, fmt.Errorf("%s/%v: %w", p.prog.Name, mode, err)
 		}
-		base, err := cfg.RunBaseline(u)
-		if err != nil {
-			return nil, err
+		if err := checkOutput(p.prog, p.base.Output, r.Output, mode.String()); err != nil {
+			return Run{}, err
 		}
-		full, err := cfg.RunElim(u, elim.Full, monitor.DefaultConfig)
-		if err != nil {
-			return nil, fmt.Errorf("%s/full: %w", p.Name, err)
-		}
-		if err := checkOutput(p, base.Output, full.Output, "Full"); err != nil {
-			return nil, err
-		}
-		sym, err := cfg.RunElim(u, elim.SymOnly, monitor.DefaultConfig)
-		if err != nil {
-			return nil, fmt.Errorf("%s/sym: %w", p.Name, err)
-		}
-		if err := checkOutput(p, base.Output, sym.Output, "Sym"); err != nil {
-			return nil, err
-		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]T2Row, 0, len(preps))
+	for i, p := range preps {
+		base, full, sym := p.base, grid[i][0], grid[i][1]
 
 		eSym := full.Counters[elim.CounterElimSym]
 		eLI := full.Counters[elim.CounterElimLI]
@@ -64,8 +65,8 @@ func Table2(cfg Config, programs []workload.Program) ([]T2Row, error) {
 		pct := func(n uint64) float64 { return 100 * float64(n) / float64(writes) }
 
 		rows = append(rows, T2Row{
-			Name:     p.Name,
-			Lang:     p.Lang,
+			Name:     p.prog.Name,
+			Lang:     p.prog.Lang,
 			Sym:      pct(eSym),
 			LI:       pct(eLI),
 			Range:    pct(eRange),
@@ -152,34 +153,41 @@ type Figure3Point struct {
 var Figure3Sizes = []int{32, 64, 128, 256, 512, 1024, 2048, 4096}
 
 // Figure3 reproduces the segment-cache locality study: per program, the
-// segment cache hit rate as a function of segment size.
+// segment cache hit rate as a function of segment size. Every
+// (program, segment size) pair is one cell on the worker pool.
 func Figure3(cfg Config, programs []workload.Program) (map[string][]Figure3Point, error) {
-	out := make(map[string][]Figure3Point)
-	for _, p := range programs {
-		cfg.logf("figure3: %s", p.Name)
-		u, err := Compile(p)
+	cfg = cfg.normalized()
+	preps, err := cfg.prepare(programs, "figure3", false)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := matrix(cfg, preps, len(Figure3Sizes), func(p prepped, v int) (Figure3Point, error) {
+		sw := Figure3Sizes[v]
+		cfg.logf("figure3: %s/seg%d", p.prog.Name, sw)
+		mcfg := monitor.Config{SegWords: uint32(sw), Flags: true}
+		r, err := cfg.RunStrategy(p.unit, patch.Cache, mcfg, false)
 		if err != nil {
-			return nil, err
+			return Figure3Point{}, fmt.Errorf("%s/seg%d: %w", p.prog.Name, sw, err)
 		}
-		for _, sw := range Figure3Sizes {
-			mcfg := monitor.Config{SegWords: uint32(sw), Flags: true}
-			r, err := cfg.RunStrategy(u, patch.Cache, mcfg, false)
-			if err != nil {
-				return nil, fmt.Errorf("%s/seg%d: %w", p.Name, sw, err)
-			}
-			var total, miss uint64
-			for _, wt := range []patch.WriteType{
-				patch.WriteStack, patch.WriteBSS, patch.WriteHeap, patch.WriteBSSVar,
-			} {
-				total += r.Counters[patch.CacheTotalCounter(wt)]
-				miss += r.Counters[patch.CacheMissCounter(wt)]
-			}
-			rate := 0.0
-			if total > 0 {
-				rate = 1 - float64(miss)/float64(total)
-			}
-			out[p.Name] = append(out[p.Name], Figure3Point{SegWords: sw, HitRate: rate})
+		var total, miss uint64
+		for _, wt := range []patch.WriteType{
+			patch.WriteStack, patch.WriteBSS, patch.WriteHeap, patch.WriteBSSVar,
+		} {
+			total += r.Counters[patch.CacheTotalCounter(wt)]
+			miss += r.Counters[patch.CacheMissCounter(wt)]
 		}
+		rate := 0.0
+		if total > 0 {
+			rate = 1 - float64(miss)/float64(total)
+		}
+		return Figure3Point{SegWords: sw, HitRate: rate}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]Figure3Point, len(preps))
+	for i, p := range preps {
+		out[p.prog.Name] = grid[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,53 @@
+package bitmap
+
+import "testing"
+
+// BenchmarkLookup measures the host cost of the hot-path membership test the
+// simulated write checks model (Contains + the span form ContainsAccess),
+// over a bitmap with a realistic mix of monitored and untouched segments.
+func BenchmarkLookup(b *testing.B) {
+	bm := New(DefaultConfig)
+	// One monitored run per 64KB, so lookups hit monitored segments,
+	// allocated-but-clear words, and never-allocated segments alike.
+	for base := uint32(0x1000); base < 0x100000; base += 0x10000 {
+		if err := bm.Add(base, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+	addrs := [8]uint32{0x1000, 0x10f0, 0x2000, 0x11000, 0x20000, 0x210fc, 0x80000, 0xf0040}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		a := addrs[i&7]
+		if bm.Contains(a) {
+			hits++
+		}
+		if bm.ContainsAccess(a, 8) {
+			hits++
+		}
+	}
+	if hits == 0 {
+		b.Fatal("lookup benchmark never hit a monitored word")
+	}
+}
+
+// BenchmarkSetRange measures region creation and deletion (Add + Remove of a
+// multi-word span), the debugger-side cost of inserting a data breakpoint.
+func BenchmarkSetRange(b *testing.B) {
+	bm := New(DefaultConfig)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint32(0x1000) + uint32(i&1023)*0x1000
+		if err := bm.Add(base, 512); err != nil {
+			b.Fatal(err)
+		}
+		if err := bm.Remove(base, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if bm.MonitoredWords() != 0 {
+		b.Fatal("ranges must be fully cleared")
+	}
+}

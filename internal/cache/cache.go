@@ -44,13 +44,20 @@ func (s Stats) TotalMisses() uint64 {
 // Cache is a direct-mapped combined I+D cache. It tracks only tags (the
 // simulator keeps data in its own memory); a hit or miss is all the cycle
 // model needs.
+//
+// Tags are uint64 so an invalid line can be a sentinel no 32-bit address
+// maps to: the hot Access path is then a single load-and-compare, with no
+// separate valid-bit array. Access sits on the simulator's per-instruction
+// path (one ifetch per Step plus data accesses), so this shape matters.
 type Cache struct {
 	lineShift uint32 // log2(line size in bytes)
 	indexMask uint32 // number of lines - 1
-	tags      []uint32
-	valid     []bool
+	tags      []uint64
 	stats     Stats
 }
+
+// invalidTag never equals uint64(line) for any 32-bit address.
+const invalidTag = ^uint64(0)
 
 // Config describes a cache geometry.
 type Config struct {
@@ -76,8 +83,10 @@ func New(cfg Config) *Cache {
 		panic("cache: fewer than one line")
 	}
 	c := &Cache{
-		tags:  make([]uint32, lines),
-		valid: make([]bool, lines),
+		tags: make([]uint64, lines),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	for ls := cfg.LineBytes; ls > 1; ls >>= 1 {
 		c.lineShift++
@@ -93,12 +102,11 @@ func (c *Cache) Access(addr uint32, kind Kind) bool {
 	line := addr >> c.lineShift
 	idx := line & c.indexMask
 	c.stats.Accesses[kind]++
-	if c.valid[idx] && c.tags[idx] == line {
+	if c.tags[idx] == uint64(line) {
 		return true
 	}
 	c.stats.Misses[kind]++
-	c.valid[idx] = true
-	c.tags[idx] = line
+	c.tags[idx] = uint64(line)
 	return false
 }
 
@@ -107,7 +115,7 @@ func (c *Cache) Access(addr uint32, kind Kind) bool {
 func (c *Cache) Probe(addr uint32) bool {
 	line := addr >> c.lineShift
 	idx := line & c.indexMask
-	return c.valid[idx] && c.tags[idx] == line
+	return c.tags[idx] == uint64(line)
 }
 
 // Invalidate drops the line containing addr, if present. The debugger uses
@@ -116,15 +124,15 @@ func (c *Cache) Probe(addr uint32) bool {
 func (c *Cache) Invalidate(addr uint32) {
 	line := addr >> c.lineShift
 	idx := line & c.indexMask
-	if c.valid[idx] && c.tags[idx] == line {
-		c.valid[idx] = false
+	if c.tags[idx] == uint64(line) {
+		c.tags[idx] = invalidTag
 	}
 }
 
 // Flush empties the cache and leaves statistics intact.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 }
 

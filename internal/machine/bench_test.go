@@ -1,0 +1,86 @@
+// Host-time micro-benchmarks for the interpreter hot loop. These measure
+// wall-clock nanoseconds per simulated instruction, not simulated cycles:
+// simulated counts are part of the experiment results and must never move,
+// while these numbers are allowed (encouraged) to go down. Run with
+//
+//	go test ./internal/machine -bench . -benchmem
+//
+// The package is external (machine_test) because BenchmarkRunWorkload needs
+// the asm/minic/workload pipeline, and asm imports machine.
+package machine_test
+
+import (
+	"testing"
+
+	"databreak/internal/asm"
+	"databreak/internal/cache"
+	"databreak/internal/machine"
+	"databreak/internal/minic"
+	"databreak/internal/sparc"
+	"databreak/internal/workload"
+)
+
+// BenchmarkStep drives Step directly over a small ALU/load/store loop — the
+// instruction mix the fault-free fast path sees — and reports ns per step.
+func BenchmarkStep(b *testing.B) {
+	m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+	m.LoadText([]sparc.Instr{
+		sparc.RI(sparc.Add, sparc.O0, 1, sparc.O0),      // 0
+		sparc.RI(sparc.Or, sparc.G0, 0x2000, sparc.O1),  // 1
+		sparc.StoreRI(sparc.O0, sparc.O1, 0),            // 2
+		sparc.LoadRI(sparc.O1, 0, sparc.O2),             // 3
+		sparc.RR(sparc.Add, sparc.O2, sparc.O0, sparc.O3), // 4
+		sparc.Branch(sparc.BA, 0),                       // 5: loop forever
+	}, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if m.Instrs() != int64(b.N) {
+		b.Fatalf("instrs = %d, want %d", m.Instrs(), b.N)
+	}
+}
+
+// BenchmarkRunWorkload runs a full compiled workload per iteration — the
+// unit of work the benchmark matrix fans out over its worker pool — so a
+// regression anywhere in the compile/assemble/execute path shows up here.
+func BenchmarkRunWorkload(b *testing.B) {
+	p, ok := workload.ByName("eqntott", 1)
+	if !ok {
+		b.Fatal("workload eqntott missing")
+	}
+	src, err := minic.Compile(p.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := asm.Parse(p.Name+".s", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pin the simulated counts once so the benchmark doubles as a cheap
+	// determinism check: the optimization invariant is that host time may
+	// change but these may not.
+	var wantCycles, wantInstrs int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+		prog.Load(m)
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			wantCycles, wantInstrs = m.Cycles(), m.Instrs()
+		} else if m.Cycles() != wantCycles || m.Instrs() != wantInstrs {
+			b.Fatalf("run %d: cycles/instrs = %d/%d, want %d/%d",
+				i, m.Cycles(), m.Instrs(), wantCycles, wantInstrs)
+		}
+	}
+}

@@ -98,15 +98,25 @@ type Counters []uint64
 // Machine is a simulated processor plus memory. Create with New, load a
 // program with LoadText/LoadData (usually via the asm package), then Run.
 type Machine struct {
-	text         []sparc.Instr
-	pc           int32
-	g            [8]int32
-	win          []winRegs // win[len-1] is the current window
+	text []sparc.Instr
+	pc   int32
+	// regs is the architecturally visible register file of the CURRENT
+	// window, flat: %g0-%g7, %o0-%o7, %l0-%l7, %i0-%i7. Keeping one flat
+	// view makes every register access a single index — the interpreter's
+	// hottest operation — at the price of copying 24 words on the (rare)
+	// save/restore. regs[0] (%g0) is never written, so reads need no guard.
+	regs         [32]int32
+	win          []winRegs // caller frames; win[len-1] is the direct parent
 	resident     int       // windows currently held in the register file
-	cc           sparc.CC
-	pages        map[uint32]*[PageBytes]byte
-	lastPageAddr uint32
-	lastPage     *[PageBytes]byte
+	cc    sparc.CC
+	pages map[uint32]*[PageBytes]byte
+	// pageCache short-circuits the pages map on the interpreter's
+	// load/store path: direct-mapped by page number, so the stack page and
+	// the globals page (which real programs alternate between every few
+	// instructions) occupy distinct slots instead of evicting each other.
+	// base 1 marks an empty slot (bases are always page aligned). Pages are
+	// never removed from the map, so cached pointers never go stale.
+	pageCache [nPageCache]pageCacheEnt
 
 	cache *cache.Cache
 	costs Costs
@@ -157,12 +167,18 @@ type Machine struct {
 // New returns a machine with the given cache geometry and cost model.
 func New(cfg cache.Config, costs Costs) *Machine {
 	m := &Machine{
-		pages:     make(map[uint32]*[PageBytes]byte),
+		pages: make(map[uint32]*[PageBytes]byte),
+		// Pre-size the window stack so deep call chains do not reallocate
+		// it mid-run (the fault-free path stays allocation-free).
+		win:       make([]winRegs, 0, 64),
 		cache:     cache.New(cfg),
 		costs:     costs,
 		heapNext:  HeapBase,
 		freeList:  make(map[uint32][]uint32),
 		MaxInstrs: 4_000_000_000,
+	}
+	for i := range m.pageCache {
+		m.pageCache[i].base = 1 // never matches a page-aligned base
 	}
 	m.Reset()
 	return m
@@ -171,9 +187,8 @@ func New(cfg cache.Config, costs Costs) *Machine {
 // Reset restores registers, windows, cycle counts, heap, and cache to their
 // initial state. Loaded text and data are preserved.
 func (m *Machine) Reset() {
-	m.g = [8]int32{}
+	m.regs = [32]int32{}
 	m.win = m.win[:0]
-	m.win = append(m.win, winRegs{})
 	m.resident = 1
 	m.cc = sparc.CC{}
 	m.pc = 0
@@ -186,10 +201,9 @@ func (m *Machine) Reset() {
 	m.freeList = make(map[uint32][]uint32)
 	m.cache.Flush()
 	m.cache.ResetStats()
-	cur := &m.win[0]
 	top := StackTop
-	cur.o[6] = int32(top)
-	cur.i[6] = int32(top)
+	m.regs[sparc.O6] = int32(top)
+	m.regs[sparc.I6] = int32(top)
 	for i := range m.Counters {
 		m.Counters[i] = 0
 	}
@@ -258,18 +272,32 @@ func (m *Machine) SetReg(r sparc.Reg, v int32) { m.writeReg(r, v) }
 // PC returns the current text index.
 func (m *Machine) PC() int32 { return m.pc }
 
+const nPageCache = 16
+
+type pageCacheEnt struct {
+	base uint32
+	p    *[PageBytes]byte
+}
+
+// page returns the backing page for addr. The fast path — a direct-mapped
+// page-cache hit — is one compare, small enough to inline into every load
+// and store of the interpreter loop.
 func (m *Machine) page(addr uint32) *[PageBytes]byte {
 	base := addr &^ (PageBytes - 1)
-	if m.lastPage != nil && m.lastPageAddr == base {
-		return m.lastPage
+	e := &m.pageCache[(addr>>12)&(nPageCache-1)]
+	if e.base == base {
+		return e.p
 	}
+	return m.pageSlow(base)
+}
+
+func (m *Machine) pageSlow(base uint32) *[PageBytes]byte {
 	p, ok := m.pages[base]
 	if !ok {
 		p = new([PageBytes]byte)
 		m.pages[base] = p
 	}
-	m.lastPageAddr = base
-	m.lastPage = p
+	m.pageCache[(base>>12)&(nPageCache-1)] = pageCacheEnt{base: base, p: p}
 	return p
 }
 
@@ -315,33 +343,15 @@ func (m *Machine) WriteWord(addr uint32, v int32) {
 	m.cache.Invalidate(addr)
 }
 
+// readReg needs no %g0 special case: regs[0] is never written, so it stays
+// zero.
 func (m *Machine) readReg(r sparc.Reg) int32 {
-	switch {
-	case r == sparc.G0:
-		return 0
-	case r < 8:
-		return m.g[r]
-	case r < 16:
-		return m.win[len(m.win)-1].o[r-8]
-	case r < 24:
-		return m.win[len(m.win)-1].l[r-16]
-	default:
-		return m.win[len(m.win)-1].i[r-24]
-	}
+	return m.regs[r]
 }
 
 func (m *Machine) writeReg(r sparc.Reg, v int32) {
-	switch {
-	case r == sparc.G0:
-		// writes to %g0 are discarded
-	case r < 8:
-		m.g[r] = v
-	case r < 16:
-		m.win[len(m.win)-1].o[r-8] = v
-	case r < 24:
-		m.win[len(m.win)-1].l[r-16] = v
-	default:
-		m.win[len(m.win)-1].i[r-24] = v
+	if r != sparc.G0 {
+		m.regs[r] = v
 	}
 }
 
@@ -390,7 +400,8 @@ func (m *Machine) Step() error {
 	if m.halted {
 		return nil
 	}
-	if m.pc < 0 || int(m.pc) >= len(m.text) {
+	// One unsigned compare covers both pc < 0 and pc >= len(text).
+	if uint32(m.pc) >= uint32(len(m.text)) {
 		return &Fault{PC: m.pc, Reason: "pc outside text"}
 	}
 	in := &m.text[m.pc]
@@ -545,10 +556,15 @@ func (m *Machine) Step() error {
 
 	case sparc.Save:
 		v := m.readReg(in.Rs1) + m.operand2(in)
-		cur := m.win[len(m.win)-1]
-		var nw winRegs
-		nw.i = cur.o
-		m.win = append(m.win, nw)
+		// Push the caller's window; the new window sees the caller's %o
+		// registers as its %i, with fresh %l and %o.
+		var parent winRegs
+		parent.o = [8]int32(m.regs[8:16])
+		parent.l = [8]int32(m.regs[16:24])
+		parent.i = [8]int32(m.regs[24:32])
+		m.win = append(m.win, parent)
+		copy(m.regs[24:32], parent.o[:])
+		clear(m.regs[8:24])
 		m.resident++
 		if m.resident > NWindows-1 {
 			m.resident = NWindows - 1
@@ -557,13 +573,18 @@ func (m *Machine) Step() error {
 		m.writeReg(in.Rd, v)
 
 	case sparc.Restore:
-		if len(m.win) < 2 {
+		if len(m.win) < 1 {
 			return m.fault(*in, "register window underflow at top frame")
 		}
 		v := m.readReg(in.Rs1) + m.operand2(in)
-		cur := m.win[len(m.win)-1]
+		// This window's %i become the caller's %o; %l and %i reload from
+		// the popped frame.
+		ins := [8]int32(m.regs[24:32])
+		parent := &m.win[len(m.win)-1]
+		copy(m.regs[8:16], ins[:])
+		copy(m.regs[16:24], parent.l[:])
+		copy(m.regs[24:32], parent.i[:])
 		m.win = m.win[:len(m.win)-1]
-		m.win[len(m.win)-1].o = cur.i
 		m.resident--
 		if m.resident < 1 {
 			m.resident = 1
