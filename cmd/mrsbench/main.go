@@ -13,6 +13,10 @@
 // The benchmark matrix runs on a worker pool (-workers, default one per
 // CPU); table contents are identical for any worker count. -json also
 // writes each table as BENCH_<table>.json with wall-clock timing.
+//
+// -cpuprofile and -memprofile write pprof profiles of the harness itself
+// (inspect with go tool pprof); they profile the host-side interpreter, not
+// the simulated machine, and do not perturb any simulated count.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"databreak/internal/bench"
@@ -27,13 +32,51 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	table := flag.String("table", "all", "which table to regenerate: 1, 2, fig3, strategies, breakeven, ablation, all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	only := flag.String("program", "", "run a single benchmark by name")
 	workers := flag.Int("workers", 0, "benchmark cells run concurrently (0 = one per CPU)")
 	jsonOut := flag.Bool("json", false, "also write each table as BENCH_<table>.json")
 	verbose := flag.Bool("v", false, "progress output")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the harness to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Deferred so the profile is written even when a table fails
+		// partway; runs before StopCPUProfile's deferral is irrelevant
+		// since the two profiles are independent.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
@@ -48,121 +91,115 @@ func main() {
 	if *only != "" {
 		p, ok := workload.ByName(*only, *scale)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown program %q\n", *only)
-			os.Exit(1)
+			return fmt.Errorf("unknown program %q", *only)
 		}
 		programs = []workload.Program{p}
 	}
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
 	// report writes BENCH_<name>.json when -json is set; text output to
 	// stdout is identical with and without it.
-	report := func(name string, wall time.Duration, rows any) {
+	report := func(name string, wall time.Duration, rows any) error {
 		if !*jsonOut {
-			return
+			return nil
 		}
 		path := "BENCH_" + name + ".json"
 		if err := bench.NewReport(name, cfg, wall, rows).WriteFile(path); err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%.0f ms, %d workers)\n",
 			path, float64(wall.Microseconds())/1000, cfg.Workers)
+		return nil
 	}
 
-	runT1 := func() {
+	runT1 := func() error {
 		start := time.Now()
 		rows, err := bench.Table1(cfg, programs)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		wall := time.Since(start)
 		fmt.Println("Table 1: monitored region service overhead by write check implementation")
 		fmt.Print(bench.FormatTable1(rows))
 		fmt.Println()
-		report("table1", wall, bench.Table1JSON(rows))
+		return report("table1", wall, bench.Table1JSON(rows))
 	}
-	runT2 := func() {
+	runT2 := func() error {
 		start := time.Now()
 		rows, err := bench.Table2(cfg, programs)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		wall := time.Since(start)
 		fmt.Println("Table 2: write check elimination")
 		fmt.Print(bench.FormatTable2(rows))
 		fmt.Println()
-		report("table2", wall, bench.Table2JSON(rows))
+		return report("table2", wall, bench.Table2JSON(rows))
 	}
-	runF3 := func() {
+	runF3 := func() error {
 		start := time.Now()
 		series, err := bench.Figure3(cfg, programs)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		wall := time.Since(start)
 		fmt.Println("Figure 3: segment cache locality vs segment size (hit rate)")
 		fmt.Print(bench.FormatFigure3(series, programs))
 		fmt.Println()
-		report("fig3", wall, bench.Figure3JSON(series, programs))
+		return report("fig3", wall, bench.Figure3JSON(series, programs))
 	}
-	runStrat := func() {
+	runStrat := func() error {
 		start := time.Now()
 		rows, err := bench.StrategyTable(cfg, programs)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		wall := time.Since(start)
 		fmt.Println("Strategy comparison (paper §1)")
 		fmt.Print(bench.FormatStrategyTable(rows))
 		fmt.Println()
-		report("strategies", wall, rows)
+		return report("strategies", wall, rows)
 	}
-	runBE := func() {
+	runBE := func() error {
 		start := time.Now()
 		fmt.Println("Break-even analysis (paper §3.3.3)")
 		fmt.Print(bench.FormatBreakEven())
 		fmt.Println()
-		report("breakeven", time.Since(start), bench.BreakEvenRows())
+		return report("breakeven", time.Since(start), bench.BreakEvenRows())
 	}
-	runAbl := func() {
+	runAbl := func() error {
 		start := time.Now()
 		rows, err := bench.Ablation(cfg, programs)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		wall := time.Since(start)
 		fmt.Println("Ablations: read monitoring (§5) and the segment-flag bit")
 		fmt.Print(bench.FormatAblation(rows))
 		fmt.Println()
-		report("ablation", wall, rows)
+		return report("ablation", wall, rows)
 	}
 
 	switch *table {
 	case "1":
-		runT1()
+		return runT1()
 	case "2":
-		runT2()
+		return runT2()
 	case "fig3":
-		runF3()
+		return runF3()
 	case "strategies":
-		runStrat()
+		return runStrat()
 	case "breakeven":
-		runBE()
+		return runBE()
 	case "ablation":
-		runAbl()
+		return runAbl()
 	case "all":
-		runT1()
-		runT2()
-		runF3()
-		runStrat()
-		runBE()
-		runAbl()
+		for _, f := range []func() error{runT1, runT2, runF3, runStrat, runBE, runAbl} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
 	default:
-		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
-		os.Exit(1)
+		return fmt.Errorf("unknown table %q", *table)
 	}
 }

@@ -82,8 +82,8 @@ func main() {
 	// handed out (a debugger would use a control breakpoint on alloc).
 	for !m.Halted() {
 		pc := m.PC()
-		in := m.InstrAt(pc)
-		isAlloc := in.Op.String() == "ta" && in.Imm == machine.TrapAlloc
+		in, ok := m.InstrAt(pc)
+		isAlloc := ok && in.Op.String() == "ta" && in.Imm == machine.TrapAlloc
 		if err := m.Step(); err != nil {
 			panic(err)
 		}

@@ -110,6 +110,33 @@ func (c *Cache) Access(addr uint32, kind Kind) bool {
 	return false
 }
 
+// Line returns the line number (tag and index combined) containing addr.
+// Two addresses with equal line numbers always hit or miss together.
+func (c *Cache) Line(addr uint32) uint32 { return addr >> c.lineShift }
+
+// LineShift returns log2(line size): addr >> LineShift() == Line(addr).
+// Hot loops hoist it into a local instead of re-reading through the pointer
+// per access.
+func (c *Cache) LineShift() uint32 { return c.lineShift }
+
+// IndexMask returns the mask selecting a line number's slot in the
+// direct-mapped array: two lines a, b can evict each other exactly when
+// (a^b)&IndexMask() == 0 (equal lines "evict" conservatively).
+func (c *Cache) IndexMask() uint32 { return c.indexMask }
+
+// MayEvict reports whether an access to line a can evict line b: they map to
+// the same slot of the direct-mapped array. (a == b returns true; that
+// access would in fact keep b resident, so callers using MayEvict to guard a
+// known-hit fast path are conservative, never wrong.)
+func (c *Cache) MayEvict(a, b uint32) bool { return (a^b)&c.indexMask == 0 }
+
+// NoteHits records n statistics-only accesses of the given kind that the
+// caller has proven would hit (same line as a preceding access, with no
+// possibly-evicting access in between). The interpreter's block engine uses
+// this to skip the tag probe for sequential instruction fetches while
+// keeping Stats bit-identical to one Access call per fetch.
+func (c *Cache) NoteHits(kind Kind, n uint64) { c.stats.Accesses[kind] += n }
+
 // Probe reports whether addr would hit, without changing cache state or
 // statistics.
 func (c *Cache) Probe(addr uint32) bool {

@@ -64,6 +64,11 @@ func (r *Runtime) siteIndexes(id int) (site, patchBlock int32, err error) {
 	return s, p, nil
 }
 
+// armSite and disarmSite patch live text from inside OnRangeHit, i.e. at a
+// trap boundary mid-run. They rely on machine.PatchInstr being the one
+// sanctioned text-mutation path: it invalidates both the simulated I-cache
+// line and the block-dispatch index, so the re-inserted (or restored) check
+// is picked up on the very next dispatch of its block.
 func (r *Runtime) armSite(id int) {
 	if _, armed := r.original[id]; armed {
 		return
@@ -72,8 +77,14 @@ func (r *Runtime) armSite(id int) {
 	if err != nil {
 		return
 	}
-	r.original[id] = r.m.InstrAt(sIdx)
-	r.m.PatchInstr(sIdx, sparc.Branch(sparc.BA, pIdx))
+	orig, ok := r.m.InstrAt(sIdx)
+	if !ok {
+		return
+	}
+	if r.m.PatchInstr(sIdx, sparc.Branch(sparc.BA, pIdx)) != nil {
+		return
+	}
+	r.original[id] = orig
 }
 
 func (r *Runtime) disarmSite(id int) {
@@ -85,7 +96,9 @@ func (r *Runtime) disarmSite(id int) {
 	if err != nil {
 		return
 	}
-	r.m.PatchInstr(sIdx, orig)
+	if r.m.PatchInstr(sIdx, orig) != nil {
+		return
+	}
 	delete(r.original, id)
 }
 

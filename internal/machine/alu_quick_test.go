@@ -22,7 +22,7 @@ func evalOne(t *testing.T, op sparc.Op, a, b int32) (int32, sparc.CC) {
 	if _, err := m.Run(); err != nil {
 		t.Fatalf("%v(%d,%d): %v", op, a, b, err)
 	}
-	return m.Reg(sparc.O0), m.cc
+	return m.Reg(sparc.O0), ccFromBits(m.ccb)
 }
 
 // TestALUMatchesGoSemantics drives every ALU op with random operands and

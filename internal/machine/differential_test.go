@@ -1,0 +1,295 @@
+package machine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"databreak/internal/cache"
+	"databreak/internal/sparc"
+)
+
+// These tests pin the central invariant of the block-dispatch engine: a
+// single-Step loop and Run() are observationally identical — same registers,
+// same output, same simulated Cycles()/Instrs(), same cache statistics, same
+// faults — on any text, including text patched while a block is executing.
+
+// stepAll drives m with the single-instruction path until it halts or faults.
+func stepAll(m *Machine) error {
+	for !m.halted {
+		if uint32(m.pc) >= uint32(len(m.text)) {
+			return &Fault{PC: m.pc, Reason: "pc outside text"}
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diffStates fails the test unless a (stepped) and b (block-run) agree on
+// every observable: termination, errors, all 32 registers, condition codes,
+// pc, counts, output, counters, and cache statistics.
+func diffStates(t *testing.T, ctx string, a, b *Machine, errA, errB error) {
+	t.Helper()
+	switch {
+	case (errA == nil) != (errB == nil):
+		t.Fatalf("%s: step err=%v, run err=%v", ctx, errA, errB)
+	case errA != nil && errA.Error() != errB.Error():
+		t.Fatalf("%s: step err %q, run err %q", ctx, errA, errB)
+	}
+	if a.Halted() != b.Halted() || a.ExitCode() != b.ExitCode() {
+		t.Fatalf("%s: halted/exit mismatch: step (%v,%d) run (%v,%d)",
+			ctx, a.Halted(), a.ExitCode(), b.Halted(), b.ExitCode())
+	}
+	if a.PC() != b.PC() {
+		t.Fatalf("%s: pc mismatch: step %d run %d", ctx, a.PC(), b.PC())
+	}
+	for r := sparc.Reg(0); r < sparc.NumRegs; r++ {
+		if a.Reg(r) != b.Reg(r) {
+			t.Fatalf("%s: %s mismatch: step %d run %d", ctx, r, a.Reg(r), b.Reg(r))
+		}
+	}
+	if a.ccb != b.ccb {
+		t.Fatalf("%s: cc mismatch: step %v run %v", ctx, ccFromBits(a.ccb), ccFromBits(b.ccb))
+	}
+	if a.Instrs() != b.Instrs() {
+		t.Fatalf("%s: instrs mismatch: step %d run %d", ctx, a.Instrs(), b.Instrs())
+	}
+	if a.Cycles() != b.Cycles() {
+		t.Fatalf("%s: cycles mismatch: step %d run %d (over %d instrs)",
+			ctx, a.Cycles(), b.Cycles(), a.Instrs())
+	}
+	if a.Output() != b.Output() {
+		t.Fatalf("%s: output mismatch: step %q run %q", ctx, a.Output(), b.Output())
+	}
+	if !reflect.DeepEqual(a.Counters, b.Counters) {
+		t.Fatalf("%s: counters mismatch: step %v run %v", ctx, a.Counters, b.Counters)
+	}
+	if a.CacheStats() != b.CacheStats() {
+		t.Fatalf("%s: cache stats mismatch:\nstep %+v\nrun  %+v", ctx, a.CacheStats(), b.CacheStats())
+	}
+}
+
+// diffRun loads text into two fresh machines and executes one via Step and
+// one via Run, then compares every observable.
+func diffRun(t *testing.T, ctx string, text []sparc.Instr) {
+	t.Helper()
+	a := New(cache.DefaultConfig, DefaultCosts)
+	b := New(cache.DefaultConfig, DefaultCosts)
+	a.SetCounterCount(4)
+	b.SetCounterCount(4)
+	a.LoadText(text, 0)
+	b.LoadText(text, 0)
+	errA := stepAll(a)
+	_, errB := b.Run()
+	diffStates(t, ctx, a, b, errA, errB)
+}
+
+// randText generates a terminating program: straight-line ALU, memory, and
+// counted instructions mixed with forward-only branches and calls, ending in
+// an exit trap. Forward-only control transfer guarantees termination for any
+// condition-code history.
+func randText(r *rand.Rand, n int) []sparc.Instr {
+	regs := []sparc.Reg{
+		sparc.G1, sparc.G2, sparc.G3,
+		sparc.O0, sparc.O1, sparc.O2, sparc.O3, sparc.O4, sparc.O5,
+		sparc.L1, sparc.L2, sparc.L3, sparc.L4, sparc.L5,
+		sparc.I0, sparc.I1, sparc.I2,
+	}
+	evenRegs := []sparc.Reg{sparc.O0, sparc.O2, sparc.O4, sparc.L2, sparc.L4, sparc.I0, sparc.I2}
+	alu := []sparc.Op{
+		sparc.Add, sparc.Sub, sparc.And, sparc.Andn, sparc.Or, sparc.Orn,
+		sparc.Xor, sparc.Xnor, sparc.Sll, sparc.Srl, sparc.Sra, sparc.SMul,
+		sparc.Addcc, sparc.Subcc, sparc.Andcc, sparc.Andncc, sparc.Orcc, sparc.Xorcc,
+	}
+	pick := func() sparc.Reg { return regs[r.Intn(len(regs))] }
+
+	// %l0 holds the data base for every memory op.
+	text := []sparc.Instr{
+		{Op: sparc.Sethi, Rd: sparc.L0, Imm: int32(DataBase >> 10), UseImm: true},
+	}
+	for len(text) < n {
+		i := int32(len(text))
+		var in sparc.Instr
+		switch k := r.Intn(100); {
+		case k < 40:
+			op := alu[r.Intn(len(alu))]
+			if r.Intn(2) == 0 {
+				in = sparc.RR(op, pick(), pick(), pick())
+			} else {
+				in = sparc.RI(op, pick(), int32(r.Intn(8192)-4096), pick())
+			}
+		case k < 52:
+			in = sparc.Instr{Op: sparc.Ld, Rd: pick(), Rs1: sparc.L0,
+				Imm: int32(r.Intn(1024)) * 4, UseImm: true}
+		case k < 64:
+			in = sparc.Instr{Op: sparc.St, Rd: pick(), Rs1: sparc.L0,
+				Imm: int32(r.Intn(1024)) * 4, UseImm: true}
+		case k < 68:
+			op := sparc.Ldd
+			if r.Intn(2) == 0 {
+				op = sparc.Std
+			}
+			in = sparc.Instr{Op: op, Rd: evenRegs[r.Intn(len(evenRegs))],
+				Rs1: sparc.L0, Imm: int32(r.Intn(512)) * 8, UseImm: true}
+		case k < 72:
+			in = sparc.Instr{Op: sparc.Sethi, Rd: pick(),
+				Imm: int32(r.Intn(1 << 20)), UseImm: true}
+		case k < 76:
+			d := int32(r.Intn(200) - 100)
+			if d == 0 {
+				d = 7
+			}
+			in = sparc.RI(sparc.SDiv, pick(), d, pick())
+		case k < 88:
+			in = sparc.Instr{Op: sparc.Br, Cond: sparc.Cond(r.Intn(16)),
+				Target: i + 1 + int32(r.Intn(6))}
+		case k < 92:
+			in = sparc.Instr{Op: sparc.Call, Target: i + 1 + int32(r.Intn(6))}
+		default:
+			in = sparc.Instr{Op: sparc.Nop}
+		}
+		if r.Intn(5) == 0 {
+			in.Count = int32(r.Intn(4)) + 1
+		}
+		text = append(text, in)
+	}
+	exit := int32(len(text))
+	for i := range text {
+		switch text[i].Op {
+		case sparc.Br, sparc.Call:
+			if text[i].Target > exit {
+				text[i].Target = exit
+			}
+		}
+	}
+	return append(text, sparc.Instr{Op: sparc.Ta, Imm: TrapExit, UseImm: true})
+}
+
+// TestDifferentialRandomPrograms runs many randomized instruction sequences
+// through both execution paths and demands identical observables.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		text := randText(r, 80+r.Intn(400))
+		diffRun(t, "seed "+string(rune('0'+seed%10))+"/len", text)
+	}
+}
+
+// TestDifferentialFaults checks that both paths fault identically: same
+// error text, same pc, and — because the block engine pre-charges nothing —
+// same cycle and instruction counts at the fault.
+func TestDifferentialFaults(t *testing.T) {
+	base := sparc.Instr{Op: sparc.Sethi, Rd: sparc.L0, Imm: int32(DataBase >> 10), UseImm: true}
+	textAlign := sparc.Instr{Op: sparc.Sethi, Rd: sparc.G1, Imm: int32(TextBase >> 10), UseImm: true}
+	cases := []struct {
+		name string
+		text []sparc.Instr
+	}{
+		{"unaligned load", []sparc.Instr{
+			base,
+			sparc.RI(sparc.Add, sparc.L0, 2, sparc.L1),
+			{Op: sparc.Ld, Rd: sparc.O0, Rs1: sparc.L1, UseImm: true},
+			{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+		}},
+		{"unaligned store", []sparc.Instr{
+			base,
+			sparc.RI(sparc.Or, sparc.G0, 1, sparc.O1),
+			{Op: sparc.St, Rd: sparc.O1, Rs1: sparc.L0, Imm: 6, UseImm: true},
+			{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+		}},
+		{"division by zero", []sparc.Instr{
+			sparc.RI(sparc.Or, sparc.G0, 100, sparc.O1),
+			sparc.RR(sparc.SDiv, sparc.O1, sparc.G0, sparc.O2),
+			{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+		}},
+		{"ldd odd destination", []sparc.Instr{
+			base,
+			{Op: sparc.Ldd, Rd: sparc.O1, Rs1: sparc.L0, UseImm: true},
+			{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+		}},
+		{"std odd source", []sparc.Instr{
+			base,
+			{Op: sparc.Std, Rd: sparc.L3, Rs1: sparc.L0, UseImm: true},
+			{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+		}},
+		{"jmpl misaligned target", []sparc.Instr{
+			textAlign,
+			sparc.RI(sparc.Add, sparc.G1, 2, sparc.G1),
+			{Op: sparc.Jmpl, Rd: sparc.G0, Rs1: sparc.G1, UseImm: true},
+			{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+		}},
+		{"jmpl below text", []sparc.Instr{
+			{Op: sparc.Jmpl, Rd: sparc.G0, Rs1: sparc.G0, UseImm: true},
+			{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+		}},
+		{"jmpl past text", []sparc.Instr{
+			textAlign,
+			{Op: sparc.Jmpl, Rd: sparc.G0, Rs1: sparc.G1, Imm: 4096, UseImm: true},
+			{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+		}},
+		{"branch past text", []sparc.Instr{
+			sparc.Branch(sparc.BA, 1000),
+			{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+		}},
+		{"run off the end", []sparc.Instr{
+			sparc.RI(sparc.Add, sparc.G0, 1, sparc.O0),
+			sparc.RI(sparc.Add, sparc.O0, 1, sparc.O0),
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { diffRun(t, c.name, c.text) })
+	}
+}
+
+// TestDifferentialPatchMidRun patches text from a StoreHook while the store's
+// own block is executing — the hardest invalidation case for the block
+// engine, since the patched instruction sits later in the block currently
+// being dispatched. Both machines run the same hook, so any divergence means
+// block dispatch missed the invalidation.
+func TestDifferentialPatchMidRun(t *testing.T) {
+	// Loop storing %o1 and incrementing it; after the 5th store the hook
+	// rewrites the increment (index 2, directly after the store at index 1
+	// inside the same straight-line block) from +1 to +3.
+	text := []sparc.Instr{
+		{Op: sparc.Sethi, Rd: sparc.L0, Imm: int32(DataBase >> 10), UseImm: true},
+		{Op: sparc.St, Rd: sparc.O1, Rs1: sparc.L0, UseImm: true},
+		sparc.RI(sparc.Add, sparc.O1, 1, sparc.O1),
+		sparc.RI(sparc.Subcc, sparc.O1, 100, sparc.G0),
+		sparc.Branch(sparc.BL, 1),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}
+	patched := sparc.RI(sparc.Add, sparc.O1, 3, sparc.O1)
+
+	mk := func() (*Machine, *int) {
+		m := New(cache.DefaultConfig, DefaultCosts)
+		m.LoadText(text, 0)
+		stores := 0
+		m.StoreHook = func(addr uint32, size int32) int64 {
+			stores++
+			if stores == 5 {
+				if err := m.PatchInstr(2, patched); err != nil {
+					t.Fatalf("patch: %v", err)
+				}
+			}
+			return 0
+		}
+		return m, &stores
+	}
+
+	a, storesA := mk()
+	b, storesB := mk()
+	errA := stepAll(a)
+	_, errB := b.Run()
+	diffStates(t, "patch mid-run", a, b, errA, errB)
+	if *storesA != *storesB {
+		t.Fatalf("store hook fired %d times under Step, %d under Run", *storesA, *storesB)
+	}
+	if got := a.Reg(sparc.O1); got < 100 || got > 102 {
+		t.Fatalf("final %%o1 = %d, want the patched +3 stride past 100", got)
+	}
+	if *storesA >= 100 {
+		t.Fatalf("hook fired %d times; patch to +3 stride apparently ignored", *storesA)
+	}
+}

@@ -13,6 +13,7 @@ package machine
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 
 	"databreak/internal/cache"
@@ -99,16 +100,30 @@ type Counters []uint64
 // program with LoadText/LoadData (usually via the asm package), then Run.
 type Machine struct {
 	text []sparc.Instr
-	pc   int32
+	// uops is the block-dispatch index derived from text; see blocks.go.
+	// uops[i] is text[i] predecoded, and uops[i].bl counts the straight-line
+	// instructions starting at i (0 when text[i] is a block terminator).
+	// textGen increments on every text mutation so an in-flight block can
+	// detect a patch landing under it.
+	uops    []uop
+	textGen uint32
+	pc       int32
 	// regs is the architecturally visible register file of the CURRENT
-	// window, flat: %g0-%g7, %o0-%o7, %l0-%l7, %i0-%i7. Keeping one flat
-	// view makes every register access a single index — the interpreter's
-	// hottest operation — at the price of copying 24 words on the (rare)
-	// save/restore. regs[0] (%g0) is never written, so reads need no guard.
-	regs         [32]int32
+	// window, flat: %g0-%g7, %o0-%o7, %l0-%l7, %i0-%i7, plus one scratch
+	// slot (index 32) that absorbs block-engine writes destined for %g0.
+	// Keeping one flat view makes every register access a single index —
+	// the interpreter's hottest operation — at the price of copying 24
+	// words on the (rare) save/restore. regs[0] (%g0) and the scratch slot
+	// are never read-visible, so reads need no guard. The array is sized
+	// 256 so that any uint8 register index is provably in range: the block
+	// engine's register accesses then compile without bounds checks.
+	regs         [256]int32
 	win          []winRegs // caller frames; win[len-1] is the direct parent
 	resident     int       // windows currently held in the register file
-	cc    sparc.CC
+	// ccb is the condition-code register packed into the condMask bit
+	// index (see blocks.go): N=8, Z=4, V=2, C=1. Branch evaluation is then
+	// one table lookup; ccFromBits rebuilds the sparc.CC view on demand.
+	ccb   uint8
 	pages map[uint32]*[PageBytes]byte
 	// pageCache short-circuits the pages map on the interpreter's
 	// load/store path: direct-mapped by page number, so the stack page and
@@ -187,10 +202,10 @@ func New(cfg cache.Config, costs Costs) *Machine {
 // Reset restores registers, windows, cycle counts, heap, and cache to their
 // initial state. Loaded text and data are preserved.
 func (m *Machine) Reset() {
-	m.regs = [32]int32{}
+	m.regs = [256]int32{}
 	m.win = m.win[:0]
 	m.resident = 1
-	m.cc = sparc.CC{}
+	m.ccb = 0
 	m.pc = 0
 	m.cycles = 0
 	m.instrs = 0
@@ -209,10 +224,14 @@ func (m *Machine) Reset() {
 	}
 }
 
-// LoadText installs the program text. PC starts at entry (a text index).
+// LoadText installs the program text and (re)builds the block-dispatch
+// index. PC starts at entry (a text index). After LoadText the text slice is
+// owned by the machine: all further mutation must go through PatchInstr so
+// the block index stays coherent.
 func (m *Machine) LoadText(text []sparc.Instr, entry int32) {
 	m.text = text
 	m.pc = entry
+	m.rebuildBlocks()
 }
 
 // SetEntry sets the initial pc (text index).
@@ -221,14 +240,31 @@ func (m *Machine) SetEntry(entry int32) { m.pc = entry }
 // TextLen returns the number of instructions loaded.
 func (m *Machine) TextLen() int { return len(m.text) }
 
-// InstrAt returns the instruction at text index idx.
-func (m *Machine) InstrAt(idx int32) sparc.Instr { return m.text[idx] }
+// InstrAt returns the instruction at text index idx. ok is false when idx is
+// outside the loaded text (the debugger asked for an address that is not
+// code); no fault is raised, since this is a debugger-side read.
+func (m *Machine) InstrAt(idx int32) (in sparc.Instr, ok bool) {
+	if uint32(idx) >= uint32(len(m.text)) {
+		return sparc.Instr{}, false
+	}
+	return m.text[idx], true
+}
 
 // PatchInstr replaces the instruction at text index idx, invalidating the
-// corresponding I-cache line (as the real system's patching must).
-func (m *Machine) PatchInstr(idx int32, in sparc.Instr) {
+// corresponding I-cache line (as the real system's patching must) and the
+// block-dispatch index entries covering idx. It is the ONLY supported way to
+// mutate loaded text: bypassing it would leave the block engine executing
+// stale predecoded instructions. An out-of-range idx returns an error and
+// changes nothing — a bad patch address from the debugger must not crash the
+// simulator.
+func (m *Machine) PatchInstr(idx int32, in sparc.Instr) error {
+	if uint32(idx) >= uint32(len(m.text)) {
+		return fmt.Errorf("machine: patch index %d outside text (%d instructions)", idx, len(m.text))
+	}
 	m.text[idx] = in
 	m.cache.Invalidate(TextBase + uint32(idx)*4)
+	m.invalidateBlock(idx)
+	return nil
 }
 
 // LoadData copies raw bytes into memory at addr without cache traffic or
@@ -315,7 +351,7 @@ func (m *Machine) ReadWord(addr uint32) int32 {
 	p := m.page(addr)
 	o := addr & (PageBytes - 1)
 	if o+4 <= PageBytes {
-		return int32(uint32(p[o])<<24 | uint32(p[o+1])<<16 | uint32(p[o+2])<<8 | uint32(p[o+3]))
+		return int32(binary.BigEndian.Uint32(p[o : o+4]))
 	}
 	var v uint32
 	for i := uint32(0); i < 4; i++ {
@@ -331,10 +367,7 @@ func (m *Machine) WriteWord(addr uint32, v int32) {
 	o := addr & (PageBytes - 1)
 	u := uint32(v)
 	if o+4 <= PageBytes {
-		p[o] = byte(u >> 24)
-		p[o+1] = byte(u >> 16)
-		p[o+2] = byte(u >> 8)
-		p[o+3] = byte(u)
+		binary.BigEndian.PutUint32(p[o:o+4], u)
 	} else {
 		for i := uint32(0); i < 4; i++ {
 			m.pokeByte(addr+i, byte(u>>(24-8*i)))
@@ -363,24 +396,48 @@ func (m *Machine) operand2(in *sparc.Instr) int32 {
 }
 
 func (m *Machine) setCCAdd(a, b, r int32) {
-	m.cc.N = r < 0
-	m.cc.Z = r == 0
-	m.cc.V = (a >= 0 && b >= 0 && r < 0) || (a < 0 && b < 0 && r >= 0)
-	m.cc.C = uint32(r) < uint32(a)
+	var bits uint8
+	if r < 0 {
+		bits = ccN
+	}
+	if r == 0 {
+		bits |= ccZ
+	}
+	if (a >= 0 && b >= 0 && r < 0) || (a < 0 && b < 0 && r >= 0) {
+		bits |= ccV
+	}
+	if uint32(r) < uint32(a) {
+		bits |= ccC
+	}
+	m.ccb = bits
 }
 
 func (m *Machine) setCCSub(a, b, r int32) {
-	m.cc.N = r < 0
-	m.cc.Z = r == 0
-	m.cc.V = (a >= 0 && b < 0 && r < 0) || (a < 0 && b >= 0 && r >= 0)
-	m.cc.C = uint32(a) < uint32(b)
+	var bits uint8
+	if r < 0 {
+		bits = ccN
+	}
+	if r == 0 {
+		bits |= ccZ
+	}
+	if (a >= 0 && b < 0 && r < 0) || (a < 0 && b >= 0 && r >= 0) {
+		bits |= ccV
+	}
+	if uint32(a) < uint32(b) {
+		bits |= ccC
+	}
+	m.ccb = bits
 }
 
 func (m *Machine) setCCLogic(r int32) {
-	m.cc.N = r < 0
-	m.cc.Z = r == 0
-	m.cc.V = false
-	m.cc.C = false
+	var bits uint8
+	if r < 0 {
+		bits = ccN
+	}
+	if r == 0 {
+		bits |= ccZ
+	}
+	m.ccb = bits
 }
 
 // dataAccess charges cache+cycle cost for an n-byte data access.
@@ -531,7 +588,7 @@ func (m *Machine) Step() error {
 		m.writeReg(in.Rd, in.Imm<<10)
 
 	case sparc.Br:
-		if in.Cond.Eval(m.cc) {
+		if condMask[in.Cond&15]>>uint32(m.ccb)&1 != 0 {
 			m.cycles += m.costs.TakenBranch
 			next = in.Target
 		}
@@ -613,11 +670,7 @@ func (m *Machine) Step() error {
 func (m *Machine) storeWord(addr uint32, v int32) {
 	p := m.page(addr)
 	o := addr & (PageBytes - 1)
-	u := uint32(v)
-	p[o] = byte(u >> 24)
-	p[o+1] = byte(u >> 16)
-	p[o+2] = byte(u >> 8)
-	p[o+3] = byte(u)
+	binary.BigEndian.PutUint32(p[o:o+4], uint32(v))
 }
 
 func (m *Machine) trap(in *sparc.Instr) error {
@@ -707,10 +760,26 @@ func (m *Machine) alloc(size uint32) uint32 {
 }
 
 // Run executes until the program exits, faults, or exceeds MaxInstrs.
+//
+// It dispatches a block at a time (blocks.go): the halted/bounds/budget
+// checks run once per straight-line run instead of once per instruction,
+// the run executes in execBlock's tight loop, and the terminator that ended
+// the block goes through the ordinary Step path. Simulated cycle and
+// instruction counts are bit-identical to a single-Step loop; only host
+// time changes.
 func (m *Machine) Run() (int32, error) {
 	for !m.halted {
+		if err := m.execBlocks(); err != nil {
+			return 0, err
+		}
+		// execBlocks returned without error: budget exhausted, pc outside
+		// text, or a terminator it does not handle. The checks below mirror
+		// the order the single-Step loop applied them.
 		if m.instrs >= m.MaxInstrs {
 			return 0, fmt.Errorf("machine: exceeded MaxInstrs=%d at pc=%d", m.MaxInstrs, m.pc)
+		}
+		if uint32(m.pc) >= uint32(len(m.text)) {
+			return 0, &Fault{PC: m.pc, Reason: "pc outside text"}
 		}
 		if err := m.Step(); err != nil {
 			return 0, err

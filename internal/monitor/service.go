@@ -23,6 +23,14 @@ type Hit struct {
 // a simulated program. It edits the monitor data structures inside the
 // machine's memory (segment table, bitmap segments, range summaries) and
 // receives monitor-hit traps.
+//
+// The Service itself never rewrites text — it edits data pages, which the
+// machine's WriteWord path keeps coherent with the simulated cache. The
+// PreMonitor/PostMonitor flow that DOES patch code at run time (write-check
+// re-insertion, elim.Runtime) must go through machine.PatchInstr, the one
+// sanctioned text-mutation path: it re-decodes the instruction and repairs
+// the block-dispatch index so the patched check executes on the very next
+// dispatch of its block.
 type Service struct {
 	cfg Config
 	m   *machine.Machine
