@@ -9,6 +9,12 @@
 //	mrsbench -table strategies §1 strategy comparison
 //	mrsbench -table breakeven  §3.3.3 break-even analysis
 //	mrsbench -table all        everything
+//	mrsbench -stress N         N concurrent monitored sessions with mid-run
+//	                           region churn, differentially checked against
+//	                           serial runs (1 = one session per workload)
+//
+// -server routes every monitored table run through a shared monitor.Server
+// (sliced execution through sessions); simulated counts are identical.
 //
 // The benchmark matrix runs on a worker pool (-workers, default one per
 // CPU); table contents are identical for any worker count. -json also
@@ -28,6 +34,7 @@ import (
 	"time"
 
 	"databreak/internal/bench"
+	"databreak/internal/monitor"
 	"databreak/internal/workload"
 )
 
@@ -44,6 +51,9 @@ func run() error {
 	only := flag.String("program", "", "run a single benchmark by name")
 	workers := flag.Int("workers", 0, "benchmark cells run concurrently (0 = one per CPU)")
 	jsonOut := flag.Bool("json", false, "also write each table as BENCH_<table>.json")
+	stress := flag.Int("stress", 0, "run the concurrency stress harness with this many sessions instead of tables (1 = one per workload)")
+	churn := flag.Int("churn", 0, "stress: mid-run region add/remove rounds per session (0 = default)")
+	useServer := flag.Bool("server", false, "route monitored table runs through a shared monitor.Server (sliced execution; counts identical)")
 	verbose := flag.Bool("v", false, "progress output")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the harness to this file on exit")
@@ -87,6 +97,11 @@ func run() error {
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
+	if *useServer {
+		srv := monitor.NewServer()
+		defer srv.Close()
+		cfg.Server = srv
+	}
 	programs := workload.All(*scale)
 	if *only != "" {
 		p, ok := workload.ByName(*only, *scale)
@@ -94,6 +109,26 @@ func run() error {
 			return fmt.Errorf("unknown program %q", *only)
 		}
 		programs = []workload.Program{p}
+	}
+
+	if *stress > 0 {
+		start := time.Now()
+		rep, err := cfg.Stress(bench.StressConfig{Sessions: *stress, Churn: *churn})
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		fmt.Printf("stress: %d concurrent sessions, %d fan-in hits, all counts bit-identical to serial (%.0f ms)\n",
+			len(rep.Sessions), rep.Hits, float64(wall.Microseconds())/1000)
+		for _, s := range rep.Sessions {
+			fmt.Printf("  session %2d  %-10s  cycles=%d instrs=%d\n", s.Session, s.Program, s.Cycles, s.Instrs)
+		}
+		if *jsonOut {
+			if err := bench.NewReport("stress", cfg, wall, rep.Sessions).WriteFile("BENCH_stress.json"); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	// report writes BENCH_<name>.json when -json is set; text output to

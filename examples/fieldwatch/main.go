@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"databreak/internal/asm"
 	"databreak/internal/cache"
@@ -55,40 +56,45 @@ int main() {
 }
 `
 
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fieldwatch: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	asmSrc, err := minic.Compile(program)
 	if err != nil {
-		panic(err)
+		fatalf("compile: %v", err)
 	}
 	u, err := asm.Parse("fieldwatch.c", asmSrc)
 	if err != nil {
-		panic(err)
+		fatalf("parse: %v", err)
 	}
 	res, err := patch.Apply(patch.Options{Strategy: patch.BitmapInlineRegisters}, u)
 	if err != nil {
-		panic(err)
+		fatalf("patch: %v", err)
 	}
 	prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
 	if err != nil {
-		panic(err)
+		fatalf("assemble: %v", err)
 	}
 
 	m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
 	prog.Load(m)
 	svc, err := monitor.NewService(monitor.DefaultConfig, m)
 	if err != nil {
-		panic(err)
+		fatalf("monitor service: %v", err)
 	}
 
 	// Map "field mode of struct cfg" to a monitored region: the struct's
 	// symbol record plus the field offset (mode is the first field).
 	sym, ok := prog.LookupSym("cfg", "")
 	if !ok {
-		panic("no symbol cfg")
+		fatalf("no symbol cfg in patched program")
 	}
 	fieldAddr := sym.Addr + 0 // offsetof(Config, mode)
 	if err := svc.CreateRegion(fieldAddr, 4); err != nil {
-		panic(err)
+		fatalf("create region: %v", err)
 	}
 	fmt.Printf("watching cfg.mode at %#x\n", fieldAddr)
 
@@ -98,7 +104,7 @@ func main() {
 	}
 	code, err := m.Run()
 	if err != nil {
-		panic(err)
+		fatalf("run: %v", err)
 	}
 	fmt.Printf("program exited %d after %d instructions; %d hits "+
 		"(including the aliased write), other fields untouched by the watch\n",

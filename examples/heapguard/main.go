@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"databreak/internal/asm"
 	"databreak/internal/cache"
@@ -41,22 +42,27 @@ int main() {
 }
 `
 
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "heapguard: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	asmSrc, err := minic.Compile(program)
 	if err != nil {
-		panic(err)
+		fatalf("compile: %v", err)
 	}
 	u, err := asm.Parse("heapguard.c", asmSrc)
 	if err != nil {
-		panic(err)
+		fatalf("parse: %v", err)
 	}
 	res, err := patch.Apply(patch.Options{Strategy: patch.Cache}, u)
 	if err != nil {
-		panic(err)
+		fatalf("patch: %v", err)
 	}
 	prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
 	if err != nil {
-		panic(err)
+		fatalf("assemble: %v", err)
 	}
 
 	mcfg := monitor.DefaultConfig
@@ -65,7 +71,7 @@ func main() {
 	prog.Load(m)
 	svc, err := monitor.NewService(mcfg, m)
 	if err != nil {
-		panic(err)
+		fatalf("monitor service: %v", err)
 	}
 
 	// Intercept allocations and guard each block's hidden header word. In
@@ -85,7 +91,7 @@ func main() {
 		in, ok := m.InstrAt(pc)
 		isAlloc := ok && in.Op.String() == "ta" && in.Imm == machine.TrapAlloc
 		if err := m.Step(); err != nil {
-			panic(err)
+			fatalf("step: %v", err)
 		}
 		if isAlloc {
 			ptr := uint32(m.Reg(8)) // %o0 holds the new block

@@ -7,9 +7,15 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"databreak/internal/core"
 )
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "interp: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 // A minimal byte-code machine: one accumulator, word-addressed memory.
 type op struct {
@@ -55,7 +61,7 @@ func main() {
 
 	// Watch guest word 0x40 (mem[16]).
 	if err := svc.CreateMonitoredRegion(core.Region{Addr: 0x40, Size: 4}); err != nil {
-		panic(err)
+		fatalf("create region: %v", err)
 	}
 
 	// Guest program: writes a few cells; exactly one touches 0x40.
@@ -70,6 +76,6 @@ func main() {
 	fmt.Printf("guest finished: mem[16]=%d mem[0x40/4]=%d, %d hit(s)\n",
 		v.mem[4], v.mem[16], hits)
 	if hits != 1 {
-		panic("expected exactly one hit")
+		fatalf("expected exactly one hit, got %d", hits)
 	}
 }

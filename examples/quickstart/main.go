@@ -9,9 +9,15 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"databreak/internal/core"
 )
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "quickstart: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	// The notification callback of §2.
@@ -22,7 +28,7 @@ func main() {
 	// Watch an 8-byte region (say, a two-word struct at 0x1000).
 	region := core.Region{Addr: 0x1000, Size: 8}
 	if err := svc.CreateMonitoredRegion(region); err != nil {
-		panic(err)
+		fatalf("create region: %v", err)
 	}
 	fmt.Printf("watching %v; service disabled: %v\n", region, svc.Disabled())
 
@@ -42,7 +48,7 @@ func main() {
 	fmt.Printf("range [0x9000,0x9fff] may intersect: %v\n", svc.CheckRange(0x9000, 0x9fff))
 
 	if err := svc.DeleteMonitoredRegion(region); err != nil {
-		panic(err)
+		fatalf("delete region: %v", err)
 	}
 	st := svc.Stats()
 	fmt.Printf("checks=%d hits=%d rangeChecks=%d rangeHits=%d disabled=%v\n",

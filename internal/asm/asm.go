@@ -168,7 +168,11 @@ func Parse(name, src string) (*Unit, error) {
 	return p.unit, nil
 }
 
-// MustParse is Parse for trusted embedded sources; it panics on error.
+// MustParse is Parse for trusted EMBEDDED sources only (the startup shim,
+// test fixtures): a parse failure there is a programmer error, so it panics.
+// Generated or user-influenced source — monitor.LibrarySource output, check
+// sequences from patch.CheckText — must go through Parse with the error
+// propagated; see patch.Apply and elim.Apply for the pattern.
 func MustParse(name, src string) *Unit {
 	u, err := Parse(name, src)
 	if err != nil {

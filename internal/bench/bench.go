@@ -37,6 +37,14 @@ type Config struct {
 	// Log, when non-nil, receives progress lines. The table drivers wrap it
 	// so concurrent workers may share it; see SyncWriter.
 	Log io.Writer
+	// Server, when non-nil, routes every monitored run through a
+	// monitor.Server session instead of a bare Service: the harness attaches
+	// each machine, performs region setup under the session lock, and
+	// executes in sliced RunFor steps. Counts are bit-identical either way
+	// (see machine.RunFor); the table drivers share one server across all
+	// worker goroutines, which is exactly the concurrent-session workload
+	// the stress harness checks.
+	Server *monitor.Server
 }
 
 // DefaultConfig runs the suite at scale 1 on the default machine.
@@ -76,23 +84,8 @@ func Compile(p workload.Program) (*asm.Unit, error) {
 	return u, nil
 }
 
-func (c Config) execute(prog *asm.Program, mcfg monitor.Config, regions [][2]uint32, disabled bool) (Run, error) {
-	m := c.newMachine()
-	prog.Load(m)
-	svc, err := monitor.NewService(mcfg, m)
-	if err != nil {
-		return Run{}, err
-	}
-	svc.DisabledOverride = disabled
-	for _, r := range regions {
-		if err := svc.CreateRegion(r[0], r[1]); err != nil {
-			return Run{}, err
-		}
-	}
-	svc.Reinstall()
-	if _, err := m.Run(); err != nil {
-		return Run{}, err
-	}
+// collect reduces a halted machine to the Run record the tables consume.
+func collect(prog *asm.Program, m *machine.Machine) Run {
 	counters := make(map[string]uint64, len(prog.CounterNames))
 	for _, name := range prog.CounterNames {
 		counters[name] = prog.Counter(m, name)
@@ -103,7 +96,54 @@ func (c Config) execute(prog *asm.Program, mcfg monitor.Config, regions [][2]uin
 		Output:   m.Output(),
 		Counters: counters,
 		Cache:    m.CacheStats(),
-	}, nil
+	}
+}
+
+func (c Config) execute(prog *asm.Program, mcfg monitor.Config, regions [][2]uint32, disabled bool) (Run, error) {
+	m := c.newMachine()
+	prog.Load(m)
+	setup := func(svc *monitor.Service) error {
+		svc.DisabledOverride = disabled
+		for _, r := range regions {
+			if err := svc.CreateRegion(r[0], r[1]); err != nil {
+				return err
+			}
+		}
+		svc.Reinstall()
+		return nil
+	}
+	if c.Server != nil {
+		sess, err := c.Server.Attach(mcfg, m)
+		if err != nil {
+			return Run{}, err
+		}
+		defer sess.Detach()
+		if err := sess.Do(func(_ *machine.Machine, svc *monitor.Service) error {
+			return setup(svc)
+		}); err != nil {
+			return Run{}, err
+		}
+		if _, err := sess.Run(); err != nil {
+			return Run{}, err
+		}
+		var run Run
+		err = sess.Do(func(m *machine.Machine, _ *monitor.Service) error {
+			run = collect(prog, m)
+			return nil
+		})
+		return run, err
+	}
+	svc, err := monitor.NewService(mcfg, m)
+	if err != nil {
+		return Run{}, err
+	}
+	if err := setup(svc); err != nil {
+		return Run{}, err
+	}
+	if _, err := m.Run(); err != nil {
+		return Run{}, err
+	}
+	return collect(prog, m), nil
 }
 
 // RunBaseline assembles and runs the unpatched program.
@@ -154,6 +194,33 @@ func (c Config) RunElim(u *asm.Unit, mode elim.Mode, mcfg monitor.Config) (Run, 
 	}
 	m := c.newMachine()
 	prog.Load(m)
+	if c.Server != nil {
+		sess, err := c.Server.Attach(mcfg, m)
+		if err != nil {
+			return Run{}, err
+		}
+		defer sess.Detach()
+		if err := sess.Do(func(m *machine.Machine, svc *monitor.Service) error {
+			rt := elim.NewRuntime(m, prog, res)
+			_ = rt
+			if err := svc.CreateRegion(FarRegion, 4); err != nil {
+				return err
+			}
+			svc.Reinstall()
+			return nil
+		}); err != nil {
+			return Run{}, err
+		}
+		if _, err := sess.Run(); err != nil {
+			return Run{}, err
+		}
+		var run Run
+		err = sess.Do(func(m *machine.Machine, _ *monitor.Service) error {
+			run = collect(prog, m)
+			return nil
+		})
+		return run, err
+	}
 	svc, err := monitor.NewService(mcfg, m)
 	if err != nil {
 		return Run{}, err
@@ -167,17 +234,7 @@ func (c Config) RunElim(u *asm.Unit, mode elim.Mode, mcfg monitor.Config) (Run, 
 	if _, err := m.Run(); err != nil {
 		return Run{}, err
 	}
-	counters := make(map[string]uint64, len(prog.CounterNames))
-	for _, name := range prog.CounterNames {
-		counters[name] = prog.Counter(m, name)
-	}
-	return Run{
-		Cycles:   m.Cycles(),
-		Instrs:   m.Instrs(),
-		Output:   m.Output(),
-		Counters: counters,
-		Cache:    m.CacheStats(),
-	}, nil
+	return collect(prog, m), nil
 }
 
 func overheadPct(base, with int64) float64 {

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"databreak/internal/asm"
+	"databreak/internal/machine"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+	"databreak/internal/workload"
+)
+
+// This file is the concurrency stress harness: it runs many monitored
+// sessions at once through one monitor.Server — each on its own machine,
+// each with a debugger goroutine adding and removing a region mid-run — and
+// checks that every session's simulated cycle and instruction counts are
+// bit-identical to a serial run of the same program. Any cross-session
+// leak, locking bug, or count perturbation from mid-run control traffic
+// shows up as a differential failure (and, under -race, as a race report).
+
+// ChurnRegion is the region the per-session debugger goroutines add and
+// remove while the program runs. Like FarRegion it is far from anything the
+// workloads touch, so installing and removing it is count-neutral: the
+// service stays enabled (FarRegion persists), and the monitor words it
+// flips are never read by the patched code.
+const ChurnRegion uint32 = 0x7900_0000
+
+// StressConfig parameterizes a Stress run.
+type StressConfig struct {
+	// Sessions is the number of concurrent sessions; < 2 means one per
+	// workload (which also satisfies the harness's ≥8 design point).
+	Sessions int
+	// Strategy is the write-check implementation; None means
+	// BitmapInlineRegisters, the paper's recommended one.
+	Strategy patch.Strategy
+	// Churn is how many add/remove rounds each session's debugger goroutine
+	// performs mid-run; <= 0 means 64.
+	Churn int
+}
+
+// StressSession is one session's outcome.
+type StressSession struct {
+	Session int
+	Program string
+	Cycles  int64
+	Instrs  int64
+}
+
+// StressReport summarizes a Stress run that passed its differential check.
+type StressReport struct {
+	Sessions []StressSession
+	// Hits counts monitor hits observed on the server fan-in (expected 0:
+	// both FarRegion and ChurnRegion are outside every workload's write
+	// set).
+	Hits int
+}
+
+// Stress compiles and patches every workload once, then runs sc.Sessions
+// concurrent server sessions (round-robin over the workloads) with mid-run
+// region churn, comparing each session's counts against a serial reference
+// run of the same program. It errors on any divergence.
+func (c Config) Stress(sc StressConfig) (StressReport, error) {
+	c = c.normalized()
+	programs := workload.All(c.Scale)
+	if sc.Sessions < 2 {
+		sc.Sessions = len(programs)
+	}
+	if sc.Strategy == patch.None {
+		sc.Strategy = patch.BitmapInlineRegisters
+	}
+	if sc.Churn <= 0 {
+		sc.Churn = 64
+	}
+	mcfg := monitor.DefaultConfig
+	if sc.Strategy == patch.Cache || sc.Strategy == patch.CacheInline {
+		mcfg.Flags = true
+	}
+
+	// Compile, patch, and assemble each workload once. An assembled Program
+	// is immutable (Load copies text into the machine), so all sessions
+	// running the same workload share one.
+	type stressPrep struct {
+		name string
+		prog *asm.Program
+		ref  Run
+	}
+	serial := c
+	serial.Server = nil
+	preps, err := parallelMap(c, len(programs), func(i int) (stressPrep, error) {
+		p := programs[i]
+		c.logf("stress prep: %s", p.Name)
+		u, err := Compile(p)
+		if err != nil {
+			return stressPrep{}, err
+		}
+		res, err := patch.Apply(patch.Options{Strategy: sc.Strategy, Monitor: mcfg}, u)
+		if err != nil {
+			return stressPrep{}, err
+		}
+		prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+		if err != nil {
+			return stressPrep{}, err
+		}
+		// Serial reference: the counts every concurrent session must
+		// reproduce bit for bit.
+		ref, err := serial.execute(prog, mcfg, [][2]uint32{{FarRegion, 4}}, false)
+		if err != nil {
+			return stressPrep{}, err
+		}
+		return stressPrep{name: p.Name, prog: prog, ref: ref}, nil
+	})
+	if err != nil {
+		return StressReport{}, err
+	}
+
+	srv := monitor.NewServer()
+	defer srv.Close()
+
+	// Drain the fan-in for the whole run; the channel closes after Close.
+	var hits int
+	var hitWG sync.WaitGroup
+	hitWG.Add(1)
+	go func() {
+		defer hitWG.Done()
+		for range srv.Hits() {
+			hits++
+		}
+	}()
+
+	report := StressReport{Sessions: make([]StressSession, sc.Sessions)}
+	errs := make([]error, sc.Sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sc.Sessions; i++ {
+		i := i
+		pp := preps[i%len(preps)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.logf("stress session %d: %s", i, pp.name)
+			run, err := c.stressSession(srv, pp.prog, mcfg, sc.Churn)
+			if err != nil {
+				errs[i] = fmt.Errorf("session %d (%s): %w", i, pp.name, err)
+				return
+			}
+			if run.Cycles != pp.ref.Cycles || run.Instrs != pp.ref.Instrs || run.Output != pp.ref.Output {
+				errs[i] = fmt.Errorf(
+					"session %d (%s): concurrent run diverged from serial: cycles %d vs %d, instrs %d vs %d, output match %v",
+					i, pp.name, run.Cycles, pp.ref.Cycles, run.Instrs, pp.ref.Instrs,
+					run.Output == pp.ref.Output)
+				return
+			}
+			report.Sessions[i] = StressSession{
+				Session: i, Program: pp.name, Cycles: run.Cycles, Instrs: run.Instrs,
+			}
+		}()
+	}
+	wg.Wait()
+	srv.Close()
+	hitWG.Wait()
+	report.Hits = hits
+	for _, err := range errs {
+		if err != nil {
+			return StressReport{}, err
+		}
+	}
+	return report, nil
+}
+
+// stressSession runs one workload to completion through a server session
+// while a debugger goroutine adds and removes ChurnRegion — the mid-run
+// control traffic the concurrency contract must absorb without perturbing
+// simulated counts.
+func (c Config) stressSession(srv *monitor.Server, prog *asm.Program, mcfg monitor.Config, churn int) (Run, error) {
+	m := c.newMachine()
+	prog.Load(m)
+	sess, err := srv.Attach(mcfg, m)
+	if err != nil {
+		return Run{}, err
+	}
+	defer sess.Detach()
+	if err := sess.Do(func(_ *machine.Machine, svc *monitor.Service) error {
+		if err := svc.CreateRegion(FarRegion, 4); err != nil {
+			return err
+		}
+		svc.Reinstall()
+		return nil
+	}); err != nil {
+		return Run{}, err
+	}
+
+	done := make(chan struct{})
+	var churnErr error
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for i := 0; i < churn; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := sess.CreateRegion(ChurnRegion, 16); err != nil {
+				churnErr = err
+				return
+			}
+			if err := sess.DeleteRegion(ChurnRegion, 16); err != nil {
+				churnErr = err
+				return
+			}
+		}
+	}()
+
+	_, runErr := sess.Run()
+	close(done)
+	cwg.Wait()
+	if runErr != nil {
+		return Run{}, runErr
+	}
+	if churnErr != nil {
+		return Run{}, churnErr
+	}
+	var run Run
+	err = sess.Do(func(m *machine.Machine, _ *monitor.Service) error {
+		run = collect(prog, m)
+		return nil
+	})
+	return run, err
+}

@@ -16,11 +16,30 @@
 // makes segment caching (§3.1) and fast full lookups possible. An auxiliary
 // per-segment count of monitored words keeps the flag correct across region
 // creation and deletion.
+//
+// # Concurrency contract
+//
+// The lookup path — Contains, ContainsAccess, SegmentUnmonitored — is
+// lock-free: it reads the segment table and bitmap words with atomic loads
+// and never blocks, so any number of goroutines may look up addresses while
+// regions are created and deleted. A lookup that races a mutation observes
+// either the old or the new state of each word it reads, never a torn or
+// out-of-range view: segment storage is published (atomically, to segsView)
+// before the table entry that points at it, and segments are retained for
+// the lifetime of the bitmap once allocated, so a stale table entry can
+// never lead a reader into recycled memory carrying another segment's bits.
+//
+// All mutators — Add, Remove, AddRegion, RemoveRegion — serialize behind an
+// internal mutex, as do the accounting reads (SegmentCount, MonitoredWords,
+// MemoryOverheadBytes). The mutex is a leaf in any larger lock order:
+// nothing is called while it is held.
 package bitmap
 
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 )
 
 // Config describes bitmap geometry.
@@ -44,14 +63,33 @@ type Bitmap struct {
 	addrMask uint32 // mask of valid address bits
 	numSegs  uint32
 	// table[n] = segIdx<<1 | unmonitoredFlag. segIdx indexes segs. Entry 0|1
-	// (zero segment, unmonitored) is the initial value everywhere.
+	// (zero segment, unmonitored) is the initial value everywhere. Entries
+	// are read with atomic loads on the lookup path and written with atomic
+	// stores under mu.
 	table []int32
-	segs  [][]uint32 // segs[0] is the shared zero segment
-	free  []int32    // recycled segment indices
+	// segs[0] is the shared zero segment; the rest are private segments,
+	// owned by mu. A segment allocated for a segment number is retained for
+	// that number forever (merely flagged unmonitored when its last word
+	// goes), so lock-free readers holding a stale entry never see another
+	// segment's bits. segsView republishes the slice header after every
+	// append for the lookup path.
+	segs     [][]uint32
+	segsView atomic.Pointer[[][]uint32]
+
+	// mu serializes all mutators and the accounting fields below.
+	mu sync.Mutex
 	// counts[segNum] = number of monitored words in that segment; absent
 	// means zero. This is the paper's auxiliary structure for maintaining
-	// the unmonitored flag under creation and deletion.
+	// the unmonitored flag under creation and deletion. A word overlapped by
+	// k regions contributes ONE to its segment count, not k — the refs map
+	// below carries the multiplicity.
 	counts map[uint32]uint32
+	// refs[wordAddr] = number of regions covering that word, recorded only
+	// when it exceeds one (absent + bit set means exactly one). AddRegion
+	// and RemoveRegion maintain it so overlapping regions neither
+	// double-count segment words nor clear bits while a region still covers
+	// them.
+	refs map[uint32]uint32
 
 	monitoredWords uint64
 }
@@ -76,6 +114,7 @@ func New(cfg Config) *Bitmap {
 		segWords: uint32(cfg.SegWords),
 		numSegs:  numSegs,
 		counts:   make(map[uint32]uint32),
+		refs:     make(map[uint32]uint32),
 	}
 	if cfg.AddrBits == 32 {
 		b.addrMask = ^uint32(0)
@@ -87,7 +126,15 @@ func New(cfg Config) *Bitmap {
 		b.table[i] = 1 // zero segment, unmonitored flag set
 	}
 	b.segs = [][]uint32{make([]uint32, cfg.SegWords/32)}
+	b.publishSegs()
 	return b
+}
+
+// publishSegs republishes the segment slice header for lock-free readers.
+// Called under mu (and once from New).
+func (b *Bitmap) publishSegs() {
+	view := b.segs
+	b.segsView.Store(&view)
 }
 
 // SegShift returns log2 of the segment size in bytes.
@@ -99,8 +146,13 @@ func (b *Bitmap) SegWords() uint32 { return b.segWords }
 // NumSegments returns the number of segment-table entries.
 func (b *Bitmap) NumSegments() uint32 { return b.numSegs }
 
-// MonitoredWords returns the total number of monitored words.
-func (b *Bitmap) MonitoredWords() uint64 { return b.monitoredWords }
+// MonitoredWords returns the total number of monitored words (each word
+// counts once no matter how many regions cover it).
+func (b *Bitmap) MonitoredWords() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.monitoredWords
+}
 
 // SegmentNum returns the segment number of addr.
 func (b *Bitmap) SegmentNum(addr uint32) uint32 {
@@ -108,9 +160,9 @@ func (b *Bitmap) SegmentNum(addr uint32) uint32 {
 }
 
 // SegmentUnmonitored reports whether the segment containing addr has no
-// monitored words (the paper's unmonitored flag).
+// monitored words (the paper's unmonitored flag). Lock-free.
 func (b *Bitmap) SegmentUnmonitored(addr uint32) bool {
-	return b.table[b.SegmentNum(addr)]&1 != 0
+	return atomic.LoadInt32(&b.table[b.SegmentNum(addr)])&1 != 0
 }
 
 func (b *Bitmap) checkAligned(addr, size uint32) error {
@@ -126,50 +178,99 @@ func (b *Bitmap) checkAligned(addr, size uint32) error {
 	return nil
 }
 
-// ensureSeg gives segment n private backing storage and returns it.
-func (b *Bitmap) ensureSeg(n uint32) []uint32 {
+// ensureSeg gives segment n private backing storage and returns it, together
+// with its index. Called under mu. New storage is published to segsView
+// BEFORE the caller stores a table entry referring to it — the ordering that
+// keeps lock-free readers in range.
+func (b *Bitmap) ensureSeg(n uint32) ([]uint32, int32) {
 	e := b.table[n]
 	if e>>1 != 0 {
-		return b.segs[e>>1]
+		return b.segs[e>>1], e >> 1
 	}
-	var idx int32
-	if len(b.free) > 0 {
-		idx = b.free[len(b.free)-1]
-		b.free = b.free[:len(b.free)-1]
+	b.segs = append(b.segs, make([]uint32, b.segWords/32))
+	idx := int32(len(b.segs) - 1)
+	b.publishSegs()
+	return b.segs[idx], idx
+}
+
+// wordCovered reports whether the word at (masked) address a has its bit
+// set. Called under mu; reads are still atomic because lock-free lookups run
+// concurrently.
+func (b *Bitmap) wordCovered(a uint32) bool {
+	e := atomic.LoadInt32(&b.table[a>>b.segShift])
+	seg := b.segs[e>>1]
+	w := (a >> 2) & (b.segWords - 1)
+	return atomic.LoadUint32(&seg[w>>5])&(1<<(w&31)) != 0
+}
+
+// addWord installs one covering region on the word at (masked) address a,
+// setting its bit on the 0->1 transition and bumping the refcount otherwise.
+// Called under mu.
+func (b *Bitmap) addWord(a uint32) {
+	n := a >> b.segShift
+	if b.wordCovered(a) {
+		c := b.refs[a]
+		if c == 0 {
+			c = 1 // bit set with no refs entry means exactly one region
+		}
+		b.refs[a] = c + 1
+		return
+	}
+	seg, idx := b.ensureSeg(n)
+	w := (a >> 2) & (b.segWords - 1)
+	atomic.StoreUint32(&seg[w>>5], seg[w>>5]|1<<(w&31))
+	b.counts[n]++
+	atomic.StoreInt32(&b.table[n], idx<<1) // flag clear: segment monitored
+	b.monitoredWords++
+}
+
+// removeWord drops one covering region from the word at (masked) address a,
+// clearing its bit only on the 1->0 transition. Called under mu; the caller
+// has verified the word is covered.
+func (b *Bitmap) removeWord(a uint32) {
+	if c := b.refs[a]; c > 0 {
+		if c == 2 {
+			delete(b.refs, a)
+		} else {
+			b.refs[a] = c - 1
+		}
+		return
+	}
+	n := a >> b.segShift
+	e := b.table[n]
+	seg := b.segs[e>>1]
+	w := (a >> 2) & (b.segWords - 1)
+	atomic.StoreUint32(&seg[w>>5], seg[w>>5]&^(1<<(w&31)))
+	b.monitoredWords--
+	if c := b.counts[n] - 1; c == 0 {
+		delete(b.counts, n)
+		// The private segment (now all zero) is retained for this segment
+		// number — only the unmonitored flag flips. Recycling it for a
+		// different segment number would let a racing lookup holding the
+		// old table entry read another segment's bits.
+		atomic.StoreInt32(&b.table[n], e|1)
 	} else {
-		b.segs = append(b.segs, make([]uint32, b.segWords/32))
-		idx = int32(len(b.segs) - 1)
+		b.counts[n] = c
 	}
-	seg := b.segs[idx]
-	for i := range seg {
-		seg[i] = 0
-	}
-	b.table[n] = idx<<1 | (e & 1)
-	return seg
 }
 
 // Add marks [addr, addr+size) as monitored. The region must be word aligned
-// and must not overlap an existing monitored word (regions are
-// non-overlapping by the MRS contract).
+// and must not overlap an existing monitored word (the strict MRS contract;
+// use AddRegion for refcounted overlapping regions).
 func (b *Bitmap) Add(addr, size uint32) error {
 	if err := b.checkAligned(addr, size); err != nil {
 		return err
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	// Overlap pre-check so a failed Add leaves the bitmap untouched.
 	for off := uint32(0); off < size; off += 4 {
-		if b.Contains(addr + off) {
+		if b.wordCovered((addr + off) & b.addrMask) {
 			return fmt.Errorf("bitmap: word %#x is already monitored", addr+off)
 		}
 	}
 	for off := uint32(0); off < size; off += 4 {
-		a := (addr + off) & b.addrMask
-		n := a >> b.segShift
-		seg := b.ensureSeg(n)
-		w := (a >> 2) & (b.segWords - 1)
-		seg[w>>5] |= 1 << (w & 31)
-		b.counts[n]++
-		b.table[n] &^= 1 // segment now monitored
-		b.monitoredWords++
+		b.addWord((addr + off) & b.addrMask)
 	}
 	return nil
 }
@@ -180,43 +281,71 @@ func (b *Bitmap) Remove(addr, size uint32) error {
 	if err := b.checkAligned(addr, size); err != nil {
 		return err
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for off := uint32(0); off < size; off += 4 {
-		if !b.Contains(addr + off) {
+		if !b.wordCovered((addr + off) & b.addrMask) {
 			return fmt.Errorf("bitmap: word %#x is not monitored", addr+off)
 		}
 	}
 	for off := uint32(0); off < size; off += 4 {
-		a := (addr + off) & b.addrMask
-		n := a >> b.segShift
-		seg := b.segs[b.table[n]>>1]
-		w := (a >> 2) & (b.segWords - 1)
-		seg[w>>5] &^= 1 << (w & 31)
-		b.monitoredWords--
-		if c := b.counts[n] - 1; c == 0 {
-			delete(b.counts, n)
-			// Recycle the private segment and point back at the shared
-			// zero segment with the unmonitored flag set.
-			b.free = append(b.free, b.table[n]>>1)
-			b.table[n] = 1
-		} else {
-			b.counts[n] = c
+		b.removeWord((addr + off) & b.addrMask)
+	}
+	return nil
+}
+
+// AddRegion marks [addr, addr+size) as monitored, refcounting words already
+// covered by other regions: a word overlapped by k regions still counts once
+// in its segment's monitored-word count, so the unmonitored flag cannot flip
+// early when one of the overlapping regions is removed.
+func (b *Bitmap) AddRegion(addr, size uint32) error {
+	if err := b.checkAligned(addr, size); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for off := uint32(0); off < size; off += 4 {
+		b.addWord((addr + off) & b.addrMask)
+	}
+	return nil
+}
+
+// RemoveRegion drops one covering region from every word of
+// [addr, addr+size): bits (and segment counts) change only for words whose
+// last covering region this is. Every word in the range must currently be
+// monitored; on error the bitmap is untouched.
+func (b *Bitmap) RemoveRegion(addr, size uint32) error {
+	if err := b.checkAligned(addr, size); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for off := uint32(0); off < size; off += 4 {
+		if !b.wordCovered((addr + off) & b.addrMask) {
+			return fmt.Errorf("bitmap: word %#x is not monitored", addr+off)
 		}
+	}
+	for off := uint32(0); off < size; off += 4 {
+		b.removeWord((addr + off) & b.addrMask)
 	}
 	return nil
 }
 
 // Contains reports whether the word containing addr is monitored. This is
 // the paper's address lookup: one segment-table read, one bitmap-word read.
+// Lock-free: safe to call concurrently with mutators.
 func (b *Bitmap) Contains(addr uint32) bool {
 	a := addr & b.addrMask
-	e := b.table[a>>b.segShift]
-	seg := b.segs[e>>1]
+	e := atomic.LoadInt32(&b.table[a>>b.segShift])
+	segs := *b.segsView.Load()
+	seg := segs[e>>1]
 	w := (a >> 2) & (b.segWords - 1)
-	return seg[w>>5]&(1<<(w&31)) != 0
+	return atomic.LoadUint32(&seg[w>>5])&(1<<(w&31)) != 0
 }
 
 // ContainsAccess reports whether a size-byte store at addr touches a
 // monitored word (size is 4 or 8 on our machine, but any size works).
+// Lock-free.
 func (b *Bitmap) ContainsAccess(addr, size uint32) bool {
 	first := addr &^ 3
 	last := (addr + size - 1) &^ 3
@@ -231,8 +360,10 @@ func (b *Bitmap) ContainsAccess(addr, size uint32) bool {
 }
 
 // SegmentCount returns the number of monitored words in the segment
-// containing addr (the auxiliary count).
+// containing addr (the auxiliary count; overlapped words count once).
 func (b *Bitmap) SegmentCount(addr uint32) uint32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.counts[b.SegmentNum(addr)]
 }
 
@@ -241,6 +372,8 @@ func (b *Bitmap) SegmentCount(addr uint32) uint32 {
 // once). This is the quantity behind the paper's "roughly 3% of program
 // memory" remark.
 func (b *Bitmap) MemoryOverheadBytes() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	total := uint64(len(b.table)) * 4
 	total += uint64(len(b.segs)) * uint64(b.segWords/32) * 4
 	return total

@@ -2,6 +2,7 @@ package bitmap
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -113,6 +114,171 @@ func TestSegmentRecycling(t *testing.T) {
 	if b.Contains(0x8000) {
 		t.Fatal("recycled segment must be zeroed")
 	}
+}
+
+// TestOverlappingRegionRefcount is the regression test for the
+// double-counting bug: installing overlapping regions with AddRegion must
+// count each covered word once in the segment counts, and removing one of
+// the overlapping regions must not clear bits (or flip the unmonitored flag)
+// while another region still covers them.
+func TestOverlappingRegionRefcount(t *testing.T) {
+	b := New(DefaultConfig)
+	// [0x1000,0x1010) and [0x1008,0x1018) overlap on words 0x1008, 0x100c.
+	if err := b.AddRegion(0x1000, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRegion(0x1008, 16); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.SegmentCount(0x1000); got != 6 {
+		t.Fatalf("overlapping regions double-counted: SegmentCount = %d, want 6", got)
+	}
+	if got := b.MonitoredWords(); got != 6 {
+		t.Fatalf("MonitoredWords = %d, want 6", got)
+	}
+	// Removing the first region must keep the shared words monitored.
+	if err := b.RemoveRegion(0x1000, 16); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []uint32{0x1008, 0x100c, 0x1010, 0x1014} {
+		if !b.Contains(a) {
+			t.Errorf("word %#x lost its bit while a region still covers it", a)
+		}
+	}
+	for _, a := range []uint32{0x1000, 0x1004} {
+		if b.Contains(a) {
+			t.Errorf("word %#x must be clear after its only region went", a)
+		}
+	}
+	if b.SegmentUnmonitored(0x1008) {
+		t.Fatal("unmonitored flag flipped early with a region still installed")
+	}
+	if got := b.SegmentCount(0x1000); got != 4 {
+		t.Fatalf("SegmentCount = %d, want 4", got)
+	}
+	if err := b.RemoveRegion(0x1008, 16); err != nil {
+		t.Fatal(err)
+	}
+	if !b.SegmentUnmonitored(0x1008) || b.MonitoredWords() != 0 {
+		t.Fatal("all words removed but segment still flagged monitored")
+	}
+}
+
+// TestAdjacentRegions confirms adjacency is not treated as overlap.
+func TestAdjacentRegions(t *testing.T) {
+	b := New(DefaultConfig)
+	if err := b.AddRegion(0x2000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRegion(0x2008, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.SegmentCount(0x2000); got != 4 {
+		t.Fatalf("SegmentCount = %d, want 4", got)
+	}
+	if err := b.RemoveRegion(0x2000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if b.Contains(0x2004) || !b.Contains(0x2008) || !b.Contains(0x200c) {
+		t.Fatal("removing one adjacent region disturbed its neighbour")
+	}
+}
+
+// TestIdenticalRegionRefcount installs the same region twice.
+func TestIdenticalRegionRefcount(t *testing.T) {
+	b := New(DefaultConfig)
+	for i := 0; i < 2; i++ {
+		if err := b.AddRegion(0x3000, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.MonitoredWords(); got != 2 {
+		t.Fatalf("MonitoredWords = %d, want 2", got)
+	}
+	if err := b.RemoveRegion(0x3000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Contains(0x3000) || !b.Contains(0x3004) {
+		t.Fatal("first removal of a doubly-installed region cleared the bits")
+	}
+	if err := b.RemoveRegion(0x3000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if b.Contains(0x3000) || b.MonitoredWords() != 0 {
+		t.Fatal("second removal must clear the bits")
+	}
+	if err := b.RemoveRegion(0x3000, 8); err == nil {
+		t.Fatal("third removal must fail")
+	}
+}
+
+// TestRemoveRegionFailureAtomic: a RemoveRegion over a partly-unmonitored
+// range must fail without dropping refcounts on the covered prefix.
+func TestRemoveRegionFailureAtomic(t *testing.T) {
+	b := New(DefaultConfig)
+	if err := b.AddRegion(0x4000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RemoveRegion(0x4000, 16); err == nil {
+		t.Fatal("RemoveRegion over unmonitored words must fail")
+	}
+	if !b.Contains(0x4000) || !b.Contains(0x4004) {
+		t.Fatal("failed RemoveRegion must leave the bitmap untouched")
+	}
+}
+
+// TestConcurrentLookupDuringChurn exercises the lock-free lookup path while
+// regions churn: under -race this is the contract's proof obligation. A word
+// never covered must always read false; a word covered for the whole run
+// must always read true.
+func TestConcurrentLookupDuringChurn(t *testing.T) {
+	b := New(Config{AddrBits: 24, SegWords: 64})
+	if err := b.Add(0x10_0000, 16); err != nil { // pinned region
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if b.Contains(0x20_0000 + uint32(i%1024)*4) {
+					t.Error("never-monitored word read as monitored")
+					return
+				}
+				if !b.Contains(0x10_0000 + uint32(i%4)*4) {
+					t.Error("pinned word read as unmonitored")
+					return
+				}
+				b.SegmentUnmonitored(0x30_0000 + uint32(i%4096)*4)
+				b.ContainsAccess(0x30_0000+uint32(i%4096)*4, 8)
+			}
+		}(g)
+	}
+	churn := uint32(0x30_0000)
+	for i := 0; i < 2000; i++ {
+		a := churn + uint32(i%64)*512
+		if err := b.AddRegion(a, 32); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddRegion(a+16, 32); err != nil { // overlapping
+			t.Fatal(err)
+		}
+		if err := b.RemoveRegion(a, 32); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.RemoveRegion(a+16, 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestRegionSpanningSegments(t *testing.T) {

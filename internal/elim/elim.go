@@ -111,6 +111,22 @@ type rewriter struct {
 	res   *Result
 	id    int
 	patch []asm.Item // accumulated patch blocks
+	// err records the first failure parsing generated source; reported as
+	// an error from Apply rather than a panic, since the monitor geometry
+	// shaping the generated code is user input.
+	err error
+}
+
+// parseGen parses generated assembly, recording (not panicking on) failure.
+func (rw *rewriter) parseGen(src string) *asm.Unit {
+	u, err := asm.Parse("__gen", src)
+	if err != nil {
+		if rw.err == nil {
+			rw.err = fmt.Errorf("elim: generated check sequence does not parse: %w", err)
+		}
+		return &asm.Unit{Name: "__gen"}
+	}
+	return u
 }
 
 // Apply analyzes and rewrites the program units, returning them with the
@@ -143,8 +159,18 @@ func Apply(opts Options, units ...*asm.Unit) (*Result, error) {
 		pu.Items = append(pu.Items, rw.patch...)
 		rw.res.Units = append(rw.res.Units, pu)
 	}
-	lib := asm.MustParse("__mrslib", monitor.LibrarySource(opts.Monitor))
+	libSrc, err := monitor.LibrarySource(opts.Monitor)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := asm.Parse("__mrslib", libSrc)
+	if err != nil {
+		return nil, fmt.Errorf("elim: generated monitor library does not parse: %w", err)
+	}
 	rw.res.Units = append(rw.res.Units, lib)
+	if rw.err != nil {
+		return nil, rw.err
+	}
 	return rw.res, nil
 }
 
@@ -212,7 +238,7 @@ func (rw *rewriter) rewriteUnit(u *asm.Unit) (*asm.Unit, error) {
 	// Emit the rewritten unit.
 	nu := &asm.Unit{Name: u.Name + "+elim"}
 	emitSrc := func(section, src string) {
-		gu := asm.MustParse("__gen", src)
+		gu := rw.parseGen(src)
 		for _, it := range gu.Items {
 			it.Section = section
 			nu.Items = append(nu.Items, it)
@@ -290,7 +316,7 @@ func (rw *rewriter) emitSite(nu *asm.Unit, emitSrc func(string, string), it asm.
 	st := it
 	st.CountName = counter
 	rw.patch = append(rw.patch, st)
-	gu := asm.MustParse("__gen", patch.CheckText(patch.Options{
+	gu := rw.parseGen(patch.CheckText(patch.Options{
 		Strategy: patch.BitmapInlineRegisters,
 		Monitor:  rw.opts.Monitor,
 	}, it.Instr, patch.WriteHeap, rw.nextID()))

@@ -98,6 +98,13 @@ type Counters []uint64
 
 // Machine is a simulated processor plus memory. Create with New, load a
 // program with LoadText/LoadData (usually via the asm package), then Run.
+//
+// A Machine is NOT safe for concurrent use: every method — execution (Run,
+// RunFor, Step), debugger accesses (ReadWord, WriteWord, Reg, SetReg), and
+// text patching (PatchInstr) — must be externally serialized. The intended
+// multiplexing point is monitor.Session, whose per-machine mutex serializes
+// control operations against execution slices; see DESIGN.md §7. Distinct
+// Machines share nothing and may run on any number of goroutines.
 type Machine struct {
 	text []sparc.Instr
 	// uops is the block-dispatch index derived from text; see blocks.go.
@@ -786,4 +793,51 @@ func (m *Machine) Run() (int32, error) {
 		}
 	}
 	return m.exitCode, nil
+}
+
+// RunFor executes at most n further instructions, then returns with the
+// machine ready to continue. It exists so a session scheduler can interleave
+// debugger control operations (region create/delete, PatchInstr) with
+// execution at block boundaries without holding a lock across a whole run.
+//
+// Simulated cycle and instruction counts over a sequence of RunFor slices
+// are bit-identical to one uninterrupted Run: execBlocks clamps blocks
+// exactly at the budget and its per-slice line caches are conservative (a
+// cold re-entry re-probes the cache with identical hit/miss statistics).
+//
+// RunFor returns halted=true when the program exited (exit code in code).
+// Exceeding the machine-wide MaxInstrs budget is an error, exactly as in
+// Run; exhausting only the slice is a normal return.
+func (m *Machine) RunFor(n int64) (code int32, halted bool, err error) {
+	if m.halted {
+		return m.exitCode, true, nil
+	}
+	limit := m.instrs + n
+	if limit > m.MaxInstrs {
+		limit = m.MaxInstrs
+	}
+	saved := m.MaxInstrs
+	m.MaxInstrs = limit // execBlocks clamps block budgets against this
+	defer func() { m.MaxInstrs = saved }()
+	for !m.halted && m.instrs < limit {
+		if err := m.execBlocks(); err != nil {
+			return 0, false, err
+		}
+		if m.instrs >= limit {
+			break
+		}
+		if uint32(m.pc) >= uint32(len(m.text)) {
+			return 0, false, &Fault{PC: m.pc, Reason: "pc outside text"}
+		}
+		if err := m.Step(); err != nil {
+			return 0, false, err
+		}
+	}
+	if m.halted {
+		return m.exitCode, true, nil
+	}
+	if m.instrs >= saved {
+		return 0, false, fmt.Errorf("machine: exceeded MaxInstrs=%d at pc=%d", saved, m.pc)
+	}
+	return 0, false, nil
 }

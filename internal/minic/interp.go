@@ -180,11 +180,19 @@ func (in *Interp) call(f *FuncDecl, args []int32) int32 {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				if rs, ok := r.(returnSignal); ok {
-					ret = rs.val
-					return
+				switch r.(type) {
+				case returnSignal:
+					ret = r.(returnSignal).val
+				case breakSignal:
+					// A loop signal reaching the function boundary means
+					// break/continue outside any loop: surface it as an
+					// interp error instead of an opaque escaping panic.
+					panic(interpError{fmt.Errorf("interp: break statement outside a loop in %s", f.Name)})
+				case continueSignal:
+					panic(interpError{fmt.Errorf("interp: continue statement outside a loop in %s", f.Name)})
+				default:
+					panic(r)
 				}
-				panic(r)
 			}
 		}()
 		in.execStmt(f.Body, fr)

@@ -1,6 +1,7 @@
 package minic
 
 import (
+	"strings"
 	"testing"
 
 	"databreak/internal/asm"
@@ -230,6 +231,39 @@ int main() {
 	print(acc);
 	return 0;
 }`)
+}
+
+// TestInterpLooseLoopSignals: break/continue outside any loop must come
+// back as a proper interp error, not an escaping panic (the compile path
+// rejects these in codegen, but the interpreter runs from Check alone).
+func TestInterpLooseLoopSignals(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`int main() { break; return 0; }`, "break statement outside a loop"},
+		{`int main() { continue; return 0; }`, "continue statement outside a loop"},
+		{`int f() { break; return 1; }
+		  int main() { int i; for (i = 0; i < 3; i = i + 1) f(); return 0; }`,
+			"break statement outside a loop"},
+		{`int main() { if (1) { continue; } return 0; }`, "continue statement outside a loop"},
+	}
+	for _, c := range cases {
+		_, _, err := Interpret(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Interpret(%q) err = %v, want %q", c.src, err, c.want)
+		}
+	}
+	// Break inside a loop must still just exit the loop.
+	out, exit, err := Interpret(`int main() {
+		int i;
+		for (i = 0; i < 10; i = i + 1) { if (i == 3) break; }
+		print(i);
+		return i;
+	}`)
+	if err != nil || exit != 3 || out != "3\n" {
+		t.Fatalf("in-loop break: out=%q exit=%d err=%v", out, exit, err)
+	}
 }
 
 func TestInterpStepGuard(t *testing.T) {

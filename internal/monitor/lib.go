@@ -44,9 +44,12 @@ const (
 //	__mrs_miss_{stack,bss,heap}_{w,d}  segment-cache miss slow paths (called)
 //	__mrs_licheck_w                    loop-invariant pre-header check
 //	__mrs_range                        monotonic-write range check
-func LibrarySource(cfg Config) string {
+//
+// An invalid geometry returns an error (configs reach here from user-facing
+// tools, so this is not a programmer-error panic).
+func LibrarySource(cfg Config) (string, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return "", fmt.Errorf("monitor: cannot generate library: %w", err)
 	}
 	segShift := cfg.SegShift()
 	wmask := cfg.SegWords - 1
@@ -257,5 +260,5 @@ func LibrarySource(cfg Config) string {
 	p("\trestore")
 	p("\tretl")
 
-	return b.String()
+	return b.String(), nil
 }

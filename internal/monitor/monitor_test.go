@@ -20,6 +20,16 @@ func newMachineWithService(t *testing.T, cfg Config) (*machine.Machine, *Service
 	return m, s
 }
 
+// mustLib generates and parses the monitor library for cfg.
+func mustLib(t *testing.T, cfg Config) *asm.Unit {
+	t.Helper()
+	src, err := LibrarySource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asm.MustParse("lib.s", src)
+}
+
 func TestConfigValidation(t *testing.T) {
 	for _, bad := range []Config{{SegWords: 0}, {SegWords: 100}, {SegWords: 16}, {SegWords: 1 << 15}} {
 		if bad.Validate() == nil {
@@ -155,7 +165,10 @@ func TestLibrarySourceAssembles(t *testing.T) {
 		{SegWords: 128}, {SegWords: 128, Flags: true},
 		{SegWords: 32}, {SegWords: 4096, Flags: true},
 	} {
-		src := LibrarySource(cfg)
+		src, err := LibrarySource(cfg)
+		if err != nil {
+			t.Fatalf("cfg %+v: LibrarySource: %v", cfg, err)
+		}
 		u, err := asm.Parse("lib.s", src)
 		if err != nil {
 			t.Fatalf("cfg %+v: library does not parse: %v", cfg, err)
@@ -205,7 +218,7 @@ probes:
 	.word 0x20000200
 `
 		u := asm.MustParse("p.s", src)
-		lib := asm.MustParse("lib.s", LibrarySource(cfg))
+		lib := mustLib(t, cfg)
 		prog, err := asm.Assemble(asm.Options{AddStartup: true}, u, lib)
 		if err != nil {
 			t.Fatal(err)
@@ -273,7 +286,7 @@ main:
 	retl
 `
 	u := asm.MustParse("p.s", src)
-	lib := asm.MustParse("lib.s", LibrarySource(DefaultConfig))
+	lib := mustLib(t, DefaultConfig)
 	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u, lib)
 	if err != nil {
 		t.Fatal(err)
@@ -319,7 +332,7 @@ main:
 	retl
 `
 	u := asm.MustParse("p.s", src)
-	lib := asm.MustParse("lib.s", LibrarySource(DefaultConfig))
+	lib := mustLib(t, DefaultConfig)
 	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u, lib)
 	if err != nil {
 		t.Fatal(err)
@@ -354,7 +367,7 @@ main:
 	restore
 	retl
 `)
-	lib := asm.MustParse("lib.s", LibrarySource(DefaultConfig))
+	lib := mustLib(t, DefaultConfig)
 	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u, lib)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,291 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"databreak/internal/machine"
+)
+
+// This file is the multi-session front end of the monitored region service:
+// a Server multiplexes N independent (machine, service) sessions in one
+// process, giving each a lifecycle (attach, control operations, run,
+// detach) and fanning every session's monitor hits into one channel.
+//
+// # Lock ordering (see DESIGN.md §7)
+//
+//	Server.mu  >  Session.mu  >  leaf locks (hit-queue mu, bitmap.Bitmap mu)
+//
+// Server.mu guards only the session registry; it is never held while a
+// session executes. Session.mu is THE per-machine serialization point the
+// machine and service docs demand: execution slices (RunFor), region
+// create/delete, PreMonitor/PostMonitor-style text patching (Do with
+// machine.PatchInstr), and debugger reads all take it. Hit delivery happens
+// while Session.mu is held (the trap fires inside RunFor), so the fan-in
+// queue never blocks: enqueue is O(1) under its own mutex and a pump
+// goroutine drains it to the Hits channel outside all session locks.
+
+// SessionHit is one monitor hit tagged with the session that produced it.
+type SessionHit struct {
+	Session int
+	Hit     Hit
+}
+
+// Server multiplexes monitored-region sessions. Create with NewServer; every
+// method is safe for concurrent use.
+type Server struct {
+	mu       sync.Mutex
+	sessions map[int]*Session
+	nextID   int
+	closed   bool
+
+	q *hitQueue
+	// hits carries the fan-in; closed by the pump after Close drains it.
+	hits chan SessionHit
+	// done releases a pump blocked on an unconsumed hits channel at Close.
+	done chan struct{}
+}
+
+// NewServer returns a running server. Call Close when done to stop the hit
+// pump and close the Hits channel.
+func NewServer() *Server {
+	srv := &Server{
+		sessions: make(map[int]*Session),
+		q:        newHitQueue(),
+		hits:     make(chan SessionHit, 64),
+		done:     make(chan struct{}),
+	}
+	go srv.pump()
+	return srv
+}
+
+// Hits returns the fan-in channel carrying every session's monitor hits.
+// Consuming it is optional: an unread backlog accumulates in an unbounded
+// queue and never blocks any session. The channel closes after Close;
+// hits still unread when Close is called may be dropped.
+func (srv *Server) Hits() <-chan SessionHit { return srv.hits }
+
+// pump moves hits from the unbounded queue to the channel. Runs outside all
+// session locks, so a slow (or absent) consumer never stalls execution.
+func (srv *Server) pump() {
+	for {
+		h, ok := srv.q.take()
+		if !ok {
+			close(srv.hits)
+			return
+		}
+		select {
+		case srv.hits <- h:
+		case <-srv.done:
+			// Closed with no consumer left: drop the backlog and shut down.
+			close(srv.hits)
+			return
+		}
+	}
+}
+
+// Attach creates a session around m: a fresh Service with the given
+// geometry, hit delivery wired into the server's fan-in, and a per-machine
+// mutex serializing all further access to m. The caller must not touch m
+// directly afterwards — go through Session.Do.
+func (srv *Server) Attach(cfg Config, m *machine.Machine) (*Session, error) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.closed {
+		return nil, fmt.Errorf("monitor: server is closed")
+	}
+	svc, err := NewService(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	srv.nextID++
+	s := &Session{id: srv.nextID, srv: srv, m: m, svc: svc}
+	svc.OnHit = func(h Hit) {
+		// Called under Session.mu (traps fire inside RunFor/Do); enqueue
+		// only, so delivery cannot deadlock against control operations.
+		srv.q.put(SessionHit{Session: s.id, Hit: h})
+	}
+	srv.sessions[s.id] = s
+	return s, nil
+}
+
+// Session returns the live session with the given id, or nil.
+func (srv *Server) Session(id int) *Session {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.sessions[id]
+}
+
+// SessionCount returns the number of live sessions.
+func (srv *Server) SessionCount() int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return len(srv.sessions)
+}
+
+// Close detaches every live session, stops the hit pump, and closes the
+// Hits channel (after draining queued hits). Idempotent.
+func (srv *Server) Close() {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return
+	}
+	srv.closed = true
+	live := make([]*Session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		live = append(live, s)
+	}
+	srv.mu.Unlock()
+	// Detach outside srv.mu: teardown takes Session.mu, and the lock order
+	// is Server.mu > Session.mu only for nested acquisition on the attach
+	// path; holding both here is unnecessary.
+	for _, s := range live {
+		s.Detach()
+	}
+	srv.q.close()
+	close(srv.done)
+}
+
+func (srv *Server) drop(id int) {
+	srv.mu.Lock()
+	delete(srv.sessions, id)
+	srv.mu.Unlock()
+}
+
+// runSlice is how many instructions a session executes per lock acquisition.
+// Control operations from other goroutines interleave at these boundaries.
+// The value trades lock churn against control-op latency; it has NO effect
+// on simulated counts (RunFor slicing is count-identical by construction).
+const runSlice = 4096
+
+// Session is one (machine, service) pair multiplexed by a Server. Its mutex
+// is the per-machine serialization point: Run executes in runSlice-sized
+// locked slices, and every control surface (Do, CreateRegion, DeleteRegion)
+// takes the same mutex, so debugger edits land only at slice boundaries —
+// never inside a dispatched block.
+type Session struct {
+	id  int
+	srv *Server
+
+	mu     sync.Mutex
+	m      *machine.Machine
+	svc    *Service
+	closed bool
+}
+
+// ID returns the session's server-unique id (tags its SessionHits).
+func (s *Session) ID() int { return s.id }
+
+// Do runs fn with exclusive access to the session's machine and service.
+// This is the sanctioned way to reach them: region create/delete, text
+// patching via machine.PatchInstr, elim.Runtime pre/post-monitor flows, and
+// debugger reads all belong inside fn. fn must not retain either pointer,
+// call back into this Session, or block on another session's work (lock
+// ordering: Session.mu is held).
+func (s *Session) Do(fn func(m *machine.Machine, svc *Service) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("monitor: session %d is detached", s.id)
+	}
+	return fn(s.m, s.svc)
+}
+
+// CreateRegion installs a monitored region, serialized against execution.
+func (s *Session) CreateRegion(addr, size uint32) error {
+	return s.Do(func(_ *machine.Machine, svc *Service) error {
+		return svc.CreateRegion(addr, size)
+	})
+}
+
+// DeleteRegion removes a monitored region, serialized against execution.
+func (s *Session) DeleteRegion(addr, size uint32) error {
+	return s.Do(func(_ *machine.Machine, svc *Service) error {
+		return svc.DeleteRegion(addr, size)
+	})
+}
+
+// Run executes the session's program to completion (or fault), releasing the
+// session lock between runSlice-instruction slices so concurrent control
+// operations can interleave. Simulated counts are bit-identical to an
+// uninterrupted machine.Run regardless of interleaving: debugger operations
+// are cycle-free by construction, and slicing itself does not perturb the
+// cost model (see machine.RunFor).
+func (s *Session) Run() (int32, error) {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("monitor: session %d is detached", s.id)
+		}
+		code, halted, err := s.m.RunFor(runSlice)
+		s.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		if halted {
+			return code, nil
+		}
+	}
+}
+
+// Detach tears the session down: it unhooks the service from the machine
+// and removes the session from the server. Queued hits from this session
+// still drain to the Hits channel. Idempotent; operations after Detach
+// return errors.
+func (s *Session) Detach() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.svc.Detach()
+	s.mu.Unlock()
+	s.srv.drop(s.id)
+}
+
+// hitQueue is an unbounded MPSC queue: sessions enqueue under their own
+// mutexes; the server's pump goroutine is the single consumer.
+type hitQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []SessionHit
+	closed bool
+}
+
+func newHitQueue() *hitQueue {
+	q := &hitQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *hitQueue) put(h SessionHit) {
+	q.mu.Lock()
+	q.items = append(q.items, h)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// take blocks until an item or close; ok=false means closed and drained.
+func (q *hitQueue) take() (SessionHit, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return SessionHit{}, false
+	}
+	h := q.items[0]
+	q.items = q.items[1:]
+	return h, true
+}
+
+func (q *hitQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -31,6 +31,13 @@ type Hit struct {
 // sanctioned text-mutation path: it re-decodes the instruction and repairs
 // the block-dispatch index so the patched check executes on the very next
 // dispatch of its block.
+//
+// A Service is confined to its Machine's serialization domain: like the
+// Machine, it is not itself safe for concurrent use. Every call —
+// CreateRegion, DeleteRegion, Contains, Reinstall — must hold the same
+// external lock that serializes the Machine (monitor.Session provides
+// exactly this; see DESIGN.md §7). Services attached to distinct Machines
+// share no state and run concurrently without restriction.
 type Service struct {
 	cfg Config
 	m   *machine.Machine
@@ -322,6 +329,17 @@ func (s *Service) DeleteRegion(addr, size uint32) error {
 
 // Regions returns the number of installed regions.
 func (s *Service) Regions() int { return len(s.regions) }
+
+// Detach unhooks the service from its machine: the monitor-hit callbacks are
+// cleared, so later traps (should the program keep running) no longer reach
+// this Service. Installed regions stay in simulated memory; delete them
+// first if the program should stop trapping. Part of the session teardown
+// path (monitor.Session.Detach).
+func (s *Service) Detach() {
+	s.m.OnMonHit = nil
+	s.m.OnMonRead = nil
+	s.OnHit = nil
+}
 
 // SegmentMonitored reports whether the segment containing addr has any
 // monitored words (the flag the caching slow path consults).

@@ -1,0 +1,167 @@
+package monitor
+
+import (
+	"testing"
+
+	"databreak/internal/asm"
+	"databreak/internal/cache"
+	"databreak/internal/machine"
+)
+
+// TestRemoveRegionSummaryMaintenance pins the summary-table contract of
+// DeleteRegion: with two regions in the same 2^9/2^14/2^19 buckets, deleting
+// one must keep every level's summary bit set, and deleting the last must
+// clear them — verified through the simulated __mrs_range path (the code
+// that actually consults the summaries) and by reading the summary words.
+func TestRemoveRegionSummaryMaintenance(t *testing.T) {
+	// Span per level chosen so __mrs_range picks L9, L14, L19 in turn.
+	src := `
+main:
+	save %sp, -96, %sp
+	set 0x20000000, %g5
+	set 0x20000fff, %g1
+	mov 9, %g2
+	call __mrs_range
+	set 0x20000000, %g5
+	set 0x200fffff, %g1
+	mov 14, %g2
+	call __mrs_range
+	set 0x10000000, %g5
+	set 0x30000000, %g1
+	mov 19, %g2
+	call __mrs_range
+	mov 0, %i0
+	restore
+	retl
+`
+	u := asm.MustParse("p.s", src)
+	lib := mustLib(t, DefaultConfig)
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+	prog.Load(m)
+	s, err := NewService(DefaultConfig, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int32
+	m.OnRangeHit = func(id int32) { ids = append(ids, id) }
+
+	// Two regions sharing every summary bucket (same 512-byte granule).
+	regA := [2]uint32{0x2000_0800, 16}
+	regB := [2]uint32{0x2000_0900, 16}
+	if err := s.CreateRegion(regA[0], regA[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateRegion(regB[0], regB[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// summaryWord reads the simulated summary word covering addr at level li.
+	summaryWord := func(li int, addr uint32) uint32 {
+		b := addr >> summaryShifts[li]
+		return uint32(m.ReadWord(summaryBases[li] + (b>>5)*4))
+	}
+	summaryBit := func(li int, addr uint32) bool {
+		b := addr >> summaryShifts[li]
+		return summaryWord(li, addr)&(1<<(b&31)) != 0
+	}
+
+	runProbes := func() []int32 {
+		ids = nil
+		m.Reset()
+		prog.Load(m)
+		s.Reinstall()
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+
+	wantAll := []int32{9, 14, 19}
+	if got := runProbes(); !equalIDs(got, wantAll) {
+		t.Fatalf("both regions: range hits = %v, want %v", got, wantAll)
+	}
+
+	// Deleting ONE region must leave every summary bit set: the other region
+	// still owns words in the same buckets.
+	if err := s.DeleteRegion(regA[0], regA[1]); err != nil {
+		t.Fatal(err)
+	}
+	for li := range summaryShifts {
+		if !summaryBit(li, regB[0]) {
+			t.Fatalf("level 2^%d summary bit cleared with a region still in the bucket", summaryShifts[li])
+		}
+		if s.sumCounts[li][regB[0]>>summaryShifts[li]] == 0 {
+			t.Fatalf("level 2^%d sumCounts dropped to zero early", summaryShifts[li])
+		}
+	}
+	if got := runProbes(); !equalIDs(got, wantAll) {
+		t.Fatalf("one region left: range hits = %v, want %v", got, wantAll)
+	}
+
+	// Deleting the LAST region must clear the bit at every level and empty
+	// the host-side counts.
+	if err := s.DeleteRegion(regB[0], regB[1]); err != nil {
+		t.Fatal(err)
+	}
+	for li := range summaryShifts {
+		if summaryBit(li, regB[0]) {
+			t.Fatalf("level 2^%d summary bit still set after the last region went", summaryShifts[li])
+		}
+		if len(s.sumCounts[li]) != 0 {
+			t.Fatalf("level 2^%d sumCounts not empty: %v", summaryShifts[li], s.sumCounts[li])
+		}
+	}
+	if got := runProbes(); len(got) != 0 {
+		t.Fatalf("no regions: range hits = %v, want none", got)
+	}
+}
+
+// TestRemoveRegionSummarySpanningBuckets deletes a region whose span crosses
+// an L9 bucket boundary and checks partial clearing: the bucket still backed
+// by another region keeps its bit, the exclusive bucket loses it.
+func TestRemoveRegionSummarySpanningBuckets(t *testing.T) {
+	m, s := newMachineWithService(t, DefaultConfig)
+	// regWide covers the end of L9 bucket 0x100004 and start of 0x100005
+	// (bucket = addr>>9). regNarrow sits only in bucket 0x100004.
+	regWide := [2]uint32{0x2000_09f8, 16}  // words in buckets 4 and 5 of DataBase
+	regNarrow := [2]uint32{0x2000_0800, 8} // bucket 4 only
+	if err := s.CreateRegion(regWide[0], regWide[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateRegion(regNarrow[0], regNarrow[1]); err != nil {
+		t.Fatal(err)
+	}
+	bit := func(addr uint32) bool {
+		b := addr >> 9
+		v := uint32(m.ReadWord(SummaryL9Base + (b>>5)*4))
+		return v&(1<<(b&31)) != 0
+	}
+	if !bit(0x2000_0800) || !bit(0x2000_0a00) {
+		t.Fatal("both buckets must start set")
+	}
+	if err := s.DeleteRegion(regWide[0], regWide[1]); err != nil {
+		t.Fatal(err)
+	}
+	if !bit(0x2000_0800) {
+		t.Fatal("bucket with a remaining region lost its summary bit")
+	}
+	if bit(0x2000_0a00) {
+		t.Fatal("bucket with no remaining words kept its summary bit")
+	}
+}
+
+func equalIDs(got, want []int32) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -187,6 +187,10 @@ type patcher struct {
 	nextID   int
 	out      []asm.Item
 	res      *Result
+	// err records the first failure while emitting generated source; a
+	// malformed check sequence is reported as an error from Apply, not a
+	// panic (the geometry that shapes the sequence is user input).
+	err error
 }
 
 // Apply rewrites the given program units with the selected strategy and
@@ -216,7 +220,14 @@ func Apply(opts Options, units ...*asm.Unit) (*Result, error) {
 		p.res.Units = append(p.res.Units, nu)
 	}
 	if opts.Strategy != None && opts.Strategy != Nops {
-		lib := asm.MustParse("__mrslib", monitor.LibrarySource(opts.Monitor))
+		libSrc, err := monitor.LibrarySource(opts.Monitor)
+		if err != nil {
+			return nil, err
+		}
+		lib, err := asm.Parse("__mrslib", libSrc)
+		if err != nil {
+			return nil, fmt.Errorf("patch: generated monitor library does not parse: %w", err)
+		}
 		p.res.Units = append(p.res.Units, lib)
 	}
 	return p.res, nil
@@ -263,13 +274,22 @@ func (p *patcher) patchUnit(u *asm.Unit) (*asm.Unit, error) {
 		}
 	}
 	nu.Items = p.out
+	if p.err != nil {
+		return nil, p.err
+	}
 	return nu, nil
 }
 
 func (p *patcher) emit(it asm.Item) { p.out = append(p.out, it) }
 
 func (p *patcher) emitSrc(section, src string) {
-	u := asm.MustParse("__gen", src)
+	u, err := asm.Parse("__gen", src)
+	if err != nil {
+		if p.err == nil {
+			p.err = fmt.Errorf("patch: generated check sequence does not parse: %w", err)
+		}
+		return
+	}
 	for _, it := range u.Items {
 		it.Section = section
 		p.out = append(p.out, it)
