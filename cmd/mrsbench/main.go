@@ -26,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,7 +54,9 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "also write each table as BENCH_<table>.json")
 	stress := flag.Int("stress", 0, "run the concurrency stress harness with this many sessions instead of tables (1 = one per workload)")
 	churn := flag.Int("churn", 0, "stress: mid-run region add/remove rounds per session (0 = default)")
+	patchChurn := flag.Bool("patch-churn", true, "stress: odd sessions also patch live text mid-run (copy-on-write exercise)")
 	useServer := flag.Bool("server", false, "route monitored table runs through a shared monitor.Server (sliced execution; counts identical)")
+	artifactCache := flag.Bool("artifact-cache", true, "memoize compiled+patched+assembled programs across tables and repeats (results are byte-identical either way)")
 	verbose := flag.Bool("v", false, "progress output")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the harness to this file on exit")
@@ -102,6 +105,27 @@ func run() error {
 		defer srv.Close()
 		cfg.Server = srv
 	}
+	if *artifactCache {
+		cfg.Artifacts = bench.NewArtifactCache()
+	}
+	// cacheStats prints the final artifact-cache tally and, with -json,
+	// writes it as BENCH_cachestats.json for CI to archive.
+	cacheStats := func() error {
+		if cfg.Artifacts == nil {
+			return nil
+		}
+		st := cfg.Artifacts.Stats()
+		fmt.Fprintf(os.Stderr, "artifact cache: %d entries (%d hits, %d misses), %d runs (%d hits, %d misses), %d bytes retained\n",
+			st.Entries, st.Hits, st.Misses, st.Runs, st.RunHits, st.RunMisses, st.Bytes)
+		if !*jsonOut {
+			return nil
+		}
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile("BENCH_cachestats.json", append(data, '\n'), 0o644)
+	}
 	programs := workload.All(*scale)
 	if *only != "" {
 		p, ok := workload.ByName(*only, *scale)
@@ -113,7 +137,7 @@ func run() error {
 
 	if *stress > 0 {
 		start := time.Now()
-		rep, err := cfg.Stress(bench.StressConfig{Sessions: *stress, Churn: *churn})
+		rep, err := cfg.Stress(bench.StressConfig{Sessions: *stress, Churn: *churn, PatchChurn: *patchChurn})
 		if err != nil {
 			return err
 		}
@@ -121,14 +145,18 @@ func run() error {
 		fmt.Printf("stress: %d concurrent sessions, %d fan-in hits, all counts bit-identical to serial (%.0f ms)\n",
 			len(rep.Sessions), rep.Hits, float64(wall.Microseconds())/1000)
 		for _, s := range rep.Sessions {
-			fmt.Printf("  session %2d  %-10s  cycles=%d instrs=%d\n", s.Session, s.Program, s.Cycles, s.Instrs)
+			tag := ""
+			if s.Patched {
+				tag = "  (patched live text; cycles not compared)"
+			}
+			fmt.Printf("  session %2d  %-10s  cycles=%d instrs=%d%s\n", s.Session, s.Program, s.Cycles, s.Instrs, tag)
 		}
 		if *jsonOut {
 			if err := bench.NewReport("stress", cfg, wall, rep.Sessions).WriteFile("BENCH_stress.json"); err != nil {
 				return err
 			}
 		}
-		return nil
+		return cacheStats()
 	}
 
 	// report writes BENCH_<name>.json when -json is set; text output to
@@ -214,27 +242,33 @@ func run() error {
 		return report("ablation", wall, rows)
 	}
 
-	switch *table {
-	case "1":
-		return runT1()
-	case "2":
-		return runT2()
-	case "fig3":
-		return runF3()
-	case "strategies":
-		return runStrat()
-	case "breakeven":
-		return runBE()
-	case "ablation":
-		return runAbl()
-	case "all":
-		for _, f := range []func() error{runT1, runT2, runF3, runStrat, runBE, runAbl} {
-			if err := f(); err != nil {
-				return err
+	runTables := func() error {
+		switch *table {
+		case "1":
+			return runT1()
+		case "2":
+			return runT2()
+		case "fig3":
+			return runF3()
+		case "strategies":
+			return runStrat()
+		case "breakeven":
+			return runBE()
+		case "ablation":
+			return runAbl()
+		case "all":
+			for _, f := range []func() error{runT1, runT2, runF3, runStrat, runBE, runAbl} {
+				if err := f(); err != nil {
+					return err
+				}
 			}
+			return nil
+		default:
+			return fmt.Errorf("unknown table %q", *table)
 		}
-		return nil
-	default:
-		return fmt.Errorf("unknown table %q", *table)
 	}
+	if err := runTables(); err != nil {
+		return err
+	}
+	return cacheStats()
 }

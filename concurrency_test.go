@@ -18,11 +18,14 @@ import (
 // a debugger goroutine per session adding and removing a region mid-run.
 // bench.Stress fails if any session's simulated cycle or instruction count
 // differs from a serial run of the same program — concurrency must be
-// invisible to the simulation. Run under -race this also exercises the
-// locking contract across monitor, machine, and the hit fan-in.
+// invisible to the simulation. PatchChurn additionally has odd sessions
+// patch their own text mid-run, so the copy-on-write privatization of the
+// shared program image is exercised while sibling sessions execute from it.
+// Run under -race this also exercises the locking contract across monitor,
+// machine, the image sharing, and the hit fan-in.
 func TestConcurrentSessionStress(t *testing.T) {
 	cfg := bench.DefaultConfig()
-	sc := bench.StressConfig{Sessions: len(workload.All(1)), Churn: 64}
+	sc := bench.StressConfig{Sessions: len(workload.All(1)), Churn: 64, PatchChurn: true}
 	if sc.Sessions < 8 {
 		t.Fatalf("workload suite has %d programs; stress design point is >= 8 sessions", sc.Sessions)
 	}

@@ -2,6 +2,7 @@ package asm
 
 import (
 	"fmt"
+	"sync"
 
 	"databreak/internal/machine"
 	"databreak/internal/sparc"
@@ -21,6 +22,18 @@ type Program struct {
 	// CounterNames maps event-counter index -> name; CounterIDs the reverse.
 	CounterNames []string
 	CounterIDs   map[string]int
+
+	// Shared-load artifacts, built lazily on first use and then reused by
+	// every LoadShared: the predecoded machine.Image and a flat big-endian
+	// snapshot of the initialized data segment. Both are immutable once
+	// built, so a single *Program may back any number of machines on any
+	// number of goroutines (the artifact cache and the stress harness do
+	// exactly that). Guarded by onces, not a mutex: Program must not be
+	// copied after first LoadShared (go vet's copylocks enforces this).
+	imgOnce  sync.Once
+	img      *machine.Image
+	dataOnce sync.Once
+	dataSnap []byte
 }
 
 type initWord struct {
@@ -200,7 +213,9 @@ func Assemble(opts Options, units ...*Unit) (*Program, error) {
 }
 
 // Load installs the program into a machine: text, initialized data, entry
-// point, and the event-counter vector.
+// point, and the event-counter vector. The machine gets a private copy of
+// the text; for the compile-once, run-many path that shares one predecoded
+// image across machines, use LoadShared.
 func (p *Program) Load(m *machine.Machine) {
 	text := make([]sparc.Instr, len(p.Text))
 	copy(text, p.Text)
@@ -213,6 +228,73 @@ func (p *Program) Load(m *machine.Machine) {
 		}
 	}
 	m.SetCounterCount(len(p.CounterNames))
+}
+
+// Image returns the program's predecoded machine image, building it on
+// first call and reusing it afterwards. The image is immutable and safe to
+// attach to any number of machines concurrently (machine.LoadImage's
+// copy-on-write patching keeps per-machine patches private).
+func (p *Program) Image() *machine.Image {
+	p.imgOnce.Do(func() {
+		p.img = machine.BuildImage(p.Text, p.Entry)
+	})
+	return p.img
+}
+
+// dataSnapshot flattens the initialized data segment into one big-endian
+// byte image at machine.DataBase, built once. It extends only to the last
+// initialized byte — uninitialized .space beyond it is already zero on a
+// fresh machine. Loading it with machine.LoadData on a fresh machine is
+// equivalent to replaying the per-word initializer list (both are loader
+// actions with no cache traffic or cycle cost), so re-running a cached
+// artifact only resets memory instead of re-linking.
+func (p *Program) dataSnapshot() []byte {
+	p.dataOnce.Do(func() {
+		var end uint32
+		for _, iw := range p.dataInit {
+			n := iw.addr - machine.DataBase + 4
+			if iw.isByte {
+				n -= 3
+			}
+			if n > end {
+				end = n
+			}
+		}
+		snap := make([]byte, end)
+		for _, iw := range p.dataInit {
+			off := iw.addr - machine.DataBase
+			if iw.isByte {
+				snap[off] = byte(iw.val)
+			} else {
+				u := uint32(iw.val)
+				snap[off] = byte(u >> 24)
+				snap[off+1] = byte(u >> 16)
+				snap[off+2] = byte(u >> 8)
+				snap[off+3] = byte(u)
+			}
+		}
+		p.dataSnap = snap
+	})
+	return p.dataSnap
+}
+
+// LoadShared installs the program into a fresh (or Reset) machine via the
+// shared image: no text copy, no predecode, and the data segment lands as
+// one snapshot write. Simulated counts are bit-identical to Load; the only
+// difference is host time and that the machine's first PatchInstr pays a
+// copy-on-write privatization instead of mutating in place.
+func (p *Program) LoadShared(m *machine.Machine) {
+	m.LoadImage(p.Image())
+	if snap := p.dataSnapshot(); len(snap) > 0 {
+		m.LoadData(machine.DataBase, snap)
+	}
+	m.SetCounterCount(len(p.CounterNames))
+}
+
+// SizeBytes estimates the host memory a cached Program retains: the shared
+// image plus the data snapshot. Used for artifact-cache accounting.
+func (p *Program) SizeBytes() int {
+	return p.Image().SizeBytes() + len(p.dataSnapshot())
 }
 
 // Counter returns the machine's value for the named event counter, or zero

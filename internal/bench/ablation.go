@@ -27,16 +27,13 @@ type AblationRow struct {
 }
 
 // RunPatched patches with explicit options and runs (general form of
-// RunStrategy used by ablations).
+// RunStrategy used by ablations). Uncached entry point; the ablation
+// driver uses runPatched.
 func (c Config) RunPatched(u *asm.Unit, popts patch.Options, disabled bool) (Run, error) {
-	res, err := patch.Apply(popts, u.Clone())
-	if err != nil {
-		return Run{}, err
-	}
-	prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
-	if err != nil {
-		return Run{}, err
-	}
+	return c.runPatched("", u, popts, disabled)
+}
+
+func (c Config) runPatched(src string, u *asm.Unit, popts patch.Options, disabled bool) (Run, error) {
 	effCfg := popts.Monitor
 	if effCfg.SegWords == 0 {
 		effCfg = monitor.DefaultConfig
@@ -48,7 +45,16 @@ func (c Config) RunPatched(u *asm.Unit, popts patch.Options, disabled bool) (Run
 	if !disabled {
 		regions = [][2]uint32{{FarRegion, 4}}
 	}
-	return c.execute(prog, effCfg, regions, disabled)
+	// Keyed identically to runStrategy: ablation variant 0 and Table 1's
+	// BmInlReg cell are the same run and execute once.
+	desc := descPatch(popts) + "|exec|" + descMonitor(effCfg) + "|" + descRegions(regions, disabled)
+	return c.memoRun(src, desc, func() (Run, error) {
+		prog, err := c.patchedProgram(src, u, popts)
+		if err != nil {
+			return Run{}, err
+		}
+		return c.execute(prog, effCfg, regions, disabled)
+	})
 }
 
 // Ablation measures the design-choice deltas for each program. The three
@@ -68,7 +74,7 @@ func Ablation(cfg Config, programs []workload.Program) ([]AblationRow, error) {
 	}
 	grid, err := matrix(cfg, preps, len(variants), func(p prepped, v int) (float64, error) {
 		cfg.logf("ablation: %s/%d", p.prog.Name, v)
-		r, err := cfg.RunPatched(p.unit, variants[v], false)
+		r, err := cfg.runPatched(p.prog.Source, p.unit, variants[v], false)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"databreak/internal/asm"
+	"databreak/internal/elim"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+)
+
+// This file is the content-addressed artifact cache: compile-once, run-many.
+//
+// Every cell of the benchmark matrix starts from the same small set of build
+// products — a workload compiled to an assembly unit, and that unit patched
+// (or elim-rewritten) and assembled into a Program. Without the cache the
+// harness rebuilds these for every cell of every table, every -count repeat,
+// and every stress session. With it, each distinct build is keyed by the
+// SHA-256 of its inputs — the workload source text (which already encodes
+// the scale factor) plus a canonical descriptor of the transformation
+// (strategy, elim options, monitor config, nop count) — and built exactly
+// once, then shared. A cached Program carries its predecoded machine.Image
+// and data-segment snapshot (asm.LoadShared), so "running a cached artifact"
+// is: attach the shared image, memcpy the data snapshot, execute. Machines
+// never mutate shared state — machine.PatchInstr privatizes on first write —
+// so any number of concurrent workers and sessions may run one artifact.
+//
+// The cache also memoizes EXECUTIONS. The simulated machine is
+// bit-deterministic — the differential suite pins that a given (program,
+// machine config, monitor config, regions) tuple produces identical cycles,
+// instructions, output, and cache stats on every run, serial or sliced —
+// so a run is as content-addressable as a build: its key is the program's
+// key plus a canonical descriptor of everything the run depends on
+// (monitor config, regions, disabled flag, machine cache/cost model,
+// server routing). The tables repeat many identical runs — every needBase
+// table re-measures the same baselines, ablation variant 0 is Table 1's
+// BmInlReg cell is the strategy table's bitmap column, Figure 3's 128-word
+// point is Table 1's Cache cell — and each now executes once. Because
+// replay only ever substitutes a value the simulator is proven to
+// reproduce, table output is byte-identical with the cache on or off, for
+// any -workers value.
+
+// Artifact is one cached build product. Exactly one pointer class is set
+// per entry kind: Unit for compiled workloads, Prog (plus Elim for
+// elimination rewrites) for assembled programs. All fields are immutable
+// once built; consumers must Clone units before rewriting them.
+type Artifact struct {
+	Unit *asm.Unit
+	Prog *asm.Program
+	Elim *elim.Result
+}
+
+type artifactEntry struct {
+	once sync.Once
+	art  Artifact
+	err  error
+}
+
+type runEntry struct {
+	once sync.Once
+	run  Run
+	err  error
+}
+
+// ArtifactCache memoizes build products and deterministic executions across
+// tables, repeats, and stress sessions. Safe for concurrent use; concurrent
+// requests for the same key build (or run) once and share the result
+// (per-entry once).
+type ArtifactCache struct {
+	mu        sync.Mutex
+	entries   map[[sha256.Size]byte]*artifactEntry
+	runs      map[[sha256.Size]byte]*runEntry
+	hits      uint64
+	misses    uint64
+	runHits   uint64
+	runMisses uint64
+}
+
+// NewArtifactCache returns an empty cache.
+func NewArtifactCache() *ArtifactCache {
+	return &ArtifactCache{
+		entries: make(map[[sha256.Size]byte]*artifactEntry),
+		runs:    make(map[[sha256.Size]byte]*runEntry),
+	}
+}
+
+// ArtifactStats is a point-in-time view of cache effectiveness, reported in
+// mrsbench's JSON output.
+type ArtifactStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+	// RunHits/RunMisses count memoized-execution lookups; Runs is the
+	// number of distinct runs retained.
+	RunHits   uint64 `json:"run_hits"`
+	RunMisses uint64 `json:"run_misses"`
+	Runs      int    `json:"runs"`
+	// Bytes estimates host memory retained by cached programs (shared
+	// images + data snapshots).
+	Bytes int64 `json:"bytes"`
+}
+
+// Stats reports hit/miss counts and the retained-bytes estimate.
+func (c *ArtifactCache) Stats() ArtifactStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ArtifactStats{
+		Hits: c.hits, Misses: c.misses, Entries: len(c.entries),
+		RunHits: c.runHits, RunMisses: c.runMisses, Runs: len(c.runs),
+	}
+	for _, e := range c.entries {
+		// Only count completed builds; entries mid-build race with their
+		// once and are counted on the next Stats call.
+		if e.art.Prog != nil {
+			st.Bytes += int64(e.art.Prog.SizeBytes())
+		}
+	}
+	return st
+}
+
+// do returns the artifact for key, building it at most once across all
+// goroutines. An error is cached too: a build that cannot succeed is not
+// retried per cell, and every cell reports the same failure.
+func (c *ArtifactCache) do(key [sha256.Size]byte, build func() (Artifact, error)) (Artifact, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &artifactEntry{}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.art, e.err = build() })
+	return e.art, e.err
+}
+
+// artifactKey derives the content address: the workload source (which
+// encodes program identity and scale) plus the canonical transformation
+// descriptor.
+func artifactKey(src, desc string) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(src))
+	h.Write([]byte{0})
+	h.Write([]byte(desc))
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// artifact routes a build through the cache when one is configured and the
+// caller supplied a source identity; otherwise it just builds. src == ""
+// marks the uncached public entry points (RunBaseline etc. called with a
+// bare unit, where no content identity is available).
+func (c Config) artifact(src, desc string, build func() (Artifact, error)) (Artifact, error) {
+	if c.Artifacts == nil || src == "" {
+		return build()
+	}
+	return c.Artifacts.do(artifactKey(src, desc), build)
+}
+
+// doRun is the execution-side twin of do.
+func (c *ArtifactCache) doRun(key [sha256.Size]byte, exec func() (Run, error)) (Run, error) {
+	c.mu.Lock()
+	e, ok := c.runs[key]
+	if !ok {
+		e = &runEntry{}
+		c.runs[key] = e
+		c.runMisses++
+	} else {
+		c.runHits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.run, e.err = exec() })
+	return e.run, e.err
+}
+
+// memoRun memoizes a deterministic execution. desc must name the program
+// artifact (its build descriptor) plus every run-side input; runScope folds
+// in the Config-level state the simulated counts depend on. The returned
+// Run may be shared — its Counters map is read-only to callers.
+func (c Config) memoRun(src, desc string, exec func() (Run, error)) (Run, error) {
+	if c.Artifacts == nil || src == "" {
+		return exec()
+	}
+	return c.Artifacts.doRun(artifactKey(src, c.runScope()+desc), exec)
+}
+
+// runScope canonicalizes the Config state a run's counts depend on: the
+// simulated cache geometry and cost model. Server routing is included out
+// of caution — counts are proven identical either way, but keeping the
+// scopes separate means a -server run always exercises the server at least
+// once per distinct cell.
+func (c Config) runScope() string {
+	return fmt.Sprintf("scope|cache=%+v|costs=%+v|server=%t|", c.Cache, c.Costs, c.Server != nil)
+}
+
+// descRegions canonicalizes an execute call's run-side inputs.
+func descRegions(regions [][2]uint32, disabled bool) string {
+	return fmt.Sprintf("regions=%v|disabled=%t", regions, disabled)
+}
+
+// descMonitor canonicalizes a monitor config for key purposes.
+func descMonitor(mc monitor.Config) string {
+	return fmt.Sprintf("seg=%d,flags=%t", mc.SegWords, mc.Flags)
+}
+
+// descPatch canonicalizes patch options, applying the same normalization
+// patch.Apply performs (zero monitor config -> default; cache strategies
+// force the flag bit) so equivalent options map to one artifact.
+func descPatch(o patch.Options) string {
+	if o.Monitor.SegWords == 0 {
+		o.Monitor = monitor.DefaultConfig
+	}
+	if o.Strategy == patch.Cache || o.Strategy == patch.CacheInline {
+		o.Monitor.Flags = true
+	}
+	return fmt.Sprintf("patch|strat=%d|nops=%d|reads=%t|nodis=%t|%s",
+		o.Strategy, o.Nops, o.CheckReads, o.SkipDisabledBranch, descMonitor(o.Monitor))
+}
+
+// descElim canonicalizes an elimination configuration.
+func descElim(mode elim.Mode, mc monitor.Config) string {
+	if mc.SegWords == 0 {
+		mc = monitor.DefaultConfig
+	}
+	return fmt.Sprintf("elim|mode=%d|%s", mode, descMonitor(mc))
+}

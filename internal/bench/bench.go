@@ -45,6 +45,11 @@ type Config struct {
 	// worker goroutines, which is exactly the concurrent-session workload
 	// the stress harness checks.
 	Server *monitor.Server
+	// Artifacts, when non-nil, memoizes build products (compiled units,
+	// patched+assembled programs with their shared images) across tables,
+	// -count repeats, and stress sessions. See artifact.go. Executions are
+	// never memoized, so results are byte-identical with or without it.
+	Artifacts *ArtifactCache
 }
 
 // DefaultConfig runs the suite at scale 1 on the default machine.
@@ -84,6 +89,59 @@ func Compile(p workload.Program) (*asm.Unit, error) {
 	return u, nil
 }
 
+// unitFor is the cached form of Compile. The returned unit may be shared
+// with other cells and sessions: treat it as read-only and Clone before
+// rewriting.
+func (c Config) unitFor(p workload.Program) (*asm.Unit, error) {
+	art, err := c.artifact(p.Source, "unit", func() (Artifact, error) {
+		u, err := Compile(p)
+		return Artifact{Unit: u}, err
+	})
+	return art.Unit, err
+}
+
+// baselineProgram assembles the unpatched unit, once per distinct source.
+func (c Config) baselineProgram(src string, u *asm.Unit) (*asm.Program, error) {
+	art, err := c.artifact(src, "baseline", func() (Artifact, error) {
+		prog, err := asm.Assemble(asm.Options{AddStartup: true}, u.Clone())
+		return Artifact{Prog: prog}, err
+	})
+	return art.Prog, err
+}
+
+// patchedProgram patches the unit with popts and assembles, once per
+// distinct (source, normalized options) pair — Table 1's Disabled cell and
+// its Bitmap column, or ablation variant 0 and Table 1's BmInlReg column,
+// share one artifact because only their run configuration differs.
+func (c Config) patchedProgram(src string, u *asm.Unit, popts patch.Options) (*asm.Program, error) {
+	art, err := c.artifact(src, descPatch(popts), func() (Artifact, error) {
+		res, err := patch.Apply(popts, u.Clone())
+		if err != nil {
+			return Artifact{}, err
+		}
+		prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+		return Artifact{Prog: prog}, err
+	})
+	return art.Prog, err
+}
+
+// elimProgram rewrites the unit with the elimination analysis and
+// assembles, once per distinct (source, mode, monitor config). The cached
+// elim.Result is read-only shared state; the per-run Runtime that arms
+// sites from it patches text through machine.PatchInstr, which privatizes
+// the shared image first.
+func (c Config) elimProgram(src string, u *asm.Unit, mode elim.Mode, mcfg monitor.Config) (*asm.Program, *elim.Result, error) {
+	art, err := c.artifact(src, descElim(mode, mcfg), func() (Artifact, error) {
+		res, err := elim.Apply(elim.Options{Mode: mode, Monitor: mcfg}, u.Clone())
+		if err != nil {
+			return Artifact{}, err
+		}
+		prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+		return Artifact{Prog: prog, Elim: res}, err
+	})
+	return art.Prog, art.Elim, err
+}
+
 // collect reduces a halted machine to the Run record the tables consume.
 func collect(prog *asm.Program, m *machine.Machine) Run {
 	counters := make(map[string]uint64, len(prog.CounterNames))
@@ -101,7 +159,7 @@ func collect(prog *asm.Program, m *machine.Machine) Run {
 
 func (c Config) execute(prog *asm.Program, mcfg monitor.Config, regions [][2]uint32, disabled bool) (Run, error) {
 	m := c.newMachine()
-	prog.Load(m)
+	prog.LoadShared(m)
 	setup := func(svc *monitor.Service) error {
 		svc.DisabledOverride = disabled
 		for _, r := range regions {
@@ -146,31 +204,39 @@ func (c Config) execute(prog *asm.Program, mcfg monitor.Config, regions [][2]uin
 	return collect(prog, m), nil
 }
 
-// RunBaseline assembles and runs the unpatched program.
+// RunBaseline assembles and runs the unpatched program. Uncached entry
+// point (no content identity for a bare unit); the table drivers use
+// runBaseline with the workload source so repeats share one program.
 func (c Config) RunBaseline(u *asm.Unit) (Run, error) {
-	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u.Clone())
-	if err != nil {
-		return Run{}, err
-	}
-	m := c.newMachine()
-	prog.Load(m)
-	if _, err := m.Run(); err != nil {
-		return Run{}, err
-	}
-	return Run{Cycles: m.Cycles(), Instrs: m.Instrs(), Output: m.Output(), Cache: m.CacheStats()}, nil
+	return c.runBaseline("", u)
+}
+
+func (c Config) runBaseline(src string, u *asm.Unit) (Run, error) {
+	// Every needBase table re-measures the same baseline; memoRun executes
+	// it once per process.
+	return c.memoRun(src, "baseline|exec", func() (Run, error) {
+		prog, err := c.baselineProgram(src, u)
+		if err != nil {
+			return Run{}, err
+		}
+		m := c.newMachine()
+		prog.LoadShared(m)
+		if _, err := m.Run(); err != nil {
+			return Run{}, err
+		}
+		return Run{Cycles: m.Cycles(), Instrs: m.Instrs(), Output: m.Output(), Cache: m.CacheStats()}, nil
+	})
 }
 
 // RunStrategy patches with the given Table-1 strategy and runs. With
 // disabled set, no region is created and the disabled flag stays on.
+// Uncached entry point; the table drivers use runStrategy.
 func (c Config) RunStrategy(u *asm.Unit, strat patch.Strategy, mcfg monitor.Config, disabled bool) (Run, error) {
-	res, err := patch.Apply(patch.Options{Strategy: strat, Monitor: mcfg}, u.Clone())
-	if err != nil {
-		return Run{}, err
-	}
-	prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
-	if err != nil {
-		return Run{}, err
-	}
+	return c.runStrategy("", u, strat, mcfg, disabled)
+}
+
+func (c Config) runStrategy(src string, u *asm.Unit, strat patch.Strategy, mcfg monitor.Config, disabled bool) (Run, error) {
+	popts := patch.Options{Strategy: strat, Monitor: mcfg}
 	effCfg := mcfg
 	if strat == patch.Cache || strat == patch.CacheInline {
 		effCfg.Flags = true
@@ -179,21 +245,40 @@ func (c Config) RunStrategy(u *asm.Unit, strat patch.Strategy, mcfg monitor.Conf
 	if !disabled && strat != patch.Nops && strat != patch.None {
 		regions = [][2]uint32{{FarRegion, 4}}
 	}
-	return c.execute(prog, effCfg, regions, disabled)
+	desc := descPatch(popts) + "|exec|" + descMonitor(effCfg) + "|" + descRegions(regions, disabled)
+	return c.memoRun(src, desc, func() (Run, error) {
+		prog, err := c.patchedProgram(src, u, popts)
+		if err != nil {
+			return Run{}, err
+		}
+		return c.execute(prog, effCfg, regions, disabled)
+	})
 }
 
 // RunElim rewrites with the elimination analysis (Sym or Full) and runs.
+// Uncached entry point; the table drivers use runElim.
 func (c Config) RunElim(u *asm.Unit, mode elim.Mode, mcfg monitor.Config) (Run, error) {
-	res, err := elim.Apply(elim.Options{Mode: mode, Monitor: mcfg}, u.Clone())
-	if err != nil {
-		return Run{}, err
-	}
-	prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+	return c.runElim("", u, mode, mcfg)
+}
+
+func (c Config) runElim(src string, u *asm.Unit, mode elim.Mode, mcfg monitor.Config) (Run, error) {
+	regions := [][2]uint32{{FarRegion, 4}}
+	desc := descElim(mode, mcfg) + "|exec|" + descMonitor(mcfg) + "|" + descRegions(regions, false)
+	return c.memoRun(src, desc, func() (Run, error) {
+		return c.runElimUncached(src, u, mode, mcfg)
+	})
+}
+
+// runElimUncached builds (through the cache) and executes an elimination
+// run: the per-run elim.Runtime arms sites from the shared result by
+// patching live text, which copy-on-write-privatizes the shared image.
+func (c Config) runElimUncached(src string, u *asm.Unit, mode elim.Mode, mcfg monitor.Config) (Run, error) {
+	prog, res, err := c.elimProgram(src, u, mode, mcfg)
 	if err != nil {
 		return Run{}, err
 	}
 	m := c.newMachine()
-	prog.Load(m)
+	prog.LoadShared(m)
 	if c.Server != nil {
 		sess, err := c.Server.Attach(mcfg, m)
 		if err != nil {

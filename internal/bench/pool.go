@@ -117,7 +117,9 @@ feed:
 }
 
 // prepped is a workload ready for the variant cells: compiled once, with its
-// baseline run (the denominator of every overhead column) measured once.
+// baseline run (the denominator of every overhead column) measured once. The
+// unit may come from the shared artifact cache — cells must Clone it before
+// rewriting.
 type prepped struct {
 	prog workload.Program
 	unit *asm.Unit
@@ -130,13 +132,13 @@ func (c Config) prepare(programs []workload.Program, what string, needBase bool)
 	return parallelMap(c, len(programs), func(i int) (prepped, error) {
 		p := programs[i]
 		c.logf("%s: %s", what, p.Name)
-		u, err := Compile(p)
+		u, err := c.unitFor(p)
 		if err != nil {
 			return prepped{}, err
 		}
 		pr := prepped{prog: p, unit: u}
 		if needBase {
-			if pr.base, err = c.RunBaseline(u); err != nil {
+			if pr.base, err = c.runBaseline(p.Source, u); err != nil {
 				return prepped{}, err
 			}
 		}

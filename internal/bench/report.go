@@ -18,19 +18,28 @@ type Report struct {
 	Scale      int     `json:"scale"`
 	Workers    int     `json:"workers"`
 	WallMillis float64 `json:"wall_ms"`
-	Rows       any     `json:"rows"`
+	// ArtifactCache, when the run used one, is the cache's cumulative
+	// hit/miss/footprint state as of this table finishing (tables run in
+	// sequence and share one cache, so later tables show higher counts).
+	ArtifactCache *ArtifactStats `json:"artifact_cache,omitempty"`
+	Rows          any            `json:"rows"`
 }
 
 // NewReport stamps a report for one table run.
 func NewReport(table string, cfg Config, wall time.Duration, rows any) Report {
 	c := cfg.normalized()
-	return Report{
+	r := Report{
 		Table:      table,
 		Scale:      c.Scale,
 		Workers:    c.Workers,
 		WallMillis: float64(wall.Microseconds()) / 1000,
 		Rows:       rows,
 	}
+	if c.Artifacts != nil {
+		st := c.Artifacts.Stats()
+		r.ArtifactCache = &st
+	}
+	return r
 }
 
 // WriteFile writes the report as indented JSON.

@@ -44,20 +44,20 @@ func StrategyTable(cfg Config, programs []workload.Program) ([]StrategyRow, erro
 		case "page-cold":
 			// Page protection with the watched word far from anything the
 			// program writes.
-			cold, err := cfg.runPageProtect(p.unit, FarRegion)
+			cold, err := cfg.runPageProtect(p.prog.Source, p.unit, FarRegion)
 			if err != nil {
 				return 0, err
 			}
 			return overheadPct(p.base.Cycles, cold), nil
 		case "page-hot":
 			// Watched word on the first data page, where the globals live.
-			hot, err := cfg.runPageProtect(p.unit, machine.DataBase)
+			hot, err := cfg.runPageProtect(p.prog.Source, p.unit, machine.DataBase)
 			if err != nil {
 				return 0, err
 			}
 			return overheadPct(p.base.Cycles, hot), nil
 		case "hash":
-			hash, err := cfg.RunStrategy(p.unit, patch.HashCall, monitor.DefaultConfig, false)
+			hash, err := cfg.runStrategy(p.prog.Source, p.unit, patch.HashCall, monitor.DefaultConfig, false)
 			if err != nil {
 				return 0, err
 			}
@@ -66,7 +66,7 @@ func StrategyTable(cfg Config, programs []workload.Program) ([]StrategyRow, erro
 			}
 			return overheadPct(p.base.Cycles, hash.Cycles), nil
 		default: // segmented bitmap, for comparison
-			bm, err := cfg.RunStrategy(p.unit, patch.BitmapInlineRegisters, monitor.DefaultConfig, false)
+			bm, err := cfg.runStrategy(p.prog.Source, p.unit, patch.BitmapInlineRegisters, monitor.DefaultConfig, false)
 			if err != nil {
 				return 0, err
 			}
@@ -94,19 +94,25 @@ func StrategyTable(cfg Config, programs []workload.Program) ([]StrategyRow, erro
 	return rows, nil
 }
 
-func (c Config) runPageProtect(u *asm.Unit, watch uint32) (int64, error) {
-	prog, err := asm.Assemble(asm.Options{AddStartup: true}, u.Clone())
-	if err != nil {
-		return 0, err
-	}
-	m := c.newMachine()
-	prog.Load(m)
-	pp := baseline.NewPageProtect(m)
-	pp.Watch(watch, 4)
-	if _, err := m.Run(); err != nil {
-		return 0, err
-	}
-	return m.Cycles(), nil
+// runPageProtect runs the unpatched program under the page-protection
+// baseline. The program is the same artifact the baseline run uses — only
+// the watch configuration differs — so with a cache it assembles once.
+func (c Config) runPageProtect(src string, u *asm.Unit, watch uint32) (int64, error) {
+	run, err := c.memoRun(src, fmt.Sprintf("pageprotect|watch=%#x|exec", watch), func() (Run, error) {
+		prog, err := c.baselineProgram(src, u)
+		if err != nil {
+			return Run{}, err
+		}
+		m := c.newMachine()
+		prog.LoadShared(m)
+		pp := baseline.NewPageProtect(m)
+		pp.Watch(watch, 4)
+		if _, err := m.Run(); err != nil {
+			return Run{}, err
+		}
+		return Run{Cycles: m.Cycles(), Instrs: m.Instrs(), Output: m.Output()}, nil
+	})
+	return run.Cycles, err
 }
 
 // HardwareLimit demonstrates the watchpoint-register capacity problem: it

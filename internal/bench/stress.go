@@ -8,6 +8,7 @@ import (
 	"databreak/internal/machine"
 	"databreak/internal/monitor"
 	"databreak/internal/patch"
+	"databreak/internal/sparc"
 	"databreak/internal/workload"
 )
 
@@ -18,6 +19,14 @@ import (
 // bit-identical to a serial run of the same program. Any cross-session
 // leak, locking bug, or count perturbation from mid-run control traffic
 // shows up as a differential failure (and, under -race, as a race report).
+//
+// All sessions running the same workload execute from ONE shared program
+// image (asm.LoadShared), so with PatchChurn enabled this is also the
+// copy-on-write torture test: odd-numbered sessions patch live text mid-run
+// through Session.Do while their siblings execute from the same image. A
+// PatchInstr that wrote the shared arrays instead of privatizing would be a
+// data race (caught by -race) and would corrupt the siblings' differential
+// counts.
 
 // ChurnRegion is the region the per-session debugger goroutines add and
 // remove while the program runs. Like FarRegion it is far from anything the
@@ -37,6 +46,16 @@ type StressConfig struct {
 	// Churn is how many add/remove rounds each session's debugger goroutine
 	// performs mid-run; <= 0 means 64.
 	Churn int
+	// PatchChurn makes every odd-numbered session also toggle text index 0
+	// (startup `call main`, executed exactly once) between unimp and its
+	// original form mid-run, through the session lock. The first toggle
+	// privatizes the session's shared image (copy-on-write); even-numbered
+	// siblings keep executing from the pristine shared arrays and must stay
+	// bit-identical to the serial reference. Patching invalidates the
+	// simulated I-cache line under the startup code, which legitimately
+	// perturbs the patching session's own cycle count, so patching sessions
+	// are checked on instruction counts and output only.
+	PatchChurn bool
 }
 
 // StressSession is one session's outcome.
@@ -45,6 +64,9 @@ type StressSession struct {
 	Program string
 	Cycles  int64
 	Instrs  int64
+	// Patched reports that this session ran the PatchChurn flow (its cycle
+	// count is self-consistent but not compared against the serial run).
+	Patched bool
 }
 
 // StressReport summarizes a Stress run that passed its differential check.
@@ -77,9 +99,10 @@ func (c Config) Stress(sc StressConfig) (StressReport, error) {
 		mcfg.Flags = true
 	}
 
-	// Compile, patch, and assemble each workload once. An assembled Program
-	// is immutable (Load copies text into the machine), so all sessions
-	// running the same workload share one.
+	// Compile, patch, and assemble each workload once — through the artifact
+	// cache when one is configured, so a stress run after the tables reuses
+	// their programs. All sessions running the same workload share one
+	// Program and therefore one machine image.
 	type stressPrep struct {
 		name string
 		prog *asm.Program
@@ -90,21 +113,23 @@ func (c Config) Stress(sc StressConfig) (StressReport, error) {
 	preps, err := parallelMap(c, len(programs), func(i int) (stressPrep, error) {
 		p := programs[i]
 		c.logf("stress prep: %s", p.Name)
-		u, err := Compile(p)
+		u, err := c.unitFor(p)
 		if err != nil {
 			return stressPrep{}, err
 		}
-		res, err := patch.Apply(patch.Options{Strategy: sc.Strategy, Monitor: mcfg}, u)
-		if err != nil {
-			return stressPrep{}, err
-		}
-		prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+		popts := patch.Options{Strategy: sc.Strategy, Monitor: mcfg}
+		prog, err := c.patchedProgram(p.Source, u, popts)
 		if err != nil {
 			return stressPrep{}, err
 		}
 		// Serial reference: the counts every concurrent session must
-		// reproduce bit for bit.
-		ref, err := serial.execute(prog, mcfg, [][2]uint32{{FarRegion, 4}}, false)
+		// reproduce bit for bit. Keyed like a table cell, so a stress run
+		// sharing a cache with the tables reuses their measurement.
+		regions := [][2]uint32{{FarRegion, 4}}
+		desc := descPatch(popts) + "|exec|" + descMonitor(mcfg) + "|" + descRegions(regions, false)
+		ref, err := serial.memoRun(p.Source, desc, func() (Run, error) {
+			return serial.execute(prog, mcfg, regions, false)
+		})
 		if err != nil {
 			return stressPrep{}, err
 		}
@@ -135,23 +160,29 @@ func (c Config) Stress(sc StressConfig) (StressReport, error) {
 		i := i
 		pp := preps[i%len(preps)]
 		wg.Add(1)
+		patcher := sc.PatchChurn && i%2 == 1
 		go func() {
 			defer wg.Done()
 			c.logf("stress session %d: %s", i, pp.name)
-			run, err := c.stressSession(srv, pp.prog, mcfg, sc.Churn)
+			run, err := c.stressSession(srv, pp.prog, mcfg, sc.Churn, patcher)
 			if err != nil {
 				errs[i] = fmt.Errorf("session %d (%s): %w", i, pp.name, err)
 				return
 			}
-			if run.Cycles != pp.ref.Cycles || run.Instrs != pp.ref.Instrs || run.Output != pp.ref.Output {
+			// Patching sessions own a privatized text copy whose I-cache was
+			// invalidated mid-run, so only their architectural results are
+			// comparable; every other session must match the serial run bit
+			// for bit, including cycles.
+			cyclesOK := patcher || run.Cycles == pp.ref.Cycles
+			if !cyclesOK || run.Instrs != pp.ref.Instrs || run.Output != pp.ref.Output {
 				errs[i] = fmt.Errorf(
-					"session %d (%s): concurrent run diverged from serial: cycles %d vs %d, instrs %d vs %d, output match %v",
-					i, pp.name, run.Cycles, pp.ref.Cycles, run.Instrs, pp.ref.Instrs,
+					"session %d (%s, patcher=%v): concurrent run diverged from serial: cycles %d vs %d, instrs %d vs %d, output match %v",
+					i, pp.name, patcher, run.Cycles, pp.ref.Cycles, run.Instrs, pp.ref.Instrs,
 					run.Output == pp.ref.Output)
 				return
 			}
 			report.Sessions[i] = StressSession{
-				Session: i, Program: pp.name, Cycles: run.Cycles, Instrs: run.Instrs,
+				Session: i, Program: pp.name, Cycles: run.Cycles, Instrs: run.Instrs, Patched: patcher,
 			}
 		}()
 	}
@@ -170,10 +201,13 @@ func (c Config) Stress(sc StressConfig) (StressReport, error) {
 // stressSession runs one workload to completion through a server session
 // while a debugger goroutine adds and removes ChurnRegion — the mid-run
 // control traffic the concurrency contract must absorb without perturbing
-// simulated counts.
-func (c Config) stressSession(srv *monitor.Server, prog *asm.Program, mcfg monitor.Config, churn int) (Run, error) {
+// simulated counts. With patcher set, the goroutine also toggles text
+// index 0 between unimp and its original instruction through Session.Do:
+// the first toggle copy-on-write-privatizes this machine's shared image
+// while sibling sessions keep executing from it.
+func (c Config) stressSession(srv *monitor.Server, prog *asm.Program, mcfg monitor.Config, churn int, patcher bool) (Run, error) {
 	m := c.newMachine()
-	prog.Load(m)
+	prog.LoadShared(m)
 	sess, err := srv.Attach(mcfg, m)
 	if err != nil {
 		return Run{}, err
@@ -195,6 +229,8 @@ func (c Config) stressSession(srv *monitor.Server, prog *asm.Program, mcfg monit
 	cwg.Add(1)
 	go func() {
 		defer cwg.Done()
+		orig := prog.Text[0]
+		unimp := sparc.Instr{Op: sparc.Unimp}
 		for i := 0; i < churn; i++ {
 			select {
 			case <-done:
@@ -206,6 +242,25 @@ func (c Config) stressSession(srv *monitor.Server, prog *asm.Program, mcfg monit
 				return
 			}
 			if err := sess.DeleteRegion(ChurnRegion, 16); err != nil {
+				churnErr = err
+				return
+			}
+			if !patcher {
+				continue
+			}
+			if err := sess.Do(func(m *machine.Machine, _ *monitor.Service) error {
+				// Index 0 is the startup `call main`: it executes exactly
+				// once, so once at least one instruction has retired it is
+				// dead code and may hold anything — but a leak of the unimp
+				// into the shared image would kill a sibling that has not
+				// started yet.
+				if m.Instrs() == 0 {
+					return nil
+				}
+				m.PatchInstr(0, unimp)
+				m.PatchInstr(0, orig)
+				return nil
+			}); err != nil {
 				churnErr = err
 				return
 			}

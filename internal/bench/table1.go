@@ -5,7 +5,6 @@ import (
 	"math"
 	"strings"
 
-	"databreak/internal/asm"
 	"databreak/internal/monitor"
 	"databreak/internal/patch"
 	"databreak/internal/workload"
@@ -47,7 +46,7 @@ func Table1(cfg Config, programs []workload.Program) ([]T1Row, error) {
 			// Disabled: fully patched (call-based bitmap), no active
 			// breakpoints.
 			cfg.logf("table1: %s/Disabled", p.prog.Name)
-			dis, err := cfg.RunStrategy(p.unit, patch.Bitmap, monitor.DefaultConfig, true)
+			dis, err := cfg.runStrategy(p.prog.Source, p.unit, patch.Bitmap, monitor.DefaultConfig, true)
 			if err != nil {
 				return 0, err
 			}
@@ -57,11 +56,11 @@ func Table1(cfg Config, programs []workload.Program) ([]T1Row, error) {
 			return overheadPct(p.base.Cycles, dis.Cycles), nil
 		case v == nVar-1:
 			cfg.logf("table1: %s/sigma", p.prog.Name)
-			return cfg.nopSigma(p.unit, p.base.Cycles)
+			return cfg.nopSigma(p)
 		default:
 			strat := Table1Strategies[v-1]
 			cfg.logf("table1: %s/%v", p.prog.Name, strat)
-			r, err := cfg.RunStrategy(p.unit, strat, monitor.DefaultConfig, false)
+			r, err := cfg.runStrategy(p.prog.Source, p.unit, strat, monitor.DefaultConfig, false)
 			if err != nil {
 				return 0, fmt.Errorf("%s/%v: %w", p.prog.Name, strat, err)
 			}
@@ -89,25 +88,34 @@ func Table1(cfg Config, programs []workload.Program) ([]T1Row, error) {
 
 // nopSigma runs the §3.3.1 experiment: insert 2,4,8,16,32 nops before each
 // write, regress overhead on nop count, and return the standard deviation of
-// the residuals — the cache-alignment noise estimate.
-func (c Config) nopSigma(u *asm.Unit, baseCycles int64) (float64, error) {
+// the residuals — the cache-alignment noise estimate. Each nop-padded
+// program must still compute the baseline's answer; a silent wrong answer
+// here would mean the patcher corrupted a delay slot or clobbered a live
+// register, so every point is output-checked like the strategy cells.
+func (c Config) nopSigma(p prepped) (float64, error) {
 	var xs, ys []float64
 	for _, n := range []int{2, 4, 8, 16, 32} {
-		res, err := patch.Apply(patch.Options{Strategy: patch.Nops, Nops: n}, u.Clone())
+		popts := patch.Options{Strategy: patch.Nops, Nops: n}
+		run, err := c.memoRun(p.prog.Source, descPatch(popts)+"|exec|bare", func() (Run, error) {
+			prog, err := c.patchedProgram(p.prog.Source, p.unit, popts)
+			if err != nil {
+				return Run{}, err
+			}
+			m := c.newMachine()
+			prog.LoadShared(m)
+			if _, err := m.Run(); err != nil {
+				return Run{}, err
+			}
+			return Run{Cycles: m.Cycles(), Instrs: m.Instrs(), Output: m.Output(), Cache: m.CacheStats()}, nil
+		})
 		if err != nil {
 			return 0, err
 		}
-		prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
-		if err != nil {
-			return 0, err
-		}
-		m := c.newMachine()
-		prog.Load(m)
-		if _, err := m.Run(); err != nil {
+		if err := checkOutput(p.prog, p.base.Output, run.Output, fmt.Sprintf("Nops(%d)", n)); err != nil {
 			return 0, err
 		}
 		xs = append(xs, float64(n))
-		ys = append(ys, overheadPct(baseCycles, m.Cycles()))
+		ys = append(ys, overheadPct(p.base.Cycles, run.Cycles))
 	}
 	return linearResidualSigma(xs, ys), nil
 }

@@ -38,7 +38,7 @@ func Table2(cfg Config, programs []workload.Program) ([]T2Row, error) {
 	grid, err := matrix(cfg, preps, len(modes), func(p prepped, v int) (Run, error) {
 		mode := modes[v]
 		cfg.logf("table2: %s/%v", p.prog.Name, mode)
-		r, err := cfg.RunElim(p.unit, mode, monitor.DefaultConfig)
+		r, err := cfg.runElim(p.prog.Source, p.unit, mode, monitor.DefaultConfig)
 		if err != nil {
 			return Run{}, fmt.Errorf("%s/%v: %w", p.prog.Name, mode, err)
 		}
@@ -165,7 +165,7 @@ func Figure3(cfg Config, programs []workload.Program) (map[string][]Figure3Point
 		sw := Figure3Sizes[v]
 		cfg.logf("figure3: %s/seg%d", p.prog.Name, sw)
 		mcfg := monitor.Config{SegWords: uint32(sw), Flags: true}
-		r, err := cfg.RunStrategy(p.unit, patch.Cache, mcfg, false)
+		r, err := cfg.runStrategy(p.prog.Source, p.unit, patch.Cache, mcfg, false)
 		if err != nil {
 			return Figure3Point{}, fmt.Errorf("%s/seg%d: %w", p.prog.Name, sw, err)
 		}

@@ -44,13 +44,13 @@ func BenchmarkStep(b *testing.B) {
 	}
 }
 
-// BenchmarkRunWorkload runs a full compiled workload per iteration — the
-// unit of work the benchmark matrix fans out over its worker pool — so a
-// regression anywhere in the compile/assemble/execute path shows up here.
-func BenchmarkRunWorkload(b *testing.B) {
-	p, ok := workload.ByName("eqntott", 1)
+// compiledWorkload assembles one workload through the minic/asm pipeline so
+// the load-path benchmarks below all operate on the same realistic text.
+func compiledWorkload(b *testing.B, name string) *asm.Program {
+	b.Helper()
+	p, ok := workload.ByName(name, 1)
 	if !ok {
-		b.Fatal("workload eqntott missing")
+		b.Fatalf("workload %s missing", name)
 	}
 	src, err := minic.Compile(p.Source)
 	if err != nil {
@@ -64,6 +64,14 @@ func BenchmarkRunWorkload(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return prog
+}
+
+// BenchmarkRunWorkload runs a full compiled workload per iteration — the
+// unit of work the benchmark matrix fans out over its worker pool — so a
+// regression anywhere in the compile/assemble/execute path shows up here.
+func BenchmarkRunWorkload(b *testing.B) {
+	prog := compiledWorkload(b, "eqntott")
 	// Pin the simulated counts once so the benchmark doubles as a cheap
 	// determinism check: the optimization invariant is that host time may
 	// change but these may not.
@@ -81,6 +89,66 @@ func BenchmarkRunWorkload(b *testing.B) {
 		} else if m.Cycles() != wantCycles || m.Instrs() != wantInstrs {
 			b.Fatalf("run %d: cycles/instrs = %d/%d, want %d/%d",
 				i, m.Cycles(), m.Instrs(), wantCycles, wantInstrs)
+		}
+	}
+}
+
+// BenchmarkLoadText is the compile-every-time baseline for the image cache:
+// a fresh machine decodes and block-indexes the text from scratch on every
+// load, which is what each benchmark cell paid before artifact sharing.
+func BenchmarkLoadText(b *testing.B) {
+	prog := compiledWorkload(b, "eqntott")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+		m.LoadText(prog.Text, prog.Entry)
+	}
+}
+
+// BenchmarkBuildImage measures the one-time cost of predecoding text into a
+// shareable Image — the amount of work the artifact cache amortizes over
+// every subsequent LoadImage.
+func BenchmarkBuildImage(b *testing.B) {
+	prog := compiledWorkload(b, "eqntott")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img := machine.BuildImage(prog.Text, prog.Entry)
+		if img.Len() != len(prog.Text) {
+			b.Fatalf("image len = %d, want %d", img.Len(), len(prog.Text))
+		}
+	}
+}
+
+// BenchmarkLoadImageShared attaches fresh machines to one prebuilt image —
+// the run-many half of compile-once/run-many. Compare against
+// BenchmarkLoadText: the per-machine cost should be near-zero because the
+// decode and block index are shared, not rebuilt.
+func BenchmarkLoadImageShared(b *testing.B) {
+	prog := compiledWorkload(b, "eqntott")
+	img := machine.BuildImage(prog.Text, prog.Entry)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+		m.LoadImage(img)
+	}
+}
+
+// BenchmarkPatchInstrCOW measures the first-write privatization penalty: a
+// machine on a shared image pays one full text+µop copy on its first
+// PatchInstr, the price of keeping siblings isolated.
+func BenchmarkPatchInstrCOW(b *testing.B) {
+	prog := compiledWorkload(b, "eqntott")
+	img := machine.BuildImage(prog.Text, prog.Entry)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+		m.LoadImage(img)
+		if err := m.PatchInstr(0, prog.Text[0]); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -182,23 +182,9 @@ func decodeUop(in *sparc.Instr) (u uop, ok bool) {
 }
 
 // rebuildBlocks recomputes the whole block index from m.text (LoadText).
+// The decode pass itself is buildUops (image.go), shared with BuildImage.
 func (m *Machine) rebuildBlocks() {
-	n := len(m.text)
-	if cap(m.uops) < n {
-		m.uops = make([]uop, n)
-	}
-	m.uops = m.uops[:n]
-	next := int32(0) // bl of index i+1
-	for i := n - 1; i >= 0; i-- {
-		u, ok := decodeUop(&m.text[i])
-		if ok {
-			next = min(next+1, maxBlockLen)
-		} else {
-			next = 0
-		}
-		u.bl = next
-		m.uops[i] = u
-	}
+	m.uops = buildUops(m.text, m.uops)
 	m.textGen++
 }
 

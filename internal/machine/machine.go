@@ -114,6 +114,10 @@ type Machine struct {
 	// detect a patch landing under it.
 	uops    []uop
 	textGen uint32
+	// imgShared marks text/uops as views into a shared Image (LoadImage):
+	// they are read-only until PatchInstr privatizes both (copy-on-write,
+	// see image.go). LoadText always installs private arrays.
+	imgShared bool
 	pc       int32
 	// regs is the architecturally visible register file of the CURRENT
 	// window, flat: %g0-%g7, %o0-%o7, %l0-%l7, %i0-%i7, plus one scratch
@@ -236,6 +240,12 @@ func (m *Machine) Reset() {
 // owned by the machine: all further mutation must go through PatchInstr so
 // the block index stays coherent.
 func (m *Machine) LoadText(text []sparc.Instr, entry int32) {
+	if m.imgShared {
+		// Drop the shared view before rebuildBlocks reuses uops capacity:
+		// the old slice belongs to an Image other machines may be executing.
+		m.uops = nil
+		m.imgShared = false
+	}
 	m.text = text
 	m.pc = entry
 	m.rebuildBlocks()
@@ -264,10 +274,15 @@ func (m *Machine) InstrAt(idx int32) (in sparc.Instr, ok bool) {
 // stale predecoded instructions. An out-of-range idx returns an error and
 // changes nothing — a bad patch address from the debugger must not crash the
 // simulator.
+//
+// When the text came from a shared Image (LoadImage), the first patch
+// privatizes the text and block-index arrays (copy-on-write), so the patch
+// is visible only to this machine; siblings sharing the image are untouched.
 func (m *Machine) PatchInstr(idx int32, in sparc.Instr) error {
 	if uint32(idx) >= uint32(len(m.text)) {
 		return fmt.Errorf("machine: patch index %d outside text (%d instructions)", idx, len(m.text))
 	}
+	m.privatize()
 	m.text[idx] = in
 	m.cache.Invalidate(TextBase + uint32(idx)*4)
 	m.invalidateBlock(idx)
@@ -275,10 +290,15 @@ func (m *Machine) PatchInstr(idx int32, in sparc.Instr) error {
 }
 
 // LoadData copies raw bytes into memory at addr without cache traffic or
-// cycle cost (loader action).
+// cycle cost (loader action). Copies page-at-a-time, so loading a large
+// data snapshot is one page lookup per 4 KiB, not per byte.
 func (m *Machine) LoadData(addr uint32, data []byte) {
-	for i, b := range data {
-		m.pokeByte(addr+uint32(i), b)
+	for len(data) > 0 {
+		p := m.page(addr)
+		o := addr & (PageBytes - 1)
+		n := copy(p[o:], data)
+		data = data[n:]
+		addr += uint32(n)
 	}
 }
 
@@ -315,11 +335,23 @@ func (m *Machine) SetReg(r sparc.Reg, v int32) { m.writeReg(r, v) }
 // PC returns the current text index.
 func (m *Machine) PC() int32 { return m.pc }
 
-const nPageCache = 16
+const nPageCache = 64
 
 type pageCacheEnt struct {
 	base uint32
 	p    *[PageBytes]byte
+}
+
+// pageCacheIdx maps an address to its page-cache slot. The page numbers the
+// harness actually alternates between — globals (DataBase), heap (HeapBase),
+// monitor structures (MonBase), segment-table entries, and the stack — are
+// all offsets from power-of-two bases, so indexing by the LOW page-number
+// bits alone (the old (addr>>12)&mask) made them systematically collide and
+// thrash the cache into the pages map on every monitored store. Folding the
+// high page-number bits in spreads those bases across distinct slots while
+// keeping consecutive pages in consecutive slots.
+func pageCacheIdx(addr uint32) uint32 {
+	return ((addr >> 12) ^ (addr >> 20) ^ (addr >> 28)) & (nPageCache - 1)
 }
 
 // page returns the backing page for addr. The fast path — a direct-mapped
@@ -327,7 +359,7 @@ type pageCacheEnt struct {
 // and store of the interpreter loop.
 func (m *Machine) page(addr uint32) *[PageBytes]byte {
 	base := addr &^ (PageBytes - 1)
-	e := &m.pageCache[(addr>>12)&(nPageCache-1)]
+	e := &m.pageCache[pageCacheIdx(addr)]
 	if e.base == base {
 		return e.p
 	}
@@ -340,7 +372,7 @@ func (m *Machine) pageSlow(base uint32) *[PageBytes]byte {
 		p = new([PageBytes]byte)
 		m.pages[base] = p
 	}
-	m.pageCache[(base>>12)&(nPageCache-1)] = pageCacheEnt{base: base, p: p}
+	m.pageCache[pageCacheIdx(base)] = pageCacheEnt{base: base, p: p}
 	return p
 }
 
