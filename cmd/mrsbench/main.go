@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"databreak/internal/bench"
+	"databreak/internal/machine"
 	"databreak/internal/monitor"
 	"databreak/internal/workload"
 )
@@ -48,6 +49,7 @@ func main() {
 
 func run() error {
 	table := flag.String("table", "all", "which table to regenerate: 1, 2, fig3, strategies, breakeven, ablation, all")
+	engine := flag.String("engine", "trace", "execution engine for every run: step, block, or trace (counts are engine-independent)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	only := flag.String("program", "", "run a single benchmark by name")
 	workers := flag.Int("workers", 0, "benchmark cells run concurrently (0 = one per CPU)")
@@ -92,6 +94,11 @@ func run() error {
 	}
 
 	cfg := bench.DefaultConfig()
+	eng, err := machine.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	cfg.Engine = eng
 	cfg.Scale = *scale
 	cfg.Workers = *workers
 	if cfg.Workers <= 0 {
@@ -109,7 +116,8 @@ func run() error {
 		cfg.Artifacts = bench.NewArtifactCache()
 	}
 	// cacheStats prints the final artifact-cache tally and, with -json,
-	// writes it as BENCH_cachestats.json for CI to archive.
+	// writes it as BENCH_cachestats.json for CI to archive — the one
+	// canonical copy of these stats (per-table reports don't repeat them).
 	cacheStats := func() error {
 		if cfg.Artifacts == nil {
 			return nil
@@ -269,6 +277,19 @@ func run() error {
 	}
 	if err := runTables(); err != nil {
 		return err
+	}
+	// BENCH_hostperf.json tracks host throughput per engine (the same unit
+	// of work as BenchmarkRunWorkload), not just table wall time; HostPerf
+	// also cross-checks that every engine produces identical counts.
+	if *jsonOut {
+		start := time.Now()
+		rows, err := bench.HostPerf(cfg, 5)
+		if err != nil {
+			return err
+		}
+		if err := report("hostperf", time.Since(start), rows); err != nil {
+			return err
+		}
 	}
 	return cacheStats()
 }

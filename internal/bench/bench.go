@@ -30,6 +30,10 @@ type Config struct {
 	Scale int
 	Cache cache.Config
 	Costs machine.Costs
+	// Engine selects the execution engine for every machine the harness
+	// creates (mrsbench -engine). The zero value is machine.EngineTrace;
+	// simulated counts are engine-independent, so this only moves host time.
+	Engine machine.Engine
 	// Workers is the number of benchmark cells executed concurrently; <= 0
 	// means runtime.GOMAXPROCS(0). Results are independent of the setting:
 	// every table driver collects cells in deterministic input order.
@@ -73,7 +77,9 @@ type Run struct {
 }
 
 func (c Config) newMachine() *machine.Machine {
-	return machine.New(c.Cache, c.Costs)
+	m := machine.New(c.Cache, c.Costs)
+	m.SetEngine(c.Engine)
+	return m
 }
 
 // Compile translates a workload to a parsed assembly unit.

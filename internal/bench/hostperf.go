@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"databreak/internal/machine"
+	"databreak/internal/workload"
+)
+
+// HostPerfRow is one engine's host-time measurement of the same unit of work
+// BenchmarkRunWorkload times: one full eqntott compile-load-run on a fresh
+// machine. NsPerOp is the best-of-Runs wall time, the same statistic `go
+// test -bench` converges to, so the JSON tracks host throughput per engine
+// rather than only table wall-clock.
+type HostPerfRow struct {
+	Engine  string  `json:"engine"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Runs    int     `json:"runs"`
+	Cycles  int64   `json:"sim_cycles"`
+	Instrs  int64   `json:"sim_instrs"`
+}
+
+// HostPerf runs the BenchmarkRunWorkload workload `runs` times under each
+// execution engine and reports best-of wall time per run. It doubles as a
+// cheap cross-engine differential check: simulated cycles and instructions
+// must be identical for every engine, and any divergence is an error, not a
+// number in a report.
+func HostPerf(cfg Config, runs int) ([]HostPerfRow, error) {
+	if runs <= 0 {
+		runs = 5
+	}
+	p, ok := workload.ByName("eqntott", 1)
+	if !ok {
+		return nil, fmt.Errorf("hostperf: workload eqntott missing")
+	}
+	u, err := Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := cfg.baselineProgram(p.Source, u)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []HostPerfRow
+	for _, e := range []machine.Engine{machine.EngineStep, machine.EngineBlock, machine.EngineTrace} {
+		row := HostPerfRow{Engine: e.String(), Runs: runs}
+		best := time.Duration(0)
+		for i := 0; i < runs; i++ {
+			// Time New+Load+Run, the exact per-iteration work of
+			// BenchmarkRunWorkload, so the numbers are comparable.
+			start := time.Now()
+			m := machine.New(cfg.Cache, cfg.Costs)
+			m.SetEngine(e)
+			prog.Load(m)
+			if _, err := m.Run(); err != nil {
+				return nil, fmt.Errorf("hostperf %s: %w", e, err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+			if i == 0 {
+				row.Cycles, row.Instrs = m.Cycles(), m.Instrs()
+			} else if m.Cycles() != row.Cycles || m.Instrs() != row.Instrs {
+				return nil, fmt.Errorf("hostperf %s: run %d cycles/instrs %d/%d, want %d/%d",
+					e, i, m.Cycles(), m.Instrs(), row.Cycles, row.Instrs)
+			}
+		}
+		row.NsPerOp = float64(best.Nanoseconds())
+		rows = append(rows, row)
+	}
+	for _, r := range rows[1:] {
+		if r.Cycles != rows[0].Cycles || r.Instrs != rows[0].Instrs {
+			return nil, fmt.Errorf("hostperf: engine %s counts %d/%d diverge from %s counts %d/%d",
+				r.Engine, r.Cycles, r.Instrs, rows[0].Engine, rows[0].Cycles, rows[0].Instrs)
+		}
+	}
+	return rows, nil
+}

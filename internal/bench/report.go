@@ -12,34 +12,29 @@ import (
 // Report is the machine-readable result of one table run, written by
 // mrsbench -json as BENCH_<table>.json. Rows hold the same numbers the text
 // formatters print; Wall* record host time so the harness's own performance
-// is tracked from PR to PR.
+// is tracked from PR to PR. Artifact-cache statistics are deliberately NOT
+// embedded here: they are cumulative across the whole run, so the one
+// canonical copy lives in BENCH_cachestats.json.
 type Report struct {
 	Table      string  `json:"table"`
+	Engine     string  `json:"engine"`
 	Scale      int     `json:"scale"`
 	Workers    int     `json:"workers"`
 	WallMillis float64 `json:"wall_ms"`
-	// ArtifactCache, when the run used one, is the cache's cumulative
-	// hit/miss/footprint state as of this table finishing (tables run in
-	// sequence and share one cache, so later tables show higher counts).
-	ArtifactCache *ArtifactStats `json:"artifact_cache,omitempty"`
-	Rows          any            `json:"rows"`
+	Rows       any     `json:"rows"`
 }
 
 // NewReport stamps a report for one table run.
 func NewReport(table string, cfg Config, wall time.Duration, rows any) Report {
 	c := cfg.normalized()
-	r := Report{
+	return Report{
 		Table:      table,
+		Engine:     c.Engine.String(),
 		Scale:      c.Scale,
 		Workers:    c.Workers,
 		WallMillis: float64(wall.Microseconds()) / 1000,
 		Rows:       rows,
 	}
-	if c.Artifacts != nil {
-		st := c.Artifacts.Stats()
-		r.ArtifactCache = &st
-	}
-	return r
 }
 
 // WriteFile writes the report as indented JSON.

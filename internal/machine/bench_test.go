@@ -25,12 +25,12 @@ import (
 func BenchmarkStep(b *testing.B) {
 	m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
 	m.LoadText([]sparc.Instr{
-		sparc.RI(sparc.Add, sparc.O0, 1, sparc.O0),      // 0
-		sparc.RI(sparc.Or, sparc.G0, 0x2000, sparc.O1),  // 1
-		sparc.StoreRI(sparc.O0, sparc.O1, 0),            // 2
-		sparc.LoadRI(sparc.O1, 0, sparc.O2),             // 3
+		sparc.RI(sparc.Add, sparc.O0, 1, sparc.O0),        // 0
+		sparc.RI(sparc.Or, sparc.G0, 0x2000, sparc.O1),    // 1
+		sparc.StoreRI(sparc.O0, sparc.O1, 0),              // 2
+		sparc.LoadRI(sparc.O1, 0, sparc.O2),               // 3
 		sparc.RR(sparc.Add, sparc.O2, sparc.O0, sparc.O3), // 4
-		sparc.Branch(sparc.BA, 0),                       // 5: loop forever
+		sparc.Branch(sparc.BA, 0),                         // 5: loop forever
 	}, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -70,26 +70,33 @@ func compiledWorkload(b *testing.B, name string) *asm.Program {
 // BenchmarkRunWorkload runs a full compiled workload per iteration — the
 // unit of work the benchmark matrix fans out over its worker pool — so a
 // regression anywhere in the compile/assemble/execute path shows up here.
+// One sub-benchmark per execution engine: the trace tier's speedup over the
+// block engine is this benchmark's trace/block ratio, and CI prints all
+// three next to the matrix wall-clock delta.
 func BenchmarkRunWorkload(b *testing.B) {
 	prog := compiledWorkload(b, "eqntott")
-	// Pin the simulated counts once so the benchmark doubles as a cheap
-	// determinism check: the optimization invariant is that host time may
-	// change but these may not.
+	// Pin the simulated counts across iterations AND engines, so the
+	// benchmark doubles as a cheap determinism check: the optimization
+	// invariant is that host time may change but these may not.
 	var wantCycles, wantInstrs int64
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
-		prog.Load(m)
-		if _, err := m.Run(); err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			wantCycles, wantInstrs = m.Cycles(), m.Instrs()
-		} else if m.Cycles() != wantCycles || m.Instrs() != wantInstrs {
-			b.Fatalf("run %d: cycles/instrs = %d/%d, want %d/%d",
-				i, m.Cycles(), m.Instrs(), wantCycles, wantInstrs)
-		}
+	for _, e := range []machine.Engine{machine.EngineTrace, machine.EngineBlock, machine.EngineStep} {
+		b.Run(e.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+				m.SetEngine(e)
+				prog.Load(m)
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if wantCycles == 0 {
+					wantCycles, wantInstrs = m.Cycles(), m.Instrs()
+				} else if m.Cycles() != wantCycles || m.Instrs() != wantInstrs {
+					b.Fatalf("%v run %d: cycles/instrs = %d/%d, want %d/%d",
+						e, i, m.Cycles(), m.Instrs(), wantCycles, wantInstrs)
+				}
+			}
+		})
 	}
 }
 

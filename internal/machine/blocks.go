@@ -285,9 +285,24 @@ dispatch:
 			next := pc + 1
 			switch head.op {
 			case sparc.Br:
-				if condMask[head.rd]>>uint32(m.ccb)&1 != 0 {
+				taken := condMask[head.rd]>>uint32(m.ccb)&1 != 0
+				if taken {
 					m.cycles += m.costs.TakenBranch
 					next = head.s2i
+				}
+				// Edge profile for the trace tier (trace.go): every branch
+				// the dispatcher executes before its enclosing head compiles
+				// contributes measured bias; once traces cover the hot paths
+				// this site runs cold. Saturating, so the counts never wrap.
+				if m.brProf != nil {
+					if p := m.brProf[pc]; p&0xffff != 0xffff {
+						if taken {
+							p += 1<<16 | 1
+						} else {
+							p++
+						}
+						m.brProf[pc] = p
+					}
 				}
 			case sparc.Call:
 				m.regs[sparc.O7] = int32(TextBase) + (pc+1)*4
@@ -326,6 +341,26 @@ dispatch:
 			}
 			m.pc = next
 			continue
+		}
+		// Trace tier (trace.go): m.traces is non-nil exactly when the trace
+		// engine is active, so the whole tier costs one nil check under
+		// EngineBlock. A compiled trace is entered only when a full pass fits
+		// in the remaining budget — otherwise the block path below clamps the
+		// tail bit-exactly. Heads without a trace bump their hotness counter
+		// (private text only; image traces were compiled eagerly).
+		if ts := m.traces; ts != nil {
+			if tr := ts[pc]; tr != nil {
+				if m.MaxInstrs-m.instrs >= tr.passInstrs {
+					var err error
+					curILine, curDLine, ihits, err = m.execTrace(tr, shift, imask, curILine, curDLine, ihits)
+					if err != nil {
+						return err
+					}
+					continue
+				}
+			} else if m.hot != nil {
+				m.noteHot(pc)
+			}
 		}
 		// Clamp to the MaxInstrs budget; the instrs check above guarantees
 		// at least one instruction of headroom, and straight-line

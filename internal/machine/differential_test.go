@@ -293,3 +293,119 @@ func TestDifferentialPatchMidRun(t *testing.T) {
 		t.Fatalf("hook fired %d times; patch to +3 stride apparently ignored", *storesA)
 	}
 }
+
+// TestDifferentialPatchInTrace is TestDifferentialPatchMidRun against the
+// trace tier: both machines attach to a shared Image, so the store executes
+// inside an eagerly compiled superblock when the hook patches an instruction
+// the trace has already consumed. The trace must commit exactly the store,
+// exit to the dispatcher, and re-dispatch against the privatized text.
+func TestDifferentialPatchInTrace(t *testing.T) {
+	text := []sparc.Instr{
+		{Op: sparc.Sethi, Rd: sparc.L0, Imm: int32(DataBase >> 10), UseImm: true},
+		{Op: sparc.St, Rd: sparc.O1, Rs1: sparc.L0, UseImm: true},
+		sparc.RI(sparc.Add, sparc.O1, 1, sparc.O1),
+		sparc.RI(sparc.Subcc, sparc.O1, 100, sparc.G0),
+		sparc.Branch(sparc.BL, 1),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}
+	patched := sparc.RI(sparc.Add, sparc.O1, 3, sparc.O1)
+	img := BuildImage(text, 0)
+
+	mk := func() *Machine {
+		m := New(cache.DefaultConfig, DefaultCosts)
+		m.LoadImage(img)
+		stores := 0
+		m.StoreHook = func(addr uint32, size int32) int64 {
+			stores++
+			if stores == 5 {
+				if err := m.PatchInstr(2, patched); err != nil {
+					t.Fatalf("patch: %v", err)
+				}
+			}
+			return 0
+		}
+		return m
+	}
+
+	a, b := mk(), mk()
+	errA := stepAll(a)
+	_, errB := b.Run()
+	diffStates(t, "patch in trace", a, b, errA, errB)
+	if b.imgShared {
+		t.Fatal("patching machine still marked shared after PatchInstr")
+	}
+	if img.traces[1] == nil {
+		t.Fatal("image lost its compiled trace after a sibling patched")
+	}
+	if got := b.Reg(sparc.O1); got < 100 || got > 102 {
+		t.Fatalf("final %%o1 = %d, want the patched +3 stride past 100", got)
+	}
+}
+
+// TestDifferentialPatchInFusedStore drives the same hazard through a fused
+// add+st trace-op (tAddSt): the hook fires from the second half of a fused
+// pair and patches the pair's own first instruction, so the mid-pair
+// patch-exit protocol must commit both halves and land pc just past the
+// store.
+func TestDifferentialPatchInFusedStore(t *testing.T) {
+	text := []sparc.Instr{
+		{Op: sparc.Sethi, Rd: sparc.L0, Imm: int32(DataBase >> 10), UseImm: true},
+		sparc.RI(sparc.Add, sparc.O1, 1, sparc.O1),
+		{Op: sparc.St, Rd: sparc.O1, Rs1: sparc.L0, UseImm: true},
+		sparc.RI(sparc.Subcc, sparc.O1, 100, sparc.G0),
+		sparc.Branch(sparc.BL, 1),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}
+	patched := sparc.RI(sparc.Add, sparc.O1, 7, sparc.O1)
+	img := BuildImage(text, 0)
+
+	mk := func() *Machine {
+		m := New(cache.DefaultConfig, DefaultCosts)
+		m.LoadImage(img)
+		stores := 0
+		m.StoreHook = func(addr uint32, size int32) int64 {
+			stores++
+			if stores == 9 {
+				if err := m.PatchInstr(1, patched); err != nil {
+					t.Fatalf("patch: %v", err)
+				}
+			}
+			return 0
+		}
+		return m
+	}
+
+	a, b := mk(), mk()
+	errA := stepAll(a)
+	_, errB := b.Run()
+	diffStates(t, "patch in fused store", a, b, errA, errB)
+}
+
+// TestDifferentialWindowedCallTrace loops through a call -> save -> restore
+// -> jmpl ring — the shape that exercises the trace tier's interior window
+// ops, the dynamic jmpl terminator, and trace linking across the return —
+// under both lazy (LoadText, hotness-compiled) and eager (Image) tiers.
+func TestDifferentialWindowedCallTrace(t *testing.T) {
+	text := []sparc.Instr{
+		sparc.RI(sparc.Or, sparc.G0, 0, sparc.O0),
+		{Op: sparc.Call, Target: 5},
+		sparc.RI(sparc.Subcc, sparc.O0, 200, sparc.G0),
+		sparc.Branch(sparc.BL, 1),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+		{Op: sparc.Save, Rd: sparc.G0, Rs1: sparc.G0, UseImm: true},
+		sparc.RI(sparc.Add, sparc.I0, 1, sparc.I0),
+		{Op: sparc.Restore, Rd: sparc.G0, Rs1: sparc.G0, UseImm: true},
+		{Op: sparc.Jmpl, Rd: sparc.G0, Rs1: sparc.O7, UseImm: true},
+	}
+	diffRun(t, "windowed call loop", text)
+
+	// Eager tier: same program from a shared image.
+	img := BuildImage(text, 0)
+	a := New(cache.DefaultConfig, DefaultCosts)
+	b := New(cache.DefaultConfig, DefaultCosts)
+	a.LoadImage(img)
+	b.LoadImage(img)
+	errA := stepAll(a)
+	_, errB := b.Run()
+	diffStates(t, "windowed call loop (image)", a, b, errA, errB)
+}

@@ -32,10 +32,21 @@ type Image struct {
 	text  []sparc.Instr
 	uops  []uop
 	entry int32
+	// traces holds the eagerly compiled trace tier (trace.go), one slot per
+	// text index, non-nil at compiled block heads. Like text and uops it is
+	// immutable after BuildImage: machines enter traces read-only, and a
+	// patching machine privatizes away from the whole image first.
+	// traceShift is the I-line shift the traces were compiled for (the
+	// default cache geometry); machines with a different geometry compile
+	// their own traces instead (syncTraceState).
+	traces     []*traceProg
+	traceShift uint32
 }
 
 // BuildImage decodes text into a shareable image with the given entry point
 // (a text index). The input slice is copied, so the caller may reuse it.
+// Trace compilation happens here too — eagerly, for every block head — so
+// the cost is paid once per image, not per attached machine.
 func BuildImage(text []sparc.Instr, entry int32) *Image {
 	img := &Image{
 		text:  make([]sparc.Instr, len(text)),
@@ -43,6 +54,8 @@ func BuildImage(text []sparc.Instr, entry int32) *Image {
 	}
 	copy(img.text, text)
 	img.uops = buildUops(img.text, nil)
+	img.traceShift = defaultLineShift()
+	img.traces = buildTraces(img.text, img.uops, entry, img.traceShift)
 	return img
 }
 
@@ -52,11 +65,20 @@ func (img *Image) Len() int { return len(img.text) }
 // Entry returns the image's entry point (a text index).
 func (img *Image) Entry() int32 { return img.entry }
 
-// SizeBytes reports the host memory held by the image (text + block index),
-// for artifact-cache accounting.
+// SizeBytes reports the host memory held by the image (text + block index +
+// compiled traces), for artifact-cache accounting.
 func (img *Image) SizeBytes() int {
-	return len(img.text)*int(unsafe.Sizeof(sparc.Instr{})) +
-		len(img.uops)*int(unsafe.Sizeof(uop{}))
+	n := len(img.text)*int(unsafe.Sizeof(sparc.Instr{})) +
+		len(img.uops)*int(unsafe.Sizeof(uop{})) +
+		len(img.traces)*int(unsafe.Sizeof((*traceProg)(nil)))
+	for _, tr := range img.traces {
+		if tr != nil {
+			n += int(unsafe.Sizeof(traceProg{})) +
+				len(tr.ops)*int(unsafe.Sizeof(top{})) +
+				len(tr.spans)*8
+		}
+	}
+	return n
 }
 
 // buildUops decodes text into its block index, reusing buf's capacity when
@@ -94,13 +116,19 @@ func (m *Machine) LoadImage(img *Image) {
 	m.text = img.text
 	m.uops = img.uops
 	m.imgShared = true
+	m.img = img
 	m.pc = img.entry
 	m.textGen++
+	m.syncTraceState()
 }
 
 // privatize gives the machine its own copy of the text and block index. It
 // is the copy-on-write half of LoadImage: called by PatchInstr before the
-// first mutation, it guarantees no write ever lands in a shared image.
+// first mutation, it guarantees no write ever lands in a shared image. The
+// image's compiled traces are dropped for THIS machine only — they were
+// built against text this machine is about to diverge from — while siblings
+// sharing the image keep executing them untouched; the patching machine's
+// hot heads recompile privately via the hotness counters.
 func (m *Machine) privatize() {
 	if !m.imgShared {
 		return
@@ -112,4 +140,6 @@ func (m *Machine) privatize() {
 	m.text = text
 	m.uops = uops
 	m.imgShared = false
+	m.img = nil
+	m.syncTraceState()
 }

@@ -116,9 +116,28 @@ type Machine struct {
 	textGen uint32
 	// imgShared marks text/uops as views into a shared Image (LoadImage):
 	// they are read-only until PatchInstr privatizes both (copy-on-write,
-	// see image.go). LoadText always installs private arrays.
+	// see image.go). LoadText always installs private arrays. img retains
+	// the attached image so the trace tier can reach its compiled traces.
 	imgShared bool
-	pc       int32
+	img       *Image
+	// engine selects the Run/RunFor execution strategy; the trace-tier state
+	// below is maintained by syncTraceState (trace.go). traces[i], when
+	// non-nil, is the compiled trace registered at head i — the image's
+	// immutable traces when imgShared, a private lazily-filled slice
+	// otherwise. hot holds the per-head hotness counters driving lazy
+	// compilation of private text; nil on shared images (compiled eagerly)
+	// and under non-trace engines.
+	engine Engine
+	traces []*traceProg
+	hot    []uint16
+	// brProf is the per-branch-site edge profile driving trace compilation
+	// for private text: low 16 bits count executions, high 16 taken, both
+	// saturating (trace.go). The block dispatcher records it during the
+	// hotness warm-up, so by the time a head compiles, its branches carry
+	// measured bias instead of static guesses. nil on shared images and
+	// under non-trace engines.
+	brProf []uint32
+	pc     int32
 	// regs is the architecturally visible register file of the CURRENT
 	// window, flat: %g0-%g7, %o0-%o7, %l0-%l7, %i0-%i7, plus one scratch
 	// slot (index 32) that absorbs block-engine writes destined for %g0.
@@ -128,9 +147,9 @@ type Machine struct {
 	// are never read-visible, so reads need no guard. The array is sized
 	// 256 so that any uint8 register index is provably in range: the block
 	// engine's register accesses then compile without bounds checks.
-	regs         [256]int32
-	win          []winRegs // caller frames; win[len-1] is the direct parent
-	resident     int       // windows currently held in the register file
+	regs     [256]int32
+	win      []winRegs // caller frames; win[len-1] is the direct parent
+	resident int       // windows currently held in the register file
 	// ccb is the condition-code register packed into the condMask bit
 	// index (see blocks.go): N=8, Z=4, V=2, C=1. Branch evaluation is then
 	// one table lookup; ccFromBits rebuilds the sparc.CC view on demand.
@@ -247,8 +266,10 @@ func (m *Machine) LoadText(text []sparc.Instr, entry int32) {
 		m.imgShared = false
 	}
 	m.text = text
+	m.img = nil
 	m.pc = entry
 	m.rebuildBlocks()
+	m.syncTraceState()
 }
 
 // SetEntry sets the initial pc (text index).
@@ -286,6 +307,11 @@ func (m *Machine) PatchInstr(idx int32, in sparc.Instr) error {
 	m.text[idx] = in
 	m.cache.Invalidate(TextBase + uint32(idx)*4)
 	m.invalidateBlock(idx)
+	// Drop every compiled trace whose consumed spans cover idx. (After a COW
+	// privatization the private trace slice starts empty, so this is a no-op
+	// there; the shared image's traces are immutable and stay with the
+	// siblings.)
+	m.invalidateTraces(idx)
 	return nil
 }
 
@@ -366,6 +392,10 @@ func (m *Machine) page(addr uint32) *[PageBytes]byte {
 	return m.pageSlow(base)
 }
 
+// pageSlow is kept out of page's inlining budget so page itself stays small
+// enough to inline into every load and store of the engine hot loops.
+//
+//go:noinline
 func (m *Machine) pageSlow(base uint32) *[PageBytes]byte {
 	p, ok := m.pages[base]
 	if !ok {
@@ -800,13 +830,15 @@ func (m *Machine) alloc(size uint32) uint32 {
 
 // Run executes until the program exits, faults, or exceeds MaxInstrs.
 //
-// It dispatches a block at a time (blocks.go): the halted/bounds/budget
-// checks run once per straight-line run instead of once per instruction,
-// the run executes in execBlock's tight loop, and the terminator that ended
-// the block goes through the ordinary Step path. Simulated cycle and
-// instruction counts are bit-identical to a single-Step loop; only host
+// Under the default trace engine it dispatches a block at a time (blocks.go)
+// and enters compiled traces at hot heads (trace.go); EngineBlock skips the
+// trace tier; EngineStep runs the reference one-instruction loop. Simulated
+// cycle and instruction counts are bit-identical across all three; only host
 // time changes.
 func (m *Machine) Run() (int32, error) {
+	if m.engine == EngineStep {
+		return m.runStep()
+	}
 	for !m.halted {
 		if err := m.execBlocks(); err != nil {
 			return 0, err
@@ -814,6 +846,24 @@ func (m *Machine) Run() (int32, error) {
 		// execBlocks returned without error: budget exhausted, pc outside
 		// text, or a terminator it does not handle. The checks below mirror
 		// the order the single-Step loop applied them.
+		if m.instrs >= m.MaxInstrs {
+			return 0, fmt.Errorf("machine: exceeded MaxInstrs=%d at pc=%d", m.MaxInstrs, m.pc)
+		}
+		if uint32(m.pc) >= uint32(len(m.text)) {
+			return 0, &Fault{PC: m.pc, Reason: "pc outside text"}
+		}
+		if err := m.Step(); err != nil {
+			return 0, err
+		}
+	}
+	return m.exitCode, nil
+}
+
+// runStep is Run under EngineStep: the single-instruction reference loop,
+// with the budget and bounds errors raised at exactly the points the block
+// engines raise them.
+func (m *Machine) runStep() (int32, error) {
+	for !m.halted {
 		if m.instrs >= m.MaxInstrs {
 			return 0, fmt.Errorf("machine: exceeded MaxInstrs=%d at pc=%d", m.MaxInstrs, m.pc)
 		}
@@ -844,6 +894,9 @@ func (m *Machine) RunFor(n int64) (code int32, halted bool, err error) {
 	if m.halted {
 		return m.exitCode, true, nil
 	}
+	if m.engine == EngineStep {
+		return m.runForStep(n)
+	}
 	limit := m.instrs + n
 	if limit > m.MaxInstrs {
 		limit = m.MaxInstrs
@@ -870,6 +923,29 @@ func (m *Machine) RunFor(n int64) (code int32, halted bool, err error) {
 	}
 	if m.instrs >= saved {
 		return 0, false, fmt.Errorf("machine: exceeded MaxInstrs=%d at pc=%d", saved, m.pc)
+	}
+	return 0, false, nil
+}
+
+// runForStep is RunFor under EngineStep, with the same slice semantics.
+func (m *Machine) runForStep(n int64) (code int32, halted bool, err error) {
+	limit := m.instrs + n
+	if limit > m.MaxInstrs {
+		limit = m.MaxInstrs
+	}
+	for !m.halted && m.instrs < limit {
+		if uint32(m.pc) >= uint32(len(m.text)) {
+			return 0, false, &Fault{PC: m.pc, Reason: "pc outside text"}
+		}
+		if err := m.Step(); err != nil {
+			return 0, false, err
+		}
+	}
+	if m.halted {
+		return m.exitCode, true, nil
+	}
+	if m.instrs >= m.MaxInstrs {
+		return 0, false, fmt.Errorf("machine: exceeded MaxInstrs=%d at pc=%d", m.MaxInstrs, m.pc)
 	}
 	return 0, false, nil
 }

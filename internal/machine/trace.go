@@ -1,0 +1,1636 @@
+// Trace/superblock compiler tier.
+//
+// The block engine (blocks.go) already amortizes dispatch over straight-line
+// runs, but it still pays a switch on the generic µop encoding for every
+// instruction and a fresh dispatch at every terminator. This tier goes one
+// step further: a hot block head is compiled into a trace — a threaded-code
+// array of specialized trace-ops (top) covering the straight-line run AND the
+// statically-predicted path beyond it, stitched across unconditional
+// branches, calls, and conditional branches predicted taken (backward) or
+// not-taken (forward). Common adjacent pairs are fused into one trace-op
+// (sethi+or constant synthesis, subcc+branch compare-and-branch), and
+// operand-2 forms that are immediate-only at compile time drop the register
+// read entirely. A trace whose last op branches back to its own entry is a
+// loop trace: one execTrace call retires whole iterations without returning
+// to the dispatcher.
+//
+// The proof obligation is unchanged from blocks.go: simulated instruction
+// counts, cycles, cache statistics, event counters, and fault points must be
+// bit-identical to the single-Step engine. Everything data-dependent —
+// cache probes (through the same known-hit line trackers execBlocks uses,
+// threaded in and out of execTrace so residency knowledge survives the
+// transition), StoreHook, event counters, the MaxInstrs budget — fires in
+// program order. Static prediction never speculates state: a mispredicted
+// branch is a side exit that commits exactly the instructions architecturally
+// executed and returns to the dispatcher.
+//
+// Compilation points:
+//   - BuildImage compiles traces for every block head eagerly; they live in
+//     the immutable Image and are shared by every attached machine.
+//   - LoadText installs per-head hotness counters instead; a head that
+//     dispatches hotThreshold times is compiled on the machine's own dime.
+//
+// Patch safety (the self-modifying-code hazard, DESIGN.md §9): PatchInstr
+// nils every private trace whose consumed-index spans cover the patched
+// index; on a shared image it privatizes first, which drops the image's
+// traces for the patching machine only (siblings keep executing the immutable
+// image traces). A patch landing while a trace is executing — only possible
+// from a StoreHook — is caught by the textGen generation check after the
+// store, exactly as in execBlocks, and the trace exits cleanly after the
+// store instruction so the dispatcher re-enters against fresh state.
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+
+	"databreak/internal/cache"
+	"databreak/internal/sparc"
+)
+
+// Engine selects how Run/RunFor execute. The zero value is EngineTrace: the
+// trace tier is the default, and every engine produces bit-identical
+// simulated counts, so the choice is purely a host-speed/diagnosis knob.
+type Engine uint8
+
+const (
+	// EngineTrace dispatches blocks and enters compiled traces at hot heads.
+	EngineTrace Engine = iota
+	// EngineBlock is the PR-2 block-dispatch engine with no trace tier.
+	EngineBlock
+	// EngineStep executes one instruction at a time through Step — the
+	// reference semantics the other engines are measured against.
+	EngineStep
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineTrace:
+		return "trace"
+	case EngineBlock:
+		return "block"
+	case EngineStep:
+		return "step"
+	}
+	return fmt.Sprintf("engine?%d", uint8(e))
+}
+
+// ParseEngine converts a flag value ("step", "block", "trace") to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "trace":
+		return EngineTrace, nil
+	case "block":
+		return EngineBlock, nil
+	case "step":
+		return EngineStep, nil
+	}
+	return EngineTrace, fmt.Errorf("machine: unknown engine %q (want step, block, or trace)", s)
+}
+
+// SetEngine selects the execution engine. Safe at any point the machine is
+// not running; switching engines mid-program keeps all simulated counts
+// correct (they are engine-independent by construction).
+func (m *Machine) SetEngine(e Engine) {
+	m.engine = e
+	m.syncTraceState()
+}
+
+// Engine returns the currently selected execution engine.
+func (m *Machine) Engine() Engine { return m.engine }
+
+// hotThreshold is how many times a block head must dispatch before LoadText
+// text compiles a trace for it. Image text skips the counter entirely
+// (BuildImage compiles eagerly). 64 is low enough that every loop that
+// matters compiles within noise, high enough that straight-through startup
+// code never pays compilation.
+const hotThreshold = 64
+
+// hotNever marks a head whose compilation was attempted and declined
+// (trivial trace); it is never retried.
+const hotNever = ^uint16(0)
+
+// minTraceInstrs rejects traces too short to amortize the execTrace call.
+const minTraceInstrs = 3
+
+// topOp is a trace-op opcode. Plain ops mirror the block engine's semantics
+// with operand-2 unification; *I variants are immediate-only specializations
+// that skip the regs[s2r] read; the control ops encode the compile-time
+// branch prediction; tCmpBr*/tSet2 are fused two-instruction ops.
+type topOp uint8
+
+const (
+	tNop topOp = iota
+	tLd        // rd = mem[rs1 + regs[s2r] + imm]
+	tLdI       // rd = mem[rs1 + imm]
+	tLdd
+	tSt // mem[rs1 + regs[s2r] + imm] = rd
+	tStI
+	tStd
+	tAdd
+	tAddI
+	tSub
+	tSubI
+	tAnd
+	tAndn
+	tOr
+	tOrI
+	tOrn
+	tXor
+	tXnor
+	tSll
+	tSllI
+	tSrl
+	tSrlI
+	tSra
+	tSMul
+	tSDiv
+	tAddcc
+	tSubcc
+	tAndcc
+	tAndncc
+	tOrcc
+	tXorcc
+	tSet  // sethi: rd = imm (pre-shifted)
+	tSet2 // fused sethi+or: rd = imm, two instructions wide
+
+	tBr     // conditional, predicted not taken: side exit when taken
+	tBrT    // conditional, predicted taken (stitched): side exit on fall-through
+	tBrLoop // conditional back-edge to the trace entry: new pass when taken
+	tBA     // unconditional stitched branch: taken cost, keep going
+	tBALoop // unconditional back-edge to the trace entry
+	tCall   // stitched call: rd(%o7) = return address, taken cost, keep going
+
+	// Window and indirect-jump ops. save/restore are pure register-window
+	// shuffles in this subset (no memory traffic), so they compile as
+	// interior ops; jmpl ends the trace with a computed exit that feeds
+	// straight into trace linking, which is what lets one chained execTrace
+	// call run caller -> callee -> return without a dispatcher round-trip.
+	tSave
+	tRestore
+	tJmpl // terminator: validates the target, side-exits to Step on a bad one
+
+	tCmpBr     // fused subcc+branch, predicted not taken (two wide)
+	tCmpBrT    // fused subcc+branch, predicted taken
+	tCmpBrLoop // fused subcc+branch back-edge to the trace entry
+
+	// tEnd terminates every trace's op array: it commits the completed pass
+	// and transfers to exitPC. A synthetic op (no instruction, no fetch), it
+	// lets the interpreter walk ops with a raw pointer instead of paying an
+	// index bound check per op — the walk provably stops at tEnd, and every
+	// other path out of a pass is an explicit goto.
+	tEnd
+
+	// Fused interior pairs (two instructions, one dispatch). These are the
+	// dominant dynamic adjacencies of the compiled workloads — the
+	// load/scale/index address chains minic emits — measured on eqntott:
+	// ld+sll 10.8%, add+ld 10.5%, or+ld 8.8%, sll+add 11.2%, ld+subcc 4.8%,
+	// ld+or 3.3% of all adjacent pairs. The second slot's operands live in
+	// rd2/rs1b/s2rb/imm2; both halves execute in program order, so any
+	// dataflow between them (or none) is correct by construction.
+	tLdSll  // ld then sll
+	tLdOr   // ld then or
+	tLdCmp  // ld then subcc
+	tSllAdd // sll then add
+	tAddLd  // add then ld
+	tOrLd   // or then ld
+	tLdLd   // ld then ld
+	tLdSt   // ld then st
+	tAddSt  // add then st
+	tSubSt  // sub then st
+	tOrAdd  // or then add
+	tOrSub  // or then sub
+
+	// topCount is or-ed into op when the instruction carries an event
+	// counter; the interpreter's default case bumps the counter, strips the
+	// flag, and re-dispatches (same trick as blocks.go opCount). Fused ops
+	// are only formed when neither instruction is counted.
+	topCount topOp = 0x80
+)
+
+// top is one trace-op: a specialized instruction (or fused pair) plus the
+// bookkeeping needed for exact accounting. 32 bytes, so a 64-byte line holds
+// two ops.
+type top struct {
+	op   topOp
+	rd   uint8 // destination (source for stores); scratchReg absorbs %g0
+	rs1  uint8
+	s2r  uint8 // operand-2 register (%g0 slot for immediate forms)
+	cond uint8 // branch condition (condMask index) for control ops
+	rd2  uint8 // fused pairs: second instruction's destination
+	rs1b uint8 // fused pairs: second instruction's rs1
+	s2rb uint8 // fused pairs: second instruction's operand-2 register
+	// nl marks compile-time I-line boundaries under the trace's shift:
+	// bit0 — this op's (first) fetch is on a different line than the
+	// previous op's last fetch in pass order (always set on the first op);
+	// bit1 — a fused op's second fetch crosses a line from its first. A
+	// clear bit plus a live curILine proves the fetch hits without even
+	// computing the line number.
+	nl   uint8
+	ni   uint16 // simulated instructions retired before this op in one pass
+	cnt  uint16 // event counter index+1; 0 means none
+	imm  int32  // operand-2 immediate / synthesized constant
+	imm2 int32  // fused pairs: second instruction's operand-2 immediate
+	tgt  int32  // branch or call target (text index)
+	// iaddr is the fetch address of the op's (first) instruction; the text
+	// index is (iaddr-TextBase)/4, so side exits need no extra field.
+	iaddr uint32
+}
+
+// traceProg is one compiled trace. Immutable after compileTrace returns, so
+// traces may be shared across machines (Image) and read while another
+// machine invalidates its own slice entries.
+type traceProg struct {
+	entry      int32  // head text index the trace is registered under
+	exitPC     int32  // pc installed when a pass runs off the tail
+	shift      uint32 // I-line shift the nl bits were computed under
+	passInstrs int64  // simulated instructions one full pass retires
+	ops        []top
+	// spans are the sorted, disjoint [lo,hi) text-index ranges the trace
+	// consumed; PatchInstr invalidates any trace whose span covers the
+	// patched index.
+	spans [][2]int32
+}
+
+// covers reports whether text index idx is part of the trace.
+func (tr *traceProg) covers(idx int32) bool {
+	for _, s := range tr.spans {
+		if idx >= s[0] && idx < s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// syncTraceState (re)establishes the engine-dependent trace state after any
+// event that changes what the dispatcher may execute: engine selection, text
+// installation, or COW privatization. Invariant: m.traces is non-nil exactly
+// when the trace engine is active over non-empty text, so execBlocks gates
+// the whole tier on one nil check.
+func (m *Machine) syncTraceState() {
+	if m.engine != EngineTrace || len(m.text) == 0 {
+		m.traces, m.hot, m.brProf = nil, nil, nil
+		return
+	}
+	if m.imgShared && m.img.traceShift == m.cache.LineShift() {
+		// Shared image with matching cache geometry: the immutable, eagerly
+		// compiled traces. No hotness counters or edge profile — there is
+		// nothing left to compile.
+		m.traces = m.img.traces
+		m.hot, m.brProf = nil, nil
+		return
+	}
+	// Private text — or a shared image whose traces were compiled for a
+	// different I-line geometry, which this machine cannot execute (the nl
+	// bits would mis-batch fetch accounting): compile privately, driven by
+	// the hotness counters. The shared text itself is still borrowed.
+	m.traces = make([]*traceProg, len(m.text))
+	m.hot = make([]uint16, len(m.text))
+	m.brProf = make([]uint32, len(m.text))
+}
+
+// noteHot counts a dispatch of private-text head pc and compiles a trace
+// once the head crosses hotThreshold. Called from the dispatcher only when
+// m.hot is non-nil and m.traces[pc] is nil.
+func (m *Machine) noteHot(pc int32) {
+	h := m.hot[pc]
+	switch {
+	case h >= hotThreshold: // hotNever: compilation declined, don't retry
+	case h+1 >= hotThreshold:
+		if tr := compileTrace(m.text, m.uops, pc, m.brProf, m.cache.LineShift()); tr != nil {
+			m.traces[pc] = tr
+			m.hot[pc] = 0
+		} else {
+			m.hot[pc] = hotNever
+		}
+	default:
+		m.hot[pc] = h + 1
+	}
+}
+
+// invalidateTraces drops every private trace whose consumed spans cover the
+// patched index. The caller (PatchInstr) has already privatized, so on a
+// formerly shared image m.traces is a fresh private slice (all nil) and this
+// is a no-op; the image's own traces are immutable and untouched.
+func (m *Machine) invalidateTraces(idx int32) {
+	for i, tr := range m.traces {
+		if tr != nil && tr.covers(idx) {
+			m.traces[i] = nil
+		}
+	}
+}
+
+// topOf maps a straight-line sparc.Op to its generic trace-op. Zero (tNop)
+// doubles as "no mapping" for ops that never appear in block interiors.
+var topOf = [64]topOp{
+	sparc.Ld: tLd, sparc.Ldd: tLdd, sparc.St: tSt, sparc.Std: tStd,
+	sparc.Add: tAdd, sparc.Sub: tSub, sparc.And: tAnd, sparc.Andn: tAndn,
+	sparc.Or: tOr, sparc.Orn: tOrn, sparc.Xor: tXor, sparc.Xnor: tXnor,
+	sparc.Sll: tSll, sparc.Srl: tSrl, sparc.Sra: tSra,
+	sparc.SMul: tSMul, sparc.SDiv: tSDiv,
+	sparc.Addcc: tAddcc, sparc.Subcc: tSubcc, sparc.Andcc: tAndcc,
+	sparc.Andncc: tAndncc, sparc.Orcc: tOrcc, sparc.Xorcc: tXorcc,
+	sparc.Sethi: tSet,
+}
+
+// fusePair returns the fused trace-op for the adjacent interior pair (a, b),
+// or 0 when the pair has no fused form. Only the measured-hot address-chain
+// shapes are fused; the caller checks that neither instruction is counted
+// (fused ops carry no second counter slot).
+func fusePair(a, b *sparc.Instr) topOp {
+	switch a.Op {
+	case sparc.Ld:
+		switch b.Op {
+		case sparc.Sll:
+			return tLdSll
+		case sparc.Or:
+			return tLdOr
+		case sparc.Subcc:
+			return tLdCmp
+		case sparc.Ld:
+			return tLdLd
+		case sparc.St:
+			return tLdSt
+		}
+	case sparc.Sll:
+		if b.Op == sparc.Add {
+			return tSllAdd
+		}
+	case sparc.Add:
+		switch b.Op {
+		case sparc.Ld:
+			return tAddLd
+		case sparc.St:
+			return tAddSt
+		}
+	case sparc.Sub:
+		if b.Op == sparc.St {
+			return tSubSt
+		}
+	case sparc.Or:
+		switch b.Op {
+		case sparc.Ld:
+			return tOrLd
+		case sparc.Add:
+			return tOrAdd
+		case sparc.Sub:
+			return tOrSub
+		}
+	}
+	return 0
+}
+
+// brProfMin is the execution count below which a branch site's edge profile
+// is considered noise and the static heuristics decide instead.
+const brProfMin = 8
+
+// predictBranch predicts a conditional branch for trace stitching. The edge
+// profile wins when the site has been executed enough times (private text
+// warms up in block mode, so compiled traces follow MEASURED bias, the
+// Dynamo-style trace-selection rule); otherwise backward branches are
+// predicted taken (the classic loop heuristic) and forward branches fall to
+// predictTaken's layout heuristic. Predictions never affect correctness —
+// a wrong one is a side exit — only how long the common pass runs.
+func predictBranch(text []sparc.Instr, uops []uop, prof []uint32, brPC, tgt int32) bool {
+	if prof != nil {
+		if p := prof[brPC]; p&0xffff >= brProfMin {
+			return p>>16 >= (p&0xffff+1)/2
+		}
+	}
+	if tgt <= brPC {
+		return true
+	}
+	return predictTaken(text, uops, brPC, tgt)
+}
+
+// predictTaken is the static prediction for a FORWARD conditional branch
+// without profile data. Default: not taken — fall-through is the common layout
+// for compiler output. Exception: when the fall-through path is a short run
+// that ends in a trap or unimp, the branch is the branch-over-trap shape
+// every patched check sequence uses, and the taken edge is the hot one.
+func predictTaken(text []sparc.Instr, uops []uop, brPC, tgt int32) bool {
+	ft := brPC + 1
+	if uint32(ft) >= uint32(len(text)) {
+		return true
+	}
+	run := uops[ft].bl
+	if run > 3 {
+		return false
+	}
+	t := ft + run
+	if uint32(t) >= uint32(len(text)) {
+		return false
+	}
+	switch text[t].Op {
+	case sparc.Ta, sparc.Unimp:
+		return true
+	}
+	return false
+}
+
+// compileTrace builds a superblock trace starting at the block head entry,
+// or returns nil when the result would be too trivial to pay for. The walk
+// consumes straight-line runs, fuses sethi+or and subcc+branch pairs, and
+// stitches across the predicted edge of each terminator — including
+// predicted-taken BACKWARD branches, the superblock tail-duplication case —
+// until it revisits a consumed index, reaches an unstitchable terminator
+// (jmpl/save/restore/ta/unimp), or hits the maxBlockLen instruction bound —
+// the same bound that caps block runs and PatchInstr's backward repair, so
+// a single patch never invalidates more than a bounded neighborhood.
+// prof is the per-site edge profile (predictBranch), nil for image text.
+// shift is the I-line shift the nl bits are computed under; a machine may
+// only execute traces whose shift matches its own cache geometry
+// (syncTraceState enforces this).
+func compileTrace(text []sparc.Instr, uops []uop, entry int32, prof []uint32, shift uint32) *traceProg {
+	if uint32(entry) >= uint32(len(uops)) {
+		return nil
+	}
+	if uops[entry].bl == 0 {
+		// Terminator at the head. save/restore heads are worth compiling —
+		// every callee entry is a save — and branch/call/jmpl heads stitch
+		// their predicted edge and keep going, which matters because side
+		// exits land on them (a not-taken exit whose successor is another
+		// branch). Only ta/unimp heads have nothing to specialize.
+		switch text[entry].Op {
+		case sparc.Save, sparc.Restore, sparc.Br, sparc.Call, sparc.Jmpl:
+		default:
+			return nil
+		}
+	}
+	var (
+		ops      []top
+		consumed = make([]bool, len(text))
+		ni       = 0
+		loop     = false
+		dyn      = false
+		pc       = entry
+		exitPC   = entry
+	)
+
+scan:
+	for {
+		if ni >= maxBlockLen || uint32(pc) >= uint32(len(text)) {
+			exitPC = pc // budget or end of text: dispatcher takes over
+			break
+		}
+		if consumed[pc] {
+			exitPC = pc // trace rejoins itself: end here
+			break
+		}
+		if run := int(uops[pc].bl); run > 0 {
+			// Interior straight-line instructions [pc, pc+run).
+			if ni+run > maxBlockLen {
+				run = maxBlockLen - ni
+			}
+			stop := pc + int32(run)
+			i := pc
+			for i < stop {
+				consumed[i] = true
+				in := &text[i]
+				// sethi+or constant synthesis: sethi rd, hi; or rd, lo, rd.
+				// Skipped for %g0 destinations (the sethi write is discarded
+				// there, so the pair is NOT a constant) and counted pairs.
+				if in.Op == sparc.Sethi && in.Count == 0 && in.Rd != sparc.G0 && i+1 < stop {
+					if n2 := &text[i+1]; n2.Op == sparc.Or && n2.UseImm &&
+						n2.Count == 0 && n2.Rs1 == in.Rd && n2.Rd == in.Rd {
+						consumed[i+1] = true
+						ops = append(ops, top{
+							op: tSet2, rd: uint8(in.Rd),
+							imm:   in.Imm<<10 | n2.Imm,
+							ni:    uint16(ni),
+							iaddr: TextBase + uint32(i)*4,
+						})
+						ni += 2
+						i += 2
+						continue
+					}
+				}
+				// Fused interior pairs: one dispatch retires both halves.
+				if i+1 < stop && in.Count == 0 && text[i+1].Count == 0 {
+					if f := fusePair(in, &text[i+1]); f != 0 {
+						u1, _ := decodeUop(in)
+						u2, _ := decodeUop(&text[i+1])
+						consumed[i+1] = true
+						ops = append(ops, top{
+							op: f, rd: u1.rd, rs1: u1.rs1, s2r: u1.s2r, imm: u1.s2i,
+							rd2: u2.rd, rs1b: u2.rs1, s2rb: u2.s2r, imm2: u2.s2i,
+							ni:    uint16(ni),
+							iaddr: TextBase + uint32(i)*4,
+						})
+						ni += 2
+						i += 2
+						continue
+					}
+				}
+				u, _ := decodeUop(in)
+				t := top{
+					rd: u.rd, rs1: u.rs1, s2r: u.s2r, imm: u.s2i,
+					cnt:   uint16(u.cnt),
+					ni:    uint16(ni),
+					iaddr: TextBase + uint32(i)*4,
+				}
+				op := topOf[u.op&^opCount]
+				// Immediate-only specializations for the hottest ops.
+				if u.s2r == uint8(sparc.G0) {
+					switch op {
+					case tLd:
+						op = tLdI
+					case tSt:
+						op = tStI
+					case tAdd:
+						op = tAddI
+					case tOr:
+						op = tOrI
+					case tSub:
+						op = tSubI
+					case tSll:
+						op = tSllI
+					case tSrl:
+						op = tSrlI
+					}
+				}
+				t.op = op
+				if t.cnt != 0 {
+					t.op |= topCount
+				}
+				ops = append(ops, t)
+				ni++
+				i++
+			}
+			pc = stop
+			continue
+		}
+
+		// Terminator at pc.
+		term := &text[pc]
+		ta := TextBase + uint32(pc)*4
+		switch term.Op {
+		case sparc.Br:
+			consumed[pc] = true
+			cond := uint8(term.Cond & 15)
+			tgt := term.Target
+			// Fuse with an immediately preceding uncounted subcc.
+			fused := false
+			if n := len(ops); n > 0 && term.Count == 0 {
+				if p := &ops[n-1]; p.op == tSubcc && p.cnt == 0 && p.iaddr == ta-4 {
+					fused = true
+				}
+			}
+			// emit appends the branch (or rewrites the subcc into the fused
+			// form): opU for the plain op, opF for the fused one.
+			emit := func(opU, opF topOp) {
+				if fused {
+					p := &ops[len(ops)-1]
+					p.op = opF
+					p.cond = cond
+					p.tgt = tgt
+					return
+				}
+				t := top{op: opU, cond: cond, tgt: tgt,
+					cnt: uint16(term.Count), ni: uint16(ni), iaddr: ta}
+				if t.cnt != 0 {
+					t.op |= topCount
+				}
+				ops = append(ops, t)
+			}
+			switch {
+			case term.Cond == sparc.BN:
+				// Never taken: tBr with cond BN never side-exits.
+				emit(tBr, tCmpBr)
+				ni++
+				pc++
+			case tgt == entry && (term.Cond == sparc.BA ||
+				predictBranch(text, uops, prof, pc, tgt)):
+				// Predicted-taken back-edge to the head: loop trace. (BA
+				// back-edges too: condMask[BA] is all-ones, so tBrLoop with
+				// cond BA never takes its side exit.)
+				if term.Cond == sparc.BA && !fused {
+					emit(tBALoop, 0)
+				} else {
+					emit(tBrLoop, tCmpBrLoop)
+				}
+				ni++
+				loop = true
+				break scan
+			case term.Cond == sparc.BA:
+				// Unconditional stitch.
+				if fused {
+					emit(0, tCmpBrT) // cond BA: always continues
+				} else {
+					emit(tBA, 0)
+				}
+				ni++
+				pc = tgt
+			case predictBranch(text, uops, prof, pc, tgt):
+				// Predicted taken: stitch to the target and keep compiling.
+				// Backward targets duplicate already-laid-out code into the
+				// trace tail (superblock tail duplication); the consumed-set
+				// check at the top of the walk bounds the duplication.
+				emit(tBrT, tCmpBrT)
+				ni++
+				pc = tgt
+			default:
+				emit(tBr, tCmpBr)
+				ni++
+				pc++
+			}
+
+		case sparc.Call:
+			consumed[pc] = true
+			t := top{op: tCall, tgt: term.Target,
+				cnt: uint16(term.Count), ni: uint16(ni), iaddr: ta}
+			if t.cnt != 0 {
+				t.op |= topCount
+			}
+			ops = append(ops, t)
+			ni++
+			pc = term.Target
+
+		case sparc.Save, sparc.Restore:
+			// Interior window shuffle: operand 2 unified like every other
+			// op, %g0 destinations discarded via the scratch register.
+			consumed[pc] = true
+			t := top{rd: uint8(term.Rd), rs1: uint8(term.Rs1),
+				cnt: uint16(term.Count), ni: uint16(ni), iaddr: ta}
+			if term.UseImm {
+				t.s2r = uint8(sparc.G0)
+				t.imm = term.Imm
+			} else {
+				t.s2r = uint8(term.Rs2)
+			}
+			if term.Rd == sparc.G0 {
+				t.rd = scratchReg
+			}
+			if term.Op == sparc.Save {
+				t.op = tSave
+			} else {
+				t.op = tRestore
+			}
+			if t.cnt != 0 {
+				t.op |= topCount
+			}
+			ops = append(ops, t)
+			ni++
+			pc++
+
+		case sparc.Jmpl:
+			// Dynamic terminator: the exit pc is computed at run time and
+			// handed to trace linking. exitPC doubles as the replay point
+			// when the target turns out to be invalid (Step raises the
+			// fault with the exact semantics, including the rd write).
+			consumed[pc] = true
+			ju, _ := decodeUop(term)
+			t := top{op: tJmpl, rd: ju.rd, rs1: ju.rs1, s2r: ju.s2r, imm: ju.s2i,
+				cnt: uint16(ju.cnt), ni: uint16(ni), iaddr: ta}
+			if t.cnt != 0 {
+				t.op |= topCount
+			}
+			ops = append(ops, t)
+			ni++
+			exitPC = pc
+			dyn = true
+			break scan
+
+		default:
+			// ta/unimp (and malformed encodings): only Step executes
+			// these; the trace ends just before.
+			exitPC = pc
+			break scan
+		}
+	}
+
+	if !loop && !dyn && ni < minTraceInstrs {
+		return nil
+	}
+	// nl post-pass: mark the compile-time I-line boundaries (see top.nl).
+	// lastFetch is the previous op's last fetch address in pass order.
+	lastLine := ^uint32(0)
+	for k := range ops {
+		u := &ops[k]
+		line := u.iaddr >> shift
+		if k == 0 || line != lastLine {
+			u.nl = 1
+		}
+		lastLine = line
+		if topWide2(u.op) {
+			if line2 := (u.iaddr + 4) >> shift; line2 != lastLine {
+				u.nl |= 2
+				lastLine = line2
+			}
+		}
+	}
+	ops = append(ops, top{op: tEnd})
+	return &traceProg{
+		entry:      entry,
+		exitPC:     exitPC,
+		shift:      shift,
+		passInstrs: int64(ni),
+		ops:        ops,
+		spans:      spansOf(consumed),
+	}
+}
+
+// topWide2 reports whether op is a two-instruction (fused) trace-op, whose
+// second fetch happens at iaddr+4. Fused ops are never counted, so the
+// topCount flag need not be stripped.
+func topWide2(op topOp) bool {
+	switch op {
+	case tSet2, tCmpBr, tCmpBrT, tCmpBrLoop,
+		tLdSll, tLdOr, tLdCmp, tSllAdd, tAddLd, tOrLd,
+		tLdLd, tLdSt, tAddSt, tSubSt, tOrAdd, tOrSub:
+		return true
+	}
+	return false
+}
+
+// spansOf collapses the consumed index set into sorted disjoint [lo,hi)
+// ranges for PatchInstr's coverage test.
+func spansOf(consumed []bool) [][2]int32 {
+	var spans [][2]int32
+	for i := 0; i < len(consumed); i++ {
+		if !consumed[i] {
+			continue
+		}
+		j := i
+		for j < len(consumed) && consumed[j] {
+			j++
+		}
+		spans = append(spans, [2]int32{int32(i), int32(j)})
+		i = j
+	}
+	return spans
+}
+
+// buildTraces eagerly compiles a trace for every block head of text: the
+// entry point, every branch/call target, and every fall-through successor of
+// a terminator. Used by BuildImage; LoadText text compiles lazily instead
+// (noteHot). Image traces are compiled for the default cache geometry's
+// I-line shift; a machine with a different geometry compiles its own
+// (syncTraceState).
+func buildTraces(text []sparc.Instr, uops []uop, entry int32, shift uint32) []*traceProg {
+	if len(text) == 0 {
+		return nil
+	}
+	heads := make([]bool, len(text))
+	mark := func(i int32) {
+		if uint32(i) < uint32(len(heads)) {
+			heads[i] = true
+		}
+	}
+	mark(entry)
+	mark(0)
+	for i := range text {
+		switch text[i].Op {
+		case sparc.Br, sparc.Call:
+			mark(text[i].Target)
+		}
+		if uops[i].bl == 0 {
+			mark(int32(i) + 1) // fall-through and jmpl-return successors
+		}
+	}
+	traces := make([]*traceProg, len(text))
+	for i, h := range heads {
+		if h {
+			traces[i] = compileTrace(text, uops, int32(i), nil, shift)
+		}
+	}
+	return traces
+}
+
+// traceFault commits the accounting for a fault at trace-op u — the faulting
+// instruction's base cost and ifetch are charged, nothing past the point
+// Step would have charged — flushes the batched ifetch hits, and leaves pc
+// on the faulting instruction. Fused ops never fault (their first
+// instruction is ALU-only and their pair is only formed when well-typed), so
+// the faulting instruction always accounts for exactly one.
+func (m *Machine) traceFault(u *top, cyc, base int64, ihits uint64, format string, args ...any) error {
+	m.cache.NoteHits(cache.IFetch, ihits)
+	n := int64(u.ni) + 1
+	m.instrs += n
+	m.cycles += cyc + base*n
+	m.pc = int32((u.iaddr - TextBase) / 4)
+	return m.fault(m.text[m.pc], format, args...)
+}
+
+// traceFault2 is traceFault for a fault in the SECOND half of a fused pair:
+// the first half already retired, so two instructions commit and pc lands on
+// the second instruction. The caller has already accounted the second
+// instruction's fetch (Step fetches before it executes).
+func (m *Machine) traceFault2(u *top, cyc, base int64, ihits uint64, format string, args ...any) error {
+	m.cache.NoteHits(cache.IFetch, ihits)
+	n := int64(u.ni) + 2
+	m.instrs += n
+	m.cycles += cyc + base*n
+	m.pc = int32((u.iaddr-TextBase)/4) + 1
+	return m.fault(m.text[m.pc], format, args...)
+}
+
+// traceExit commits a side exit after n instructions of the current pass.
+func (m *Machine) traceExit(nextPC int32, n, cyc, base int64) {
+	m.instrs += n
+	m.cycles += cyc + base*n
+	m.pc = nextPC
+}
+
+// execTrace runs passes of tr until a side exit, the tail, a fault, a
+// mid-trace patch, or the MaxInstrs budget. The known-hit line trackers and
+// the batched ifetch-hit count are threaded in from the dispatcher and back
+// out, so residency knowledge survives the block→trace→block transitions and
+// the combined engine issues exactly the probes Step would.
+//
+// Accounting protocol (mirrors execBlocks):
+//   - Base+PerInstrPenalty cycles fold into one multiply per commit:
+//     base*passInstrs when a pass completes (tail or back-edge),
+//     base*(ni+width) at side exits and faults.
+//   - Dynamic cycles (MemExtra, miss penalties, Mul/Div, taken branches,
+//     StoreHook charges) accumulate in cyc and commit with the pass.
+//   - ihits counts only ACTUAL known-hit fetches (no prepaid credits); it is
+//     flushed via cache.NoteHits before anything that can observe the cache
+//     (StoreHook, fault) and returned to the dispatcher otherwise.
+//   - The caller guarantees MaxInstrs-instrs >= passInstrs on entry; loop
+//     back-edges re-check before starting another pass.
+func (m *Machine) execTrace(tr *traceProg, shift, imask, ciLine, cdLine uint32, ihits0 uint64) (curILine, curDLine uint32, ihits uint64, err error) {
+	curILine, curDLine, ihits = ciLine, cdLine, ihits0
+	ts := m.traces
+	const topSize = unsafe.Sizeof(top{})
+	base := m.costs.Base + m.PerInstrPenalty
+	gen := m.textGen
+	var (
+		cyc   int64
+		npc   int32 // pending exit pc (text index), set before goto exit/link
+		width int64 // instructions the exiting op retires, set before goto exit
+	)
+
+chain:
+	for {
+		ops := tr.ops
+	pass:
+		for {
+			// Raw-pointer walk over ops: tEnd terminates every trace, every
+			// other way out of the loop is an explicit goto/continue, so no
+			// per-op bound check is needed.
+			p := unsafe.Pointer(&ops[0])
+			for {
+				u := (*top)(p)
+				p = unsafe.Add(p, topSize)
+				op := u.op
+				if op == tEnd {
+					// The whole pass retired.
+					m.instrs += tr.passInstrs
+					m.cycles += cyc + base*tr.passInstrs
+					npc = tr.exitPC
+					goto link
+				}
+				// One ifetch per instruction through the known-hit line
+				// tracker. The nl bit proves at compile time that this fetch
+				// shares the previous op's line, so while curILine is live the
+				// fetch is a guaranteed hit with no line arithmetic at all;
+				// line-crossing ops (and a dead tracker) take the full path.
+				if u.nl&1 == 0 && curILine != noLine {
+					ihits++
+				} else if line := u.iaddr >> shift; line == curILine {
+					ihits++
+				} else {
+					if !m.cache.Access(u.iaddr, cache.IFetch) {
+						cyc += m.costs.MissPenalty
+					}
+					if (line^curDLine)&imask == 0 {
+						curDLine = noLine
+					}
+					curILine = line
+				}
+			redo:
+				switch op {
+				case tNop:
+					// nothing
+
+				case tLdI:
+					ea := uint32(m.regs[u.rs1] + u.imm)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+
+				case tLd:
+					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+
+				case tLdd:
+					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
+					if ea&7 != 0 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned ldd at %#x", ea)
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					cyc += m.costs.MemExtra // second word
+					m.regs[u.rd] = m.ReadWord(ea)
+					m.regs[u.rd+1] = m.ReadWord(ea + 4)
+
+				case tStI, tSt:
+					var ea uint32
+					if op == tStI {
+						ea = uint32(m.regs[u.rs1] + u.imm)
+					} else {
+						ea = uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
+					}
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned store at %#x", ea)
+					}
+					hooked := m.StoreHook != nil
+					if hooked {
+						// Flush the earned hits so a hook that inspects the
+						// machine sees exact statistics; the hook may invalidate
+						// any line, so both trackers die.
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.StoreHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DWrite, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DWrite) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					binary.BigEndian.PutUint32(p[o:o+4], uint32(m.regs[u.rd]))
+					if hooked && m.textGen != gen {
+						// The hook patched text under us: this trace may be
+						// stale (or already invalidated). Finish this instruction
+						// (done) and return to the dispatcher, which re-dispatches
+						// against the fresh trace/block index.
+						m.traceExit(int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+
+				case tStd:
+					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
+					if ea&7 != 0 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned std at %#x", ea)
+					}
+					hooked := m.StoreHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.StoreHook(ea, 8)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DWrite, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DWrite) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					cyc += m.costs.MemExtra
+					m.storeWord(ea, m.regs[u.rd])
+					m.storeWord(ea+4, m.regs[u.rd+1])
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+
+				case tAddI:
+					m.regs[u.rd] = m.regs[u.rs1] + u.imm
+				case tAdd:
+					m.regs[u.rd] = m.regs[u.rs1] + m.regs[u.s2r] + u.imm
+				case tSub:
+					m.regs[u.rd] = m.regs[u.rs1] - (m.regs[u.s2r] + u.imm)
+				case tSubI:
+					m.regs[u.rd] = m.regs[u.rs1] - u.imm
+				case tAnd:
+					m.regs[u.rd] = m.regs[u.rs1] & (m.regs[u.s2r] + u.imm)
+				case tAndn:
+					m.regs[u.rd] = m.regs[u.rs1] &^ (m.regs[u.s2r] + u.imm)
+				case tOr:
+					m.regs[u.rd] = m.regs[u.rs1] | (m.regs[u.s2r] + u.imm)
+				case tOrI:
+					m.regs[u.rd] = m.regs[u.rs1] | u.imm
+				case tOrn:
+					m.regs[u.rd] = m.regs[u.rs1] | ^(m.regs[u.s2r] + u.imm)
+				case tXor:
+					m.regs[u.rd] = m.regs[u.rs1] ^ (m.regs[u.s2r] + u.imm)
+				case tXnor:
+					m.regs[u.rd] = ^(m.regs[u.rs1] ^ (m.regs[u.s2r] + u.imm))
+				case tSll:
+					m.regs[u.rd] = m.regs[u.rs1] << (uint32(m.regs[u.s2r]+u.imm) & 31)
+				case tSllI:
+					m.regs[u.rd] = m.regs[u.rs1] << (uint32(u.imm) & 31)
+				case tSrl:
+					m.regs[u.rd] = int32(uint32(m.regs[u.rs1]) >> (uint32(m.regs[u.s2r]+u.imm) & 31))
+				case tSrlI:
+					m.regs[u.rd] = int32(uint32(m.regs[u.rs1]) >> (uint32(u.imm) & 31))
+				case tSra:
+					m.regs[u.rd] = m.regs[u.rs1] >> (uint32(m.regs[u.s2r]+u.imm) & 31)
+				case tSMul:
+					cyc += m.costs.Mul
+					m.regs[u.rd] = m.regs[u.rs1] * (m.regs[u.s2r] + u.imm)
+				case tSDiv:
+					cyc += m.costs.Div // charged before the zero check, as in Step
+					d := m.regs[u.s2r] + u.imm
+					if d == 0 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "division by zero")
+					}
+					m.regs[u.rd] = m.regs[u.rs1] / d
+
+				case tAddcc:
+					a, b := m.regs[u.rs1], m.regs[u.s2r]+u.imm
+					r := a + b
+					m.setCCAdd(a, b, r)
+					m.regs[u.rd] = r
+				case tSubcc:
+					a, b := m.regs[u.rs1], m.regs[u.s2r]+u.imm
+					r := a - b
+					m.setCCSub(a, b, r)
+					m.regs[u.rd] = r
+				case tAndcc:
+					r := m.regs[u.rs1] & (m.regs[u.s2r] + u.imm)
+					m.setCCLogic(r)
+					m.regs[u.rd] = r
+				case tAndncc:
+					r := m.regs[u.rs1] &^ (m.regs[u.s2r] + u.imm)
+					m.setCCLogic(r)
+					m.regs[u.rd] = r
+				case tOrcc:
+					r := m.regs[u.rs1] | (m.regs[u.s2r] + u.imm)
+					m.setCCLogic(r)
+					m.regs[u.rd] = r
+				case tXorcc:
+					r := m.regs[u.rs1] ^ (m.regs[u.s2r] + u.imm)
+					m.setCCLogic(r)
+					m.regs[u.rd] = r
+
+				case tSet:
+					m.regs[u.rd] = u.imm
+
+				case tSet2:
+					// Fused pair: second fetch at iaddr+4, then the synthesized
+					// constant. Reordering the or's fetch before the sethi's
+					// write is invisible — ALU ops touch no cache state.
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					m.regs[u.rd] = u.imm
+
+				case tLdSll, tLdOr, tLdCmp:
+					// Fused ld+ALU pair: the load executes first (it may fault
+					// and has the d-cache probe), then the second half's fetch,
+					// then the ALU op — exactly Step's order.
+					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					switch op {
+					case tLdSll:
+						m.regs[u.rd2] = m.regs[u.rs1b] << (uint32(m.regs[u.s2rb]+u.imm2) & 31)
+					case tLdOr:
+						m.regs[u.rd2] = m.regs[u.rs1b] | (m.regs[u.s2rb] + u.imm2)
+					default: // tLdCmp
+						a, b := m.regs[u.rs1b], m.regs[u.s2rb]+u.imm2
+						r := a - b
+						m.setCCSub(a, b, r)
+						m.regs[u.rd2] = r
+					}
+
+				case tSllAdd:
+					// Two ALU halves: only the second fetch touches cache state.
+					m.regs[u.rd] = m.regs[u.rs1] << (uint32(m.regs[u.s2r]+u.imm) & 31)
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					m.regs[u.rd2] = m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2
+
+				case tAddLd, tOrLd:
+					// Fused ALU+ld pair: ALU result commits, second fetch, then
+					// the load — which may fault with the first half retired
+					// (traceFault2 commits both the pair's fetches and widths).
+					if op == tAddLd {
+						m.regs[u.rd] = m.regs[u.rs1] + m.regs[u.s2r] + u.imm
+					} else {
+						m.regs[u.rd] = m.regs[u.rs1] | (m.regs[u.s2r] + u.imm)
+					}
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					ea := uint32(m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault2(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[u.rd2] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+
+				case tLdLd:
+					// Fused ld+ld: either half may fault; the first retires
+					// before the second's fetch, so a dependent (pointer-chase)
+					// second load reads the just-written register.
+					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					ea = uint32(m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault2(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb = ea &^ (PageBytes - 1)
+					pe = &m.pageCache[pageCacheIdx(ea)]
+					p = pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o = ea & (PageBytes - 4)
+					m.regs[u.rd2] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+
+				case tLdSt, tAddSt, tSubSt:
+					// Fused op+store: the first half retires, then the second
+					// fetch, then the store with the full hook/patch-exit
+					// protocol of tSt.
+					switch op {
+					case tLdSt:
+						ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
+						if ea&3 != 0 {
+							return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
+						}
+						cyc += m.costs.MemExtra
+						if line := ea >> shift; line == curDLine {
+							m.cache.NoteHits(cache.DRead, 1)
+						} else {
+							if !m.cache.Access(ea, cache.DRead) {
+								cyc += m.costs.MissPenalty
+							}
+							if (line^curILine)&imask == 0 {
+								curILine = noLine
+							}
+							curDLine = line
+						}
+						pb := ea &^ (PageBytes - 1)
+						pe := &m.pageCache[pageCacheIdx(ea)]
+						p := pe.p
+						if pe.base != pb {
+							p = m.pageSlow(pb)
+						}
+						o := ea & (PageBytes - 4)
+						m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					case tAddSt:
+						m.regs[u.rd] = m.regs[u.rs1] + m.regs[u.s2r] + u.imm
+					default: // tSubSt
+						m.regs[u.rd] = m.regs[u.rs1] - (m.regs[u.s2r] + u.imm)
+					}
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					ea := uint32(m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault2(u, cyc, base, ihits, "unaligned store at %#x", ea)
+					}
+					hooked := m.StoreHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.StoreHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DWrite, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DWrite) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					binary.BigEndian.PutUint32(p[o:o+4], uint32(m.regs[u.rd2]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+2, int64(u.ni)+2, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+
+				case tOrAdd, tOrSub:
+					// Two ALU halves, like tSllAdd.
+					m.regs[u.rd] = m.regs[u.rs1] | (m.regs[u.s2r] + u.imm)
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					if op == tOrAdd {
+						m.regs[u.rd2] = m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2
+					} else {
+						m.regs[u.rd2] = m.regs[u.rs1b] - (m.regs[u.s2rb] + u.imm2)
+					}
+
+				case tBr: // predicted not taken
+					if condMask[u.cond]>>uint32(m.ccb)&1 != 0 {
+						cyc += m.costs.TakenBranch
+						npc, width = u.tgt, int64(u.ni)+1
+						goto exit
+					}
+
+				case tBrT: // predicted taken (stitched)
+					if condMask[u.cond]>>uint32(m.ccb)&1 != 0 {
+						cyc += m.costs.TakenBranch
+					} else {
+						npc, width = int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1
+						goto exit
+					}
+
+				case tBrLoop:
+					if condMask[u.cond]>>uint32(m.ccb)&1 != 0 {
+						cyc += m.costs.TakenBranch
+						m.instrs += int64(u.ni) + 1
+						m.cycles += cyc + base*(int64(u.ni)+1)
+						cyc = 0
+						if m.MaxInstrs-m.instrs < tr.passInstrs {
+							m.pc = tr.entry // dispatcher clamps the tail exactly
+							return curILine, curDLine, ihits, nil
+						}
+						continue pass
+					}
+					npc, width = int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1
+					goto exit
+
+				case tBA:
+					cyc += m.costs.TakenBranch
+
+				case tBALoop:
+					cyc += m.costs.TakenBranch
+					m.instrs += int64(u.ni) + 1
+					m.cycles += cyc + base*(int64(u.ni)+1)
+					cyc = 0
+					if m.MaxInstrs-m.instrs < tr.passInstrs {
+						m.pc = tr.entry
+						return curILine, curDLine, ihits, nil
+					}
+					continue pass
+
+				case tCall:
+					m.regs[sparc.O7] = int32(u.iaddr) + 4
+					cyc += m.costs.TakenBranch
+
+				case tSave:
+					// Mirrors Step: operand computed in the caller's window,
+					// destination written in the new one.
+					v := m.regs[u.rs1] + m.regs[u.s2r] + u.imm
+					var parent winRegs
+					parent.o = [8]int32(m.regs[8:16])
+					parent.l = [8]int32(m.regs[16:24])
+					parent.i = [8]int32(m.regs[24:32])
+					m.win = append(m.win, parent)
+					copy(m.regs[24:32], parent.o[:])
+					clear(m.regs[8:24])
+					m.resident++
+					if m.resident > NWindows-1 {
+						m.resident = NWindows - 1
+						cyc += m.costs.WindowSpill
+					}
+					m.regs[u.rd] = v
+
+				case tRestore:
+					if len(m.win) < 1 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "register window underflow at top frame")
+					}
+					v := m.regs[u.rs1] + m.regs[u.s2r] + u.imm
+					ins := [8]int32(m.regs[24:32])
+					parent := &m.win[len(m.win)-1]
+					copy(m.regs[8:16], ins[:])
+					copy(m.regs[16:24], parent.l[:])
+					copy(m.regs[24:32], parent.i[:])
+					m.win = m.win[:len(m.win)-1]
+					m.resident--
+					if m.resident < 1 {
+						m.resident = 1
+						cyc += m.costs.WindowSpill
+					}
+					m.regs[u.rd] = v
+
+				case tJmpl:
+					dest := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
+					idx := int32((dest - TextBase) / 4)
+					if dest < TextBase || dest&3 != 0 || int(idx) >= len(m.uops) {
+						// Bad target: exit before the jmpl, Step replays it
+						// and raises the fault (committing the rd write
+						// first, exactly as the block engine's bail does).
+						m.traceExit(int32((u.iaddr-TextBase)/4), int64(u.ni), cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+					m.regs[u.rd] = int32(u.iaddr) + 4
+					cyc += m.costs.TakenBranch
+					npc, width = idx, int64(u.ni)+1
+					goto exit
+
+				case tCmpBr, tCmpBrT, tCmpBrLoop:
+					// Fused subcc+branch: second fetch, compare, then the branch
+					// with the same prediction split as the unfused forms.
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					a, b := m.regs[u.rs1], m.regs[u.s2r]+u.imm
+					r := a - b
+					m.setCCSub(a, b, r)
+					m.regs[u.rd] = r
+					taken := condMask[u.cond]>>uint32(m.ccb)&1 != 0
+					switch op {
+					case tCmpBr:
+						if taken {
+							cyc += m.costs.TakenBranch
+							npc, width = u.tgt, int64(u.ni)+2
+							goto exit
+						}
+					case tCmpBrT:
+						if taken {
+							cyc += m.costs.TakenBranch
+						} else {
+							npc, width = int32((u.iaddr-TextBase)/4)+2, int64(u.ni)+2
+							goto exit
+						}
+					case tCmpBrLoop:
+						if taken {
+							cyc += m.costs.TakenBranch
+							m.instrs += int64(u.ni) + 2
+							m.cycles += cyc + base*(int64(u.ni)+2)
+							cyc = 0
+							if m.MaxInstrs-m.instrs < tr.passInstrs {
+								m.pc = tr.entry
+								return curILine, curDLine, ihits, nil
+							}
+							continue pass
+						}
+						npc, width = int32((u.iaddr-TextBase)/4)+2, int64(u.ni)+2
+						goto exit
+					}
+
+				default:
+					// Only counted ops land here: bump the event counter, strip
+					// the flag, and dispatch the underlying op.
+					m.Counters[u.cnt-1]++
+					op &^= topCount
+					goto redo
+				}
+			}
+		}
+
+	exit:
+		// A side exit retired width instructions of the current pass.
+		m.instrs += width
+		m.cycles += cyc + base*width
+	link:
+		// Trace linking: when the exit lands on another compiled head with
+		// budget for a full pass, jump straight into it — no dispatcher
+		// round-trip, no call overhead. This is what turns a side-exit-heavy
+		// program (predictions are static) back into straight-line execution.
+		if uint32(npc) < uint32(len(ts)) {
+			if next := ts[npc]; next != nil && m.MaxInstrs-m.instrs >= next.passInstrs {
+				cyc = 0
+				tr = next
+				continue chain
+			}
+		}
+		m.pc = npc
+		return curILine, curDLine, ihits, nil
+	}
+}
+
+// defaultLineShift is the I-line shift of cache.DefaultConfig, the geometry
+// image traces are compiled for.
+func defaultLineShift() uint32 {
+	var s uint32
+	for lb := cache.DefaultConfig.LineBytes; lb > 1; lb >>= 1 {
+		s++
+	}
+	return s
+}
