@@ -12,6 +12,12 @@
 //	mrsbench -stress N         N concurrent monitored sessions with mid-run
 //	                           region churn, differentially checked against
 //	                           serial runs (1 = one session per workload)
+//	mrsbench -mrsd self        drive an in-process mrsd daemon with the load
+//	                           generator (-sessions N concurrent sessions);
+//	                           any other value is a running daemon's TCP
+//	                           address. Emits sessions/sec, hits/sec, and
+//	                           p50/p99 attach-to-first-hit latency; with
+//	                           -json, writes BENCH_mrsd.json.
 //
 // -server routes every monitored table run through a shared monitor.Server
 // (sliced execution through sessions); simulated counts are identical.
@@ -59,6 +65,11 @@ func run() error {
 	patchChurn := flag.Bool("patch-churn", true, "stress: odd sessions also patch live text mid-run (copy-on-write exercise)")
 	useServer := flag.Bool("server", false, "route monitored table runs through a shared monitor.Server (sliced execution; counts identical)")
 	artifactCache := flag.Bool("artifact-cache", true, "memoize compiled+patched+assembled programs across tables and repeats (results are byte-identical either way)")
+	artifactCacheCap := flag.Int64("artifact-cache-cap", 0, "artifact cache size bound in bytes, enforced by LRU eviction (0 = unbounded)")
+	mrsd := flag.String("mrsd", "", "drive an mrsd daemon with the load generator: a TCP address, or 'self' for in-process")
+	sessions := flag.Int("sessions", 0, "mrsd: concurrent sessions in the scale phase (0 = one per workload)")
+	hitSessions := flag.Int("hit-sessions", 0, "mrsd: sessions in the hit/latency phase (0 = two per workload, -1 = skip)")
+	batch := flag.Int("batch", 0, "mrsd: hit-coalescing batch size for the main pass (0 = daemon default)")
 	verbose := flag.Bool("v", false, "progress output")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the harness to this file on exit")
@@ -114,6 +125,7 @@ func run() error {
 	}
 	if *artifactCache {
 		cfg.Artifacts = bench.NewArtifactCache()
+		cfg.Artifacts.SetCapBytes(*artifactCacheCap)
 	}
 	// cacheStats prints the final artifact-cache tally and, with -json,
 	// writes it as BENCH_cachestats.json for CI to archive — the one
@@ -141,6 +153,51 @@ func run() error {
 			return fmt.Errorf("unknown program %q", *only)
 		}
 		programs = []workload.Program{p}
+	}
+
+	if *mrsd != "" {
+		addr := *mrsd
+		if addr == "self" {
+			addr = ""
+		}
+		start := time.Now()
+		rep, err := cfg.MrsdLoad(bench.MrsdOptions{
+			Addr:           addr,
+			Sessions:       *sessions,
+			Batch:          *batch,
+			Churn:          *churn,
+			PatchChurn:     *patchChurn,
+			HitSessions:    *hitSessions,
+			PerHitBaseline: true,
+		})
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		where := addr
+		if where == "" {
+			where = "in-process pipe"
+		}
+		fmt.Printf("mrsd load (%s, %d shards, %d conns): all sessions byte-identical to serial\n",
+			where, rep.Shards, rep.Conns)
+		fmt.Printf("  scale: %d sessions (%d churn, %d patch) in %.0f ms = %.1f sessions/sec\n",
+			rep.Sessions, rep.ChurnSessions, rep.PatchSessions, rep.ScaleWallMS, rep.SessionsPerSec)
+		if rep.HitSessions > 0 {
+			fmt.Printf("  hits:  %d sessions, %d hits in %.0f ms = %.0f hits/sec (batched)\n",
+				rep.HitSessions, rep.Hits, rep.HitWallMS, rep.HitsPerSec)
+			fmt.Printf("  attach-to-first-hit latency: p50 %.2f ms, p99 %.2f ms\n",
+				rep.AttachP50MS, rep.AttachP99MS)
+			if rep.BatchSpeedup > 0 {
+				fmt.Printf("  per-hit baseline: %.0f hits/sec → batching speedup %.2fx\n",
+					rep.PerHitHitsPerSec, rep.BatchSpeedup)
+			}
+		}
+		if *jsonOut {
+			if err := bench.NewReport("mrsd", cfg, wall, rep).WriteFile("BENCH_mrsd.json"); err != nil {
+				return err
+			}
+		}
+		return cacheStats()
 	}
 
 	if *stress > 0 {

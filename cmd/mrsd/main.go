@@ -1,0 +1,91 @@
+// Command mrsd serves the monitored region service as a network daemon:
+// sessions are placed onto per-core shards of monitor.Server by consistent
+// hash of the session id, watchpoint hits stream back as batched frames, and
+// programs are built once per workload through a bounded artifact cache and
+// shared copy-on-write across every session that attaches them.
+//
+// Usage:
+//
+//	mrsd                              serve on 127.0.0.1:7707
+//	mrsd -addr :9000 -shards 8        explicit bind and shard count
+//	mrsd -batch 1                     one frame per hit (benchmark baseline)
+//
+// Drive it with the load generator: mrsbench -mrsd <addr> -sessions N.
+// SIGINT/SIGTERM shut down gracefully: listeners stop, sessions detach, and
+// each shard drains its hit queue before exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"databreak/internal/bench"
+	"databreak/internal/machine"
+	"databreak/internal/mrsnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7707", "TCP listen address")
+	shards := flag.Int("shards", 0, "per-core monitor.Server shards (0 = one per CPU)")
+	queue := flag.Int("queue", 0, "per-shard hit admission queue bound (0 = default 4096)")
+	maxSessions := flag.Int("max-sessions", 0, "session cap per shard (0 = unlimited)")
+	batch := flag.Int("batch", 0, "default hit-coalescing batch size (0 = 64; 1 = one frame per hit)")
+	flush := flag.Duration("flush", 0, "hit batch flush deadline (0 = 500µs)")
+	engine := flag.String("engine", "trace", "execution engine: step, block, or trace (counts are engine-independent)")
+	cacheCap := flag.Int64("artifact-cache-cap", 128<<20, "artifact cache size bound in bytes (0 = unbounded)")
+	verbose := flag.Bool("v", false, "log session lifecycle events")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	eng, err := machine.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	cfg.Engine = eng
+	cfg.Artifacts = bench.NewArtifactCache()
+	cfg.Artifacts.SetCapBytes(*cacheCap)
+
+	opts := mrsnet.Options{
+		Shards:              *shards,
+		QueueCap:            *queue,
+		MaxSessionsPerShard: *maxSessions,
+		Batch:               *batch,
+		Flush:               *flush,
+		Programs:            cfg.ProgramSource(),
+		NewMachine:          cfg.MachineFactory(),
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	d, err := mrsnet.NewDaemon(opts)
+	if err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "mrsd: %v: shutting down (%d sessions served)\n", s, d.Attached())
+		start := time.Now()
+		d.Close()
+		st := cfg.Artifacts.Stats()
+		fmt.Fprintf(os.Stderr, "mrsd: drained in %v; artifact cache: %d entries, %d bytes, %d evictions\n",
+			time.Since(start), st.Entries, st.Bytes, st.Evictions)
+		os.Exit(0)
+	}()
+
+	fmt.Fprintf(os.Stderr, "mrsd: serving on %s (%d shards, engine %s)\n", *addr, d.Shards(), eng)
+	return d.ListenAndServe(*addr)
+}

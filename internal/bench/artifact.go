@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"fmt"
 	"sync"
@@ -56,6 +57,15 @@ type artifactEntry struct {
 	once sync.Once
 	art  Artifact
 	err  error
+
+	// Eviction bookkeeping, all guarded by the cache mutex. key lets a
+	// post-build accounting pass verify the entry is still resident; bytes is
+	// the accounted size; elem is the entry's LRU position (nil until the
+	// build completes, and again after eviction). Only Prog-bearing entries
+	// join the LRU — units are small and shared by every downstream build.
+	key   [sha256.Size]byte
+	bytes int64
+	elem  *list.Element
 }
 
 type runEntry struct {
@@ -76,14 +86,69 @@ type ArtifactCache struct {
 	misses    uint64
 	runHits   uint64
 	runMisses uint64
+
+	// Size bounding. capBytes <= 0 means unbounded. lru orders Prog-bearing
+	// entries most-recently-used first; progBytes is their accounted total.
+	// When a completed build pushes progBytes past the cap, least-recently-
+	// used programs are dropped (never the one just touched) so a long-lived
+	// daemon serving many distinct workloads cannot grow without limit.
+	// Evicted entries simply leave the map — holders of the returned
+	// Artifact keep a valid immutable value; the next request rebuilds.
+	capBytes  int64
+	lru       *list.List
+	progBytes int64
+	evictions uint64
 }
 
-// NewArtifactCache returns an empty cache.
+// NewArtifactCache returns an empty, unbounded cache.
 func NewArtifactCache() *ArtifactCache {
 	return &ArtifactCache{
 		entries: make(map[[sha256.Size]byte]*artifactEntry),
 		runs:    make(map[[sha256.Size]byte]*runEntry),
+		lru:     list.New(),
 	}
+}
+
+// SetCapBytes bounds the bytes retained by cached programs (shared images
+// plus data snapshots); n <= 0 removes the bound. Lowering the cap evicts
+// immediately.
+func (c *ArtifactCache) SetCapBytes(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capBytes = n
+	c.evict()
+}
+
+// evict drops least-recently-used programs until the accounted total fits
+// the cap. The MRU entry always survives, so a single program larger than
+// the cap still caches (the alternative is rebuilding it on every request).
+// Callers must hold c.mu.
+func (c *ArtifactCache) evict() {
+	if c.capBytes <= 0 {
+		return
+	}
+	for c.progBytes > c.capBytes && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*artifactEntry)
+		c.lru.Remove(back)
+		e.elem = nil
+		c.progBytes -= e.bytes
+		delete(c.entries, e.key)
+		c.evictions++
+	}
+}
+
+// account enters a completed Prog build into the LRU (idempotent; a racing
+// eviction wins) and enforces the cap.
+func (c *ArtifactCache) account(e *artifactEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.elem == nil && c.entries[e.key] == e {
+		e.bytes = int64(e.art.Prog.SizeBytes())
+		e.elem = c.lru.PushFront(e)
+		c.progBytes += e.bytes
+	}
+	c.evict()
 }
 
 // ArtifactStats is a point-in-time view of cache effectiveness, reported in
@@ -98,8 +163,11 @@ type ArtifactStats struct {
 	RunMisses uint64 `json:"run_misses"`
 	Runs      int    `json:"runs"`
 	// Bytes estimates host memory retained by cached programs (shared
-	// images + data snapshots).
-	Bytes int64 `json:"bytes"`
+	// images + data snapshots); CapBytes is the configured bound (0 =
+	// unbounded) and Evictions counts programs dropped to enforce it.
+	Bytes     int64  `json:"bytes"`
+	CapBytes  int64  `json:"cap_bytes,omitempty"`
+	Evictions uint64 `json:"evictions"`
 }
 
 // Stats reports hit/miss counts and the retained-bytes estimate.
@@ -109,6 +177,7 @@ func (c *ArtifactCache) Stats() ArtifactStats {
 	st := ArtifactStats{
 		Hits: c.hits, Misses: c.misses, Entries: len(c.entries),
 		RunHits: c.runHits, RunMisses: c.runMisses, Runs: len(c.runs),
+		CapBytes: c.capBytes, Evictions: c.evictions,
 	}
 	for _, e := range c.entries {
 		// Only count completed builds; entries mid-build race with their
@@ -127,14 +196,20 @@ func (c *ArtifactCache) do(key [sha256.Size]byte, build func() (Artifact, error)
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
-		e = &artifactEntry{}
+		e = &artifactEntry{key: key}
 		c.entries[key] = e
 		c.misses++
 	} else {
 		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.art, e.err = build() })
+	if e.err == nil && e.art.Prog != nil {
+		c.account(e)
+	}
 	return e.art, e.err
 }
 

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"databreak/internal/asm"
+	"databreak/internal/minic"
+	"databreak/internal/monitor"
+	"databreak/internal/patch"
+	"databreak/internal/workload"
+)
+
+// smallProgram builds one real patched program to use as the unit of cache
+// weight in eviction tests (every entry shares the pointer; accounting
+// charges each entry its SizeBytes independently).
+func smallProgram(t *testing.T) *asm.Program {
+	t.Helper()
+	w, ok := workload.ByName("eqntott", 1)
+	if !ok {
+		t.Fatal("eqntott workload missing")
+	}
+	src, err := minic.Compile(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := asm.Parse("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := patch.Apply(patch.Options{Strategy: patch.BitmapInlineRegisters, Monitor: monitor.DefaultConfig}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestArtifactCacheLRUEviction(t *testing.T) {
+	prog := smallProgram(t)
+	size := int64(prog.SizeBytes())
+	if size <= 0 {
+		t.Fatalf("SizeBytes = %d", size)
+	}
+
+	c := NewArtifactCache()
+	c.SetCapBytes(3 * size) // room for exactly three programs
+
+	get := func(i int) {
+		t.Helper()
+		builds := 0
+		_, err := c.do(artifactKey(fmt.Sprintf("src%d", i), "d"), func() (Artifact, error) {
+			builds++
+			return Artifact{Prog: prog}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = builds
+	}
+
+	for i := 0; i < 5; i++ {
+		get(i)
+	}
+	st := c.Stats()
+	if st.Evictions != 2 {
+		t.Fatalf("Evictions = %d after 5 inserts at cap 3, want 2", st.Evictions)
+	}
+	if st.Entries != 3 || st.Bytes != 3*size {
+		t.Fatalf("resident = %d entries / %d bytes, want 3 / %d", st.Entries, st.Bytes, 3*size)
+	}
+	if st.CapBytes != 3*size {
+		t.Fatalf("CapBytes = %d, want %d", st.CapBytes, 3*size)
+	}
+
+	// Entries 0 and 1 were evicted; re-requesting 0 is a rebuild (miss).
+	misses := st.Misses
+	get(0)
+	if got := c.Stats().Misses; got != misses+1 {
+		t.Fatalf("re-request of evicted entry: misses %d → %d, want a rebuild", misses, got)
+	}
+
+	// Touching an old entry protects it: access 3, insert a new one; the
+	// victim must be 4 (LRU), not 3.
+	get(3)
+	hits := c.Stats().Hits
+	get(6)
+	get(3)
+	if got := c.Stats().Hits; got != hits+1 {
+		t.Fatal("recently-touched entry was evicted instead of the LRU one")
+	}
+	get(4)
+	if got := c.Stats().Misses; got == misses+1 {
+		t.Fatal("expected entry 4 to have been evicted and rebuilt")
+	}
+}
+
+func TestArtifactCacheOversizedEntrySurvives(t *testing.T) {
+	prog := smallProgram(t)
+	size := int64(prog.SizeBytes())
+
+	c := NewArtifactCache()
+	c.SetCapBytes(size / 2) // smaller than any single program
+
+	key := artifactKey("big", "d")
+	if _, err := c.do(key, func() (Artifact, error) { return Artifact{Prog: prog}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// The MRU entry is never evicted, even over cap: a second request hits.
+	if _, err := c.do(key, func() (Artifact, error) {
+		t.Fatal("oversized entry was evicted and rebuilt")
+		return Artifact{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 resident entry", st)
+	}
+
+	// A second program displaces it (the new MRU survives instead).
+	if _, err := c.do(artifactKey("big2", "d"), func() (Artifact, error) {
+		return Artifact{Prog: prog}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want the older oversized entry evicted", st)
+	}
+}
+
+func TestArtifactCacheUnboundedByDefault(t *testing.T) {
+	prog := smallProgram(t)
+	c := NewArtifactCache()
+	for i := 0; i < 8; i++ {
+		if _, err := c.do(artifactKey(fmt.Sprintf("s%d", i), "d"), func() (Artifact, error) {
+			return Artifact{Prog: prog}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 0 || st.Entries != 8 {
+		t.Fatalf("unbounded cache evicted: %+v", st)
+	}
+}

@@ -74,6 +74,10 @@ type Run struct {
 	Output   string
 	Counters map[string]uint64
 	Cache    cache.Stats
+	// Hits is the monitor-service hit count for runs driven through
+	// execute(); the mrsd load generator compares it against the daemon's
+	// HitTotal. Zero for baseline runs (no service).
+	Hits int64
 }
 
 func (c Config) newMachine() *machine.Machine {
@@ -191,8 +195,9 @@ func (c Config) execute(prog *asm.Program, mcfg monitor.Config, regions [][2]uin
 			return Run{}, err
 		}
 		var run Run
-		err = sess.Do(func(m *machine.Machine, _ *monitor.Service) error {
+		err = sess.Do(func(m *machine.Machine, svc *monitor.Service) error {
 			run = collect(prog, m)
+			run.Hits = svc.HitCount
 			return nil
 		})
 		return run, err
@@ -207,7 +212,9 @@ func (c Config) execute(prog *asm.Program, mcfg monitor.Config, regions [][2]uin
 	if _, err := m.Run(); err != nil {
 		return Run{}, err
 	}
-	return collect(prog, m), nil
+	run := collect(prog, m)
+	run.Hits = svc.HitCount
+	return run, nil
 }
 
 // RunBaseline assembles and runs the unpatched program. Uncached entry

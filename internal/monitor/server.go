@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -22,8 +23,13 @@ import (
 // create/delete, PreMonitor/PostMonitor-style text patching (Do with
 // machine.PatchInstr), and debugger reads all take it. Hit delivery happens
 // while Session.mu is held (the trap fires inside RunFor), so the fan-in
-// queue never blocks: enqueue is O(1) under its own mutex and a pump
-// goroutine drains it to the Hits channel outside all session locks.
+// queue must never deadlock: enqueue is O(1) under its own mutex and a pump
+// goroutine drains it to the Hits channel outside all session locks. With a
+// bounded queue (Options.QueueCap) enqueue may BLOCK when the consumer lags
+// — that stall is the backpressure contract: the producing session pauses
+// mid-slice until the pump frees a slot, throttling execution to the
+// delivery rate instead of growing an unbounded backlog. The pump never
+// takes a session lock, so a blocked producer always drains.
 
 // SessionHit is one monitor hit tagged with the session that produced it.
 type SessionHit struct {
@@ -31,43 +37,76 @@ type SessionHit struct {
 	Hit     Hit
 }
 
-// Server multiplexes monitored-region sessions. Create with NewServer; every
-// method is safe for concurrent use.
+// Options tunes a Server beyond the zero-config NewServer defaults.
+type Options struct {
+	// QueueCap bounds the hit fan-in admission queue. 0 means unbounded
+	// (NewServer's behavior): hits never block a session, an unread backlog
+	// grows without limit. A positive cap applies backpressure: a session
+	// delivering a hit into a full queue blocks (inside its RunFor slice)
+	// until the pump drains a slot.
+	QueueCap int
+	// MaxSessions caps concurrently attached sessions; Attach beyond the
+	// cap fails with ErrServerFull. 0 means unlimited. This is the
+	// admission-control half of the mrsd shard design: placement is decided
+	// upstream, the shard refuses work past its configured capacity rather
+	// than degrading every resident session.
+	MaxSessions int
+}
+
+// ErrServerFull is returned by Attach when Options.MaxSessions is reached.
+var ErrServerFull = fmt.Errorf("monitor: server at session capacity")
+
+// Server multiplexes monitored-region sessions. Create with NewServer or
+// NewServerOpt; every method is safe for concurrent use.
 type Server struct {
 	mu       sync.Mutex
 	sessions map[int]*Session
 	nextID   int
 	closed   bool
+	opts     Options
 
 	q *hitQueue
 	// hits carries the fan-in; closed by the pump after Close drains it.
 	hits chan SessionHit
 	// done releases a pump blocked on an unconsumed hits channel at Close.
 	done chan struct{}
+	// pumpDone is closed when the pump goroutine exits; Close/Shutdown join
+	// it so a stopped server leaves no goroutine behind.
+	pumpDone chan struct{}
 }
 
-// NewServer returns a running server. Call Close when done to stop the hit
-// pump and close the Hits channel.
-func NewServer() *Server {
+// NewServer returns a running server with an unbounded hit queue and no
+// session cap. Call Close (or Shutdown) when done to stop the hit pump and
+// close the Hits channel.
+func NewServer() *Server { return NewServerOpt(Options{}) }
+
+// NewServerOpt returns a running server with the given options.
+func NewServerOpt(opts Options) *Server {
 	srv := &Server{
 		sessions: make(map[int]*Session),
-		q:        newHitQueue(),
+		opts:     opts,
+		q:        newHitQueue(opts.QueueCap),
 		hits:     make(chan SessionHit, 64),
 		done:     make(chan struct{}),
+		pumpDone: make(chan struct{}),
 	}
 	go srv.pump()
 	return srv
 }
 
 // Hits returns the fan-in channel carrying every session's monitor hits.
-// Consuming it is optional: an unread backlog accumulates in an unbounded
-// queue and never blocks any session. The channel closes after Close;
-// hits still unread when Close is called may be dropped.
+// With an unbounded queue consuming it is optional: an unread backlog
+// accumulates and never blocks any session. With Options.QueueCap set, a
+// full queue blocks producing sessions until the consumer catches up. The
+// channel closes after Close; hits still unread when Close is called may be
+// dropped (use Shutdown to drain them first).
 func (srv *Server) Hits() <-chan SessionHit { return srv.hits }
 
-// pump moves hits from the unbounded queue to the channel. Runs outside all
-// session locks, so a slow (or absent) consumer never stalls execution.
+// pump moves hits from the queue to the channel. Runs outside all session
+// locks, so a slow (or absent) consumer never stalls execution beyond the
+// configured queue bound.
 func (srv *Server) pump() {
+	defer close(srv.pumpDone)
 	for {
 		h, ok := srv.q.take()
 		if !ok {
@@ -94,6 +133,9 @@ func (srv *Server) Attach(cfg Config, m *machine.Machine) (*Session, error) {
 	if srv.closed {
 		return nil, fmt.Errorf("monitor: server is closed")
 	}
+	if srv.opts.MaxSessions > 0 && len(srv.sessions) >= srv.opts.MaxSessions {
+		return nil, ErrServerFull
+	}
 	svc, err := NewService(cfg, m)
 	if err != nil {
 		return nil, err
@@ -102,7 +144,9 @@ func (srv *Server) Attach(cfg Config, m *machine.Machine) (*Session, error) {
 	s := &Session{id: srv.nextID, srv: srv, m: m, svc: svc}
 	svc.OnHit = func(h Hit) {
 		// Called under Session.mu (traps fire inside RunFor/Do); enqueue
-		// only, so delivery cannot deadlock against control operations.
+		// never takes another session's lock, so delivery cannot deadlock
+		// against control operations — though with a bounded queue it may
+		// block here until the pump drains a slot (backpressure).
 		srv.q.put(SessionHit{Session: s.id, Hit: h})
 	}
 	srv.sessions[s.id] = s
@@ -124,12 +168,27 @@ func (srv *Server) SessionCount() int {
 }
 
 // Close detaches every live session, stops the hit pump, and closes the
-// Hits channel (after draining queued hits). Idempotent.
-func (srv *Server) Close() {
+// Hits channel. Queued hits drain to a present consumer on a best-effort
+// basis; with no consumer they are dropped. Idempotent (a second call waits
+// for the first to finish tearing down, then returns).
+func (srv *Server) Close() { srv.shutdown(nil) }
+
+// Shutdown is the graceful form of Close: it stops admitting sessions,
+// detaches every live session (in-flight Run calls return a detached error
+// at their next slice boundary), then WAITS — until ctx expires — for the
+// hit queue to drain to the Hits consumer before closing the channel. With
+// a consumer reading Hits until it closes, no queued hit is lost. Returns
+// ctx.Err() if the drain deadline passed with hits still queued (they are
+// then dropped, matching Close).
+func (srv *Server) Shutdown(ctx context.Context) error { return srv.shutdown(ctx) }
+
+func (srv *Server) shutdown(ctx context.Context) error {
 	srv.mu.Lock()
 	if srv.closed {
 		srv.mu.Unlock()
-		return
+		// Second caller: wait for the first teardown to finish.
+		<-srv.pumpDone
+		return nil
 	}
 	srv.closed = true
 	live := make([]*Session, 0, len(srv.sessions))
@@ -137,14 +196,29 @@ func (srv *Server) Close() {
 		live = append(live, s)
 	}
 	srv.mu.Unlock()
+	// Lift the queue bound first: a session blocked delivering a hit into a
+	// full queue holds its Session.mu, and Detach below needs that lock.
+	// Draining mode turns blocked puts into plain appends so every producer
+	// makes progress to its next slice boundary and observes the detach.
+	srv.q.drainMode()
 	// Detach outside srv.mu: teardown takes Session.mu, and the lock order
 	// is Server.mu > Session.mu only for nested acquisition on the attach
 	// path; holding both here is unnecessary.
 	for _, s := range live {
 		s.Detach()
 	}
+	var err error
+	if ctx != nil {
+		select {
+		case <-srv.q.emptied():
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
 	srv.q.close()
 	close(srv.done)
+	<-srv.pumpDone
+	return err
 }
 
 func (srv *Server) drop(id int) {
@@ -246,23 +320,36 @@ func (s *Session) Detach() {
 	s.srv.drop(s.id)
 }
 
-// hitQueue is an unbounded MPSC queue: sessions enqueue under their own
-// mutexes; the server's pump goroutine is the single consumer.
+// hitQueue is an MPSC queue — unbounded by default, bounded with
+// backpressure when cap > 0: sessions enqueue under their own mutexes (and
+// block when the bound is hit); the server's pump goroutine is the single
+// consumer.
 type hitQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []SessionHit
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []SessionHit
+	cap      int // 0 = unbounded
+	draining bool
+	closed   bool
 }
 
-func newHitQueue() *hitQueue {
-	q := &hitQueue{}
+func newHitQueue(capacity int) *hitQueue {
+	q := &hitQueue{cap: capacity}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
+// put enqueues a hit, blocking while a bounded queue is full. After close,
+// hits are silently dropped (the session is being torn down).
 func (q *hitQueue) put(h SessionHit) {
 	q.mu.Lock()
+	for q.cap > 0 && len(q.items) >= q.cap && !q.closed && !q.draining {
+		q.cond.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
 	q.items = append(q.items, h)
 	q.mu.Unlock()
 	q.cond.Signal()
@@ -271,16 +358,44 @@ func (q *hitQueue) put(h SessionHit) {
 // take blocks until an item or close; ok=false means closed and drained.
 func (q *hitQueue) take() (SessionHit, bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if len(q.items) == 0 {
+		q.mu.Unlock()
 		return SessionHit{}, false
 	}
 	h := q.items[0]
 	q.items = q.items[1:]
+	q.mu.Unlock()
+	// Wake a producer blocked on the bound, or an emptied() waiter.
+	q.cond.Broadcast()
 	return h, true
+}
+
+// drainMode lifts the capacity bound, releasing producers blocked in put so
+// shutdown can take their session locks.
+func (q *hitQueue) drainMode() {
+	q.mu.Lock()
+	q.draining = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// emptied returns a channel closed once the queue has fully drained (or was
+// closed). Used by Shutdown to wait for the pump to hand every queued hit
+// to the consumer.
+func (q *hitQueue) emptied() <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		q.mu.Lock()
+		for len(q.items) > 0 && !q.closed {
+			q.cond.Wait()
+		}
+		q.mu.Unlock()
+		close(ch)
+	}()
+	return ch
 }
 
 func (q *hitQueue) close() {

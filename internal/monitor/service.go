@@ -50,6 +50,13 @@ type Service struct {
 
 	// Hits accumulates every monitor hit (also delivered to OnHit).
 	Hits []Hit
+	// NoHitLog suppresses the Hits accumulation (OnHit still fires). Long
+	// daemon-hosted runs over hot regions produce millions of hits; callers
+	// that stream them elsewhere set this so the Service holds no backlog.
+	NoHitLog bool
+	// HitCount counts every hit regardless of NoHitLog — the producer-side
+	// total a streaming consumer can reconcile its deliveries against.
+	HitCount int64
 	// OnHit, when non-nil, observes each hit as it happens.
 	OnHit func(h Hit)
 	// DisabledOverride forces the disabled flag (%g6) on regardless of
@@ -83,14 +90,20 @@ func NewService(cfg Config, m *machine.Machine) (*Service, error) {
 	}
 	m.OnMonHit = func(addr uint32, size int32) {
 		h := Hit{Addr: addr, Size: size, PC: m.PC(), Instrs: m.Instrs()}
-		s.Hits = append(s.Hits, h)
+		s.HitCount++
+		if !s.NoHitLog {
+			s.Hits = append(s.Hits, h)
+		}
 		if s.OnHit != nil {
 			s.OnHit(h)
 		}
 	}
 	m.OnMonRead = func(addr uint32, size int32) {
 		h := Hit{Addr: addr, Size: size, Read: true, PC: m.PC(), Instrs: m.Instrs()}
-		s.Hits = append(s.Hits, h)
+		s.HitCount++
+		if !s.NoHitLog {
+			s.Hits = append(s.Hits, h)
+		}
 		if s.OnHit != nil {
 			s.OnHit(h)
 		}

@@ -1,0 +1,105 @@
+// Package mrsnet is the wire layer of the mrsd session daemon: a
+// length-prefixed JSON frame protocol carrying the monitored-region-service
+// lifecycle (attach, region create/delete, run, patch, detach) plus the
+// asynchronous, batched delivery of watchpoint hits back to the client.
+//
+// The transport is any net.Conn — TCP for the daemon proper, net.Pipe for
+// in-process tests and the bench load generator's zero-network mode. Framing
+// is deliberately dumb: a 4-byte big-endian payload length followed by one
+// JSON object. Dumb framing is what makes the codec provable: ReadFrame can
+// be fuzzed against arbitrary byte streams (truncated, oversized, garbage)
+// and must return an error, never panic and never over-read.
+package mrsnet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a frame payload. Large enough for a hit batch or a run
+// result carrying a workload's full output; small enough that a hostile or
+// corrupt length prefix cannot make the reader allocate unbounded memory.
+const MaxFrame = 1 << 20
+
+// frameHdrLen is the length prefix size.
+const frameHdrLen = 4
+
+// WriteFrame writes one frame: a 4-byte big-endian length then the payload.
+// Payloads must be non-empty (a frame always carries a JSON object) and at
+// most MaxFrame bytes.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("mrsnet: empty frame payload")
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("mrsnet: frame payload %d bytes exceeds MaxFrame %d", len(payload), MaxFrame)
+	}
+	var hdr [frameHdrLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame payload, reusing buf's capacity when possible.
+// It returns io.EOF only on a clean boundary (no bytes read); a frame cut
+// short mid-header or mid-payload is io.ErrUnexpectedEOF. Oversized and
+// zero-length prefixes are errors before any payload byte is read.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err // clean EOF stays io.EOF
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("mrsnet: zero-length frame")
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("mrsnet: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeMsg marshals m and writes it as one frame. Callers serialize writes
+// per connection themselves.
+func writeMsg(w io.Writer, m *Msg) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, payload)
+}
+
+// readMsg reads one frame and unmarshals it into m (zeroed first). Garbage
+// payloads — non-JSON bytes, wrong JSON shape — are errors, never panics.
+func readMsg(r io.Reader, buf []byte, m *Msg) ([]byte, error) {
+	buf, err := ReadFrame(r, buf)
+	if err != nil {
+		return buf, err
+	}
+	*m = Msg{}
+	if err := json.Unmarshal(buf, m); err != nil {
+		return buf, fmt.Errorf("mrsnet: bad frame payload: %w", err)
+	}
+	return buf, nil
+}
