@@ -42,7 +42,9 @@ func run() error {
 	maxSessions := flag.Int("max-sessions", 0, "session cap per shard (0 = unlimited)")
 	batch := flag.Int("batch", 0, "default hit-coalescing batch size (0 = 64; 1 = one frame per hit)")
 	flush := flag.Duration("flush", 0, "hit batch flush deadline (0 = 500µs)")
-	engine := flag.String("engine", "trace", "execution engine: step, block, or trace (counts are engine-independent)")
+	engine := flag.String("engine", "trace", "execution engine: step, block, trace, or closure (counts are engine-independent)")
+	hotThreshold := flag.Int("hot-threshold", 0, "dispatches before a block head compiles a trace (0 = machine default 64)")
+	brProfMin := flag.Int("brprof-min", 0, "branch-site executions before the edge profile beats static prediction (0 = machine default 8)")
 	cacheCap := flag.Int64("artifact-cache-cap", 128<<20, "artifact cache size bound in bytes (0 = unbounded)")
 	verbose := flag.Bool("v", false, "log session lifecycle events")
 	flag.Parse()
@@ -53,6 +55,8 @@ func run() error {
 		return err
 	}
 	cfg.Engine = eng
+	cfg.HotThreshold = *hotThreshold
+	cfg.BrProfMin = *brProfMin
 	cfg.Artifacts = bench.NewArtifactCache()
 	cfg.Artifacts.SetCapBytes(*cacheCap)
 

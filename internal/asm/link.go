@@ -297,6 +297,13 @@ func (p *Program) SizeBytes() int {
 	return p.Image().SizeBytes() + len(p.dataSnapshot())
 }
 
+// TraceBytes is the portion of SizeBytes held by the image's compiled trace
+// tier, reported separately (ArtifactStats.TraceBytes) so the cache's
+// retained-bytes number distinguishes program code from trace footprint.
+func (p *Program) TraceBytes() int {
+	return p.Image().TraceBytes()
+}
+
 // Counter returns the machine's value for the named event counter, or zero
 // if the counter does not exist.
 func (p *Program) Counter(m *machine.Machine, name string) uint64 {

@@ -163,11 +163,15 @@ type ArtifactStats struct {
 	RunMisses uint64 `json:"run_misses"`
 	Runs      int    `json:"runs"`
 	// Bytes estimates host memory retained by cached programs (shared
-	// images + data snapshots); CapBytes is the configured bound (0 =
-	// unbounded) and Evictions counts programs dropped to enforce it.
-	Bytes     int64  `json:"bytes"`
-	CapBytes  int64  `json:"cap_bytes,omitempty"`
-	Evictions uint64 `json:"evictions"`
+	// images + data snapshots); TraceBytes is the portion of Bytes held by
+	// compiled trace streams — the part that scales with hot text rather
+	// than program size, broken out so a cap tuned against real footprint
+	// can see what the trace tier costs. CapBytes is the configured bound
+	// (0 = unbounded) and Evictions counts programs dropped to enforce it.
+	Bytes      int64  `json:"bytes"`
+	TraceBytes int64  `json:"trace_bytes"`
+	CapBytes   int64  `json:"cap_bytes,omitempty"`
+	Evictions  uint64 `json:"evictions"`
 }
 
 // Stats reports hit/miss counts and the retained-bytes estimate.
@@ -184,6 +188,7 @@ func (c *ArtifactCache) Stats() ArtifactStats {
 		// once and are counted on the next Stats call.
 		if e.art.Prog != nil {
 			st.Bytes += int64(e.art.Prog.SizeBytes())
+			st.TraceBytes += int64(e.art.Prog.TraceBytes())
 		}
 	}
 	return st

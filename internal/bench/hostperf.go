@@ -44,7 +44,7 @@ func HostPerf(cfg Config, runs int) ([]HostPerfRow, error) {
 	}
 
 	var rows []HostPerfRow
-	for _, e := range []machine.Engine{machine.EngineStep, machine.EngineBlock, machine.EngineTrace} {
+	for _, e := range []machine.Engine{machine.EngineStep, machine.EngineBlock, machine.EngineTrace, machine.EngineClosure} {
 		row := HostPerfRow{Engine: e.String(), Runs: runs}
 		best := time.Duration(0)
 		for i := 0; i < runs; i++ {
@@ -53,6 +53,12 @@ func HostPerf(cfg Config, runs int) ([]HostPerfRow, error) {
 			start := time.Now()
 			m := machine.New(cfg.Cache, cfg.Costs)
 			m.SetEngine(e)
+			if cfg.HotThreshold > 0 {
+				m.SetHotThreshold(cfg.HotThreshold)
+			}
+			if cfg.BrProfMin > 0 {
+				m.SetBrProfMin(cfg.BrProfMin)
+			}
 			prog.Load(m)
 			if _, err := m.Run(); err != nil {
 				return nil, fmt.Errorf("hostperf %s: %w", e, err)

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"testing"
+
+	"databreak/internal/machine"
+	"databreak/internal/workload"
+)
+
+// TestEngineRoundTripAllWorkloads is the workload-scale engine-switching
+// differential: every benchmark program runs once serially under the
+// reference step engine, then again sliced by RunFor with SetEngine rotating
+// through all four engines between slices. The sliced run crosses engine
+// boundaries dozens of times mid-program — compiled traces and closures are
+// entered, abandoned for the block or step engine, and re-entered — and the
+// final cycles, instructions, exit code, and output must be bit-identical to
+// the uninterrupted reference. Run under -race this also exercises the
+// per-engine caches' construction on a machine shared across slices.
+func TestEngineRoundTripAllWorkloads(t *testing.T) {
+	engines := []machine.Engine{
+		machine.EngineStep, machine.EngineBlock,
+		machine.EngineTrace, machine.EngineClosure,
+	}
+	cfg := DefaultConfig()
+	for _, p := range workload.All(1) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			u, err := Compile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := cfg.baselineProgram(p.Source, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ref := machine.New(cfg.Cache, cfg.Costs)
+			ref.SetEngine(machine.EngineStep)
+			prog.LoadShared(ref)
+			refCode, err := ref.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Slice so the run rotates through each engine many times; the
+			// floor keeps tiny programs from degenerating to per-instruction
+			// slices (that differential lives in the machine package).
+			slice := ref.Instrs() / 48
+			if slice < 500 {
+				slice = 500
+			}
+
+			m := machine.New(cfg.Cache, cfg.Costs)
+			prog.LoadShared(m)
+			var code int32
+			for i := 0; ; i++ {
+				m.SetEngine(engines[i%len(engines)])
+				c, halted, err := m.RunFor(slice)
+				if err != nil {
+					t.Fatalf("slice %d (%s): %v", i, engines[i%len(engines)], err)
+				}
+				if halted {
+					code = c
+					break
+				}
+			}
+
+			if code != refCode {
+				t.Errorf("exit code %d, reference %d", code, refCode)
+			}
+			if m.Cycles() != ref.Cycles() || m.Instrs() != ref.Instrs() {
+				t.Errorf("sliced counts %d cycles / %d instrs, reference %d / %d",
+					m.Cycles(), m.Instrs(), ref.Cycles(), ref.Instrs())
+			}
+			if m.Output() != ref.Output() {
+				t.Errorf("output diverged:\nsliced:    %q\nreference: %q", m.Output(), ref.Output())
+			}
+		})
+	}
+}

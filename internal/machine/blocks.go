@@ -350,7 +350,23 @@ dispatch:
 		// (private text only; image traces were compiled eagerly).
 		if ts := m.traces; ts != nil {
 			if tr := ts[pc]; tr != nil {
-				if m.MaxInstrs-m.instrs >= tr.passInstrs {
+				if cs := m.cls; cs != nil {
+					// Closure tier (closure.go): thread the trace on first
+					// dispatch, then run the threaded form.
+					cp := cs[pc]
+					if cp == nil {
+						cp = m.compileClosures(tr)
+						cs[pc] = cp
+					}
+					if m.MaxInstrs-m.instrs >= cp.passInstrs {
+						var err error
+						curILine, curDLine, ihits, err = m.execClosures(cp, shift, imask, curILine, curDLine, ihits)
+						if err != nil {
+							return err
+						}
+						continue
+					}
+				} else if m.MaxInstrs-m.instrs >= tr.passInstrs {
 					var err error
 					curILine, curDLine, ihits, err = m.execTrace(tr, shift, imask, curILine, curDLine, ihits)
 					if err != nil {

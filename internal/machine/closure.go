@@ -1,0 +1,1425 @@
+// Closure-compiled (threaded-code) execution tier.
+//
+// The trace tier (trace.go) already stitches superblocks, fuses pairs, and
+// skips known-hit cache probes, but execTrace still pays, per trace-op: the
+// three-way known-hit ifetch check, a per-op batched-hit increment, per-op
+// static-cycle accumulation, memory round-trips through m.ccb for every
+// condition-code def/use, and a counter-redo dispatch in the switch default.
+// This tier compiles each traceProg one step further: ONE closure per trace,
+// whose body is a loop over items that map 1:1 onto trace-ops but carry
+// their accounting pre-resolved — the fetch check collapses to a two-bit
+// dispatch code, known-hit fetches and static cycles collapse to per-batch
+// prefix sums settled in one addition at each control op, the condition
+// codes live in a closure-local byte, and counted ops become (rare)
+// dedicated counter items so the hot dispatch never sees them. Control
+// transfers are evaluated inline; the trace back-edge is a pointer reset,
+// not a dispatch. Per-pass hot state (both line trackers, hit/cycle
+// accumulators, the CC byte) stays in locals and spills to the shared cst
+// only at trace exits, faults, and StoreHook boundaries. Trace-to-trace
+// linking is a tail-dispatch: the exiting closure hands the trampoline
+// (execClosures) the next trace's entry closure, threading it on demand, so
+// chained traces run without a block-dispatcher round-trip.
+//
+// Measured dead ends worth recording, all on BenchmarkRunWorkload against
+// execTrace's ~5.5-6ms/op: one-closure-per-µop threading — the classic
+// threaded-code shape — lands at ~9.9ms (an indirect call, frame setup, and
+// spilled hot state per op cost more than a predicted jump-table branch);
+// one-closure-per-RUN with control ops as separate closures lands at ~10.1ms
+// (at this workload's ~3.4-instruction runs it still pays an indirect call
+// round-trip per handful of ops, and every closure boundary forces hot state
+// through memory); and a first cut of the single-closure shape that exploded
+// fused pairs into separate items and emitted explicit per-run fetch items
+// lands at ~14.5ms — item count per retired instruction, not arithmetic, is
+// what the loop's cost tracks, so the item stream must stay as dense as the
+// trace-op stream it replaces.
+//
+// Two codegen hazards dominate the remaining tuning and are easy to
+// reintroduce silently:
+//
+//  1. The inliner's big-function demotion. A function over the compiler's
+//     node budget is "considered 'big'" (visible under -gcflags=-m=2) and
+//     has its per-callee inlining budget cut to a fraction — at which point
+//     cache.Access and the cc-bit packers become real calls inside the hot
+//     loop, and with no callee-saved registers in the Go ABI each call
+//     spills the loop's whole hoisted state. run() stays under the budget
+//     by construction: cold case bodies live in noinline helpers (winPush/
+//     winPop/hookTail/fault/stop/exitNext), the eight side-exit sites share
+//     one `goto hop` tail, and exit-only accounting lookups hide inside the
+//     noinline callees. Any edit that grows run() should re-check -m=2.
+//  2. Item footprint. ritem is exactly 32 bytes — two per cache line, never
+//     straddling — with exit-only fields split into the parallel rcold
+//     array and control items' settle pair packed into their unused imm2.
+//     The dispatch loop streams items, so bytes per item is a first-order
+//     cost (the 48-byte predecessor measured ~3% slower end to end).
+//
+// Batched-fetch accounting, the part that needs a proof: after any fetch the
+// I-line tracker is live, and only a data access that aliases the I-line (or
+// a store hook) can kill it — both sites repair the tracker eagerly,
+// performing the next precounted fetch's probe at the kill site (the
+// intervening work touches no cache state, so the probe order matches
+// execTrace exactly; the repair target is precomputed, and a line-crossing
+// or control fetch bounds the scan because those probe dynamically anyway).
+// Every same-line (nl-clear) body fetch is therefore a guaranteed hit
+// counted at compile time into per-item prefix sums (hb), settled with ONE
+// addition at each control op and corrected by an `adj` register on the
+// rare kill/hook paths. A control op's own fetch never precounts (it may
+// exit the trace with the batch unsettled); it keeps the compile-time proof
+// as a "tracker live => hit" fast path, and its probe re-establishes the
+// tracker for the next batch.
+//
+// The proof obligation is unchanged: simulated instruction counts, cycles,
+// cache statistics, event counters, and fault points bit-identical to Step.
+// Patch safety reuses the trace tier's contract verbatim: spans + textGen (a
+// hooked store that patches text exits at the store boundary), and COW
+// privatization drops this machine's closures only (invalidateTraces nils
+// cls alongside traces; syncTraceState rebuilds both slices).
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+
+	"databreak/internal/cache"
+	"databreak/internal/sparc"
+)
+
+// cfn is one threaded closure: execute (up to) a whole trace, return the
+// next trace's closure (nil to return control to the dispatcher — s.npc and
+// s.err say why). The hot per-pass state — both line trackers, the batched
+// ifetch hits, and the CC byte — threads THROUGH the trampoline as explicit
+// arguments and results: under Go's register ABI it rides in registers
+// across every trace-to-trace link, where an earlier cst-resident version
+// paid a spill in every exit and a reload in every prologue (~30k hops per
+// eqntott run made that the single largest line item in the profile).
+type cfn func(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8) (cfn, uint32, uint32, uint64, uint8)
+
+// closProg is the compiled closure form of one traceProg. Per machine, and
+// dropped wholesale (never mutated) on invalidation.
+type closProg struct {
+	entry      cfn
+	items      []ritem // compiled item stream, 1:1 with tr.ops
+	cold       []rcold // exit-only accounting, 1:1 with items
+	head       int32   // trace entry text index
+	passInstrs int64   // one full pass's simulated instructions
+	// cost constants resolved at compile time, so run() never touches costs
+	shift                   uint32
+	taken, div, spill, memx int64
+}
+
+// cst is the spill area of one execClosures call (the Machine's reusable
+// scratch, so dispatch never allocates). The register-threaded hot state
+// never touches it; everything here is read/written only on slow paths,
+// commits, and exits.
+type cst struct {
+	m     *Machine
+	cls   []*closProg
+	imask uint32
+	gen   uint32 // textGen at entry; a mismatch after a hooked store exits
+	drh   uint64 // batched known-hit data reads
+	dwh   uint64 // batched known-hit data writes
+	base  int64  // costs.Base + PerInstrPenalty
+	inst  int64  // instructions committed this call
+	cycs  int64  // cycles committed this call
+	rem   int64  // remaining MaxInstrs budget
+	npc   int32  // exit pc handed back to the dispatcher
+	err   error
+}
+
+// ritem is one trace-op with its accounting pre-resolved. The stream maps
+// 1:1 onto tr.ops (fused pairs stay fused — dispatch density is what the
+// loop's cost tracks) except that counted ops are preceded by a synthetic
+// cCount item, keeping the counter test off the hot path entirely.
+//
+// The struct is exactly 32 bytes — half a cache line, so a streamed item
+// never straddles two lines — and holds only what the loop touches between
+// settles. Exit-only accounting (a memory item's batch prefix and retired
+// count, read on faults and patch exits) lives in the parallel rcold array;
+// a control item packs the same pair into its unused imm2 (see finish), and
+// fetch addresses are derived from fpc (TextBase + fpc<<2) at probe sites.
+type ritem struct {
+	kind topOp
+	// f bits 0-1 dispatch this item's first ifetch:
+	//   0 = precounted into the batch (nl-clear body op: guaranteed hit);
+	//   1 = fast two-way (nl-clear control op: tracker live => hit, else
+	//       probe — never precounted because the op may exit the trace);
+	//   2 = full two-way line compare (the trace's first op: tracker state
+	//       at entry is dynamic);
+	//   3 = unconditional probe (line-crossing: a live tracker holds the
+	//       previous fetch's line, which a crossing line can never match).
+	// f bit 2: the fused second fetch crosses a line (probe); clear on a
+	// fused op means the second fetch is precounted (body) or a direct
+	// guaranteed hit (compare-and-branch).
+	f    uint8
+	rd   uint8 // destination (source for stores)
+	rs1  uint8
+	s2r  uint8 // operand-2 register (%g0 slot for immediate forms)
+	rd2  uint8 // fused second half's operands
+	rs1b uint8
+	s2rb uint8
+	cm   uint16 // control: branch condition mask
+	// hb: precounted fetches earned through this item's FIRST fetch since
+	// the last settle (a fused op's second precounted fetch lands in the
+	// next item's hb); on a control item, the full batch to settle.
+	hb  uint16
+	imm int32
+	// imm2: fused second half's immediate. Control items have no second
+	// immediate, so finish() packs their settle pair here instead:
+	// bits 0-15 the batch's static-cycle total, bits 16-30 the pass
+	// instructions retired through the op's first instr (niW). Read via
+	// ctlCyc/ctlNi; both fit 15 bits because maxBlockLen caps a trace.
+	imm2 int32
+	line uint32 // own first fetch's line
+	// rx: memory item — the ifetch ADDRESS of the next precounted
+	// first-fetch after this item, for eager kill repair (0 = none; its
+	// line is rx>>shift; a fused op's own second fetch is repaired in-case
+	// from the derived ia+4); control item — the link-target TEXT INDEX of
+	// the exiting path, reinterpreted as int32.
+	rx  uint32
+	fpc int32 // this instruction's text index (probe address / fault / exit)
+}
+
+// rcold is the exit-only half of a memory item: the batch's static-cycle
+// prefix (cycB) and the pass instructions retired through the op's first
+// instr (niW), read only on faults and store-boundary patch exits. Kept out
+// of ritem so the hot stream stays at 32 bytes; indexed 1:1 with items.
+type rcold struct {
+	cycB int32
+	niW  int32
+}
+
+// ctlCyc and ctlNi unpack a control item's settle pair from imm2.
+func ctlCyc(it *ritem) int64 { return int64(it.imm2 & 0xffff) }
+func ctlNi(it *ritem) int64  { return int64(it.imm2 >> 16) }
+
+// itemIdx recovers an item's index from its pointer — cold-path glue for
+// rcold lookups, kept as pointer math so the loop needs no index variable.
+func itemIdx(items []ritem, it *ritem) int {
+	return int((uintptr(unsafe.Pointer(it)) - uintptr(unsafe.Pointer(&items[0]))) / unsafe.Sizeof(ritem{}))
+}
+
+// ClosureBytes reports the host memory held by this machine's compiled
+// closure tier (item streams, cold arrays, headers). Closures are always
+// per-machine — never shared through an Image — so this is the per-machine
+// half of the footprint split that Image.TraceBytes reports for the shared
+// trace tier.
+func (m *Machine) ClosureBytes() int {
+	n := len(m.cls) * int(unsafe.Sizeof((*closProg)(nil)))
+	for _, cp := range m.cls {
+		if cp != nil {
+			n += int(unsafe.Sizeof(closProg{})) +
+				len(cp.items)*int(unsafe.Sizeof(ritem{})) +
+				len(cp.cold)*int(unsafe.Sizeof(rcold{}))
+		}
+	}
+	return n
+}
+
+// cCount is the synthetic counter-bump item kind; imm is the counter index.
+// Placed before its op — both effects are pure counters invisible until the
+// next flush, where both have completed (v. the trace tier's redo dispatch).
+const cCount = tOrSub + 1
+
+// fetchSlowV is the full-probe ifetch path for second (fused) fetches and
+// hook repairs, value-threaded so the hoisted trackers stay in registers at
+// the call site. Returns the new I-line, the (possibly alias-killed)
+// D-line, and the cycle charge.
+//
+//go:noinline
+func fetchSlowV(m *Machine, line, iaddr, curDL, imask uint32) (uint32, uint32, int64) {
+	cyc := int64(0)
+	if !m.cache.Access(iaddr, cache.IFetch) {
+		cyc = m.costs.MissPenalty
+	}
+	if (line^curDL)&imask == 0 {
+		curDL = noLine
+	}
+	return line, curDL, cyc
+}
+
+// dataSlowV is a memory item's full-probe data access (the known-hit fast
+// path inlines into the loop: a line compare and a local increment). It
+// eagerly repairs the I-line tracker when the access aliases it: the next
+// precounted fetch (address ria, line ria>>shift) is probed at the kill
+// site — nothing between them touches cache state, so the probe order
+// matches execTrace exactly — and the returned conv (-1) records the
+// hit-to-probe conversion for the next settle.
+//
+//go:noinline
+func dataSlowV(m *Machine, ea uint32, kind cache.Kind, line, curIL, curDL, imask, ria, shift uint32) (uint32, uint32, int64, int64) {
+	cyc, conv := int64(0), int64(0)
+	if !m.cache.Access(ea, kind) {
+		cyc = m.costs.MissPenalty
+	}
+	kill := curIL != noLine && (line^curIL)&imask == 0
+	curDL = line
+	if kill {
+		curIL = noLine
+		if ria != 0 {
+			rline := ria >> shift
+			if !m.cache.Access(ria, cache.IFetch) {
+				cyc += m.costs.MissPenalty
+			}
+			if (rline^curDL)&imask == 0 {
+				curDL = noLine
+			}
+			curIL = rline
+			conv = -1
+		}
+	}
+	return curIL, curDL, cyc, conv
+}
+
+// stop commits n instructions (cyc dynamic cycles plus the folded base) and
+// returns control to the dispatcher at npc — budget exhaustion and
+// store-boundary patch exits.
+//
+//go:noinline
+func (s *cst) stop(curIL, curDL uint32, ihits uint64, ccb uint8, cyc, n int64, npc int32) (cfn, uint32, uint32, uint64, uint8) {
+	s.inst += n
+	s.cycs += cyc + s.base*n
+	s.rem -= n
+	s.npc = npc
+	return nil, curIL, curDL, ihits, ccb
+}
+
+// exitNext is the cold tail of a trace side exit: commit n instructions and
+// resolve the next-closure pointer registered at npc (threading it on demand)
+// when a full pass fits the remaining budget. The caller hops to the returned
+// trace in-function — the whole point of the closure tier: a linked exit is a
+// pointer swap and a branch, never a call-frame round-trip. A nil return
+// hands control back to the dispatcher at npc.
+//
+//go:noinline
+func (s *cst) exitNext(cyc, n int64, npc int32) *closProg {
+	s.inst += n
+	s.cycs += cyc + s.base*n
+	s.rem -= n
+	if uint32(npc) < uint32(len(s.cls)) {
+		next := s.cls[npc]
+		if next == nil {
+			if tr := s.m.traces[npc]; tr != nil {
+				next = s.m.compileClosures(tr)
+				s.cls[npc] = next
+			}
+		}
+		if next != nil && s.rem >= next.passInstrs {
+			return next
+		}
+	}
+	s.npc = npc
+	return nil
+}
+
+// hookFlush drains exact statistics — and the machine-visible CC byte — for
+// a StoreHook observer, then runs the hook. The caller zeroes its local
+// hit count and kills both trackers (the hook may invalidate any line).
+//
+//go:noinline
+func (s *cst) hookFlush(ihits uint64, ccb uint8, ea uint32, size int32) int64 {
+	s.m.ccb = ccb
+	c := s.m.cache
+	c.NoteHits(cache.IFetch, ihits)
+	if s.drh != 0 {
+		c.NoteHits(cache.DRead, s.drh)
+		s.drh = 0
+	}
+	if s.dwh != 0 {
+		c.NoteHits(cache.DWrite, s.dwh)
+		s.dwh = 0
+	}
+	return s.m.StoreHook(ea, size)
+}
+
+// fault commits a fault at the item's text index (cyc arrives as the
+// faulting pass's dynamic charges through the faulting instruction — its
+// fetch and any dynamic cost charged, nothing past it; the item's static
+// batch prefix and retired count come from the cold array here, with dN/dPc
+// adjusting for a fused op's second half) and stops the trampoline with the
+// Fault. ihits arrives with the earned batch hits folded in and is flushed
+// here (the returned batch is empty); the flushed statistics and error
+// values match execTrace's traceFault bit for bit.
+//
+//go:noinline
+func (s *cst) fault(curIL, curDL uint32, ihits uint64, ccb uint8, cyc int64, cp *closProg, items []ritem, it *ritem, dN, dPc int32, format string, args ...any) (cfn, uint32, uint32, uint64, uint8) {
+	cd := &cp.cold[itemIdx(items, it)]
+	n := int64(cd.niW + dN)
+	pc := it.fpc + dPc
+	s.m.cache.NoteHits(cache.IFetch, ihits)
+	s.inst += n
+	s.cycs += cyc + int64(cd.cycB) + s.base*n
+	s.rem -= n
+	s.npc = pc
+	s.err = &Fault{PC: pc, Instr: s.m.text[pc], Reason: fmt.Sprintf(format, args...)}
+	return nil, curIL, curDL, 0, ccb
+}
+
+// ccAddBits/ccSubBits/ccLogicBits compute the packed condition codes the
+// machine's setCC* helpers write, but return them so closures can keep the
+// CC byte hoisted in a local.
+func ccAddBits(a, b, r int32) uint8 {
+	var bits uint8
+	if r < 0 {
+		bits = ccN
+	}
+	if r == 0 {
+		bits |= ccZ
+	}
+	if (a >= 0 && b >= 0 && r < 0) || (a < 0 && b < 0 && r >= 0) {
+		bits |= ccV
+	}
+	if uint32(r) < uint32(a) {
+		bits |= ccC
+	}
+	return bits
+}
+
+func ccSubBits(a, b, r int32) uint8 {
+	var bits uint8
+	if r < 0 {
+		bits = ccN
+	}
+	if r == 0 {
+		bits |= ccZ
+	}
+	if (a >= 0 && b < 0 && r < 0) || (a < 0 && b >= 0 && r >= 0) {
+		bits |= ccV
+	}
+	if uint32(a) < uint32(b) {
+		bits |= ccC
+	}
+	return bits
+}
+
+func ccLogicBits(r int32) uint8 {
+	var bits uint8
+	if r < 0 {
+		bits = ccN
+	}
+	if r == 0 {
+		bits |= ccZ
+	}
+	return bits
+}
+
+// cb is the closure compiler's per-trace context.
+type cb struct {
+	m     *Machine
+	regs  *[256]int32
+	tr    *traceProg
+	shift uint32
+	taken int64
+	mul   int64
+	div   int64
+	spill int64
+	memx  int64
+}
+
+// isCtlOp reports whether a trace-op is a control transfer (settles the
+// batch; its own fetch never precounts).
+func isCtlOp(op topOp) bool {
+	switch op {
+	case tEnd, tBr, tBrT, tBrLoop, tBA, tBALoop, tJmpl, tCmpBr, tCmpBrT, tCmpBrLoop:
+		return true
+	}
+	return false
+}
+
+// compileClosures compiles tr into its single-closure form for machine m.
+func (m *Machine) compileClosures(tr *traceProg) *closProg {
+	cp := &closProg{head: tr.entry, passInstrs: tr.passInstrs}
+	b := &cb{
+		m:     m,
+		regs:  &m.regs,
+		tr:    tr,
+		shift: tr.shift,
+		taken: m.costs.TakenBranch,
+		mul:   m.costs.Mul,
+		div:   m.costs.Div,
+		spill: m.costs.WindowSpill,
+		memx:  m.costs.MemExtra,
+	}
+
+	items := make([]ritem, 0, len(tr.ops)+4)
+	cold := make([]rcold, 0, len(tr.ops)+4)
+	for i := range tr.ops {
+		u := &tr.ops[i]
+		items, cold = b.appendItem(items, cold, u, len(items) == 0)
+		if u.op&^topCount == tEnd {
+			break
+		}
+	}
+	b.finish(items, cold)
+	cp.items = items
+	cp.cold = cold
+	cp.shift = b.shift
+	cp.taken, cp.div, cp.spill, cp.memx = b.taken, b.div, b.spill, b.memx
+	// The entry closure is deliberately a thin thunk: the interpreting loop
+	// lives in the regular method run() so the compiler optimizes it like
+	// execTrace (helper inlining, bounds-check elision, jump-table dispatch) —
+	// the same body compiled as a func literal kept small helpers
+	// (pageCacheIdx, bigEndian.Uint32, the cc-bit packers) as real calls,
+	// and with no callee-saved registers in the Go ABI every such call
+	// spilled the loop's whole hot set around every memory item.
+	cp.entry = func(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8) (cfn, uint32, uint32, uint64, uint8) {
+		return cp.run(m, curIL, curDL, ihits, ccb)
+	}
+	return cp
+}
+
+// appendItem compiles one trace-op into its item (plus a counter item when
+// the op is counted), growing the cold array in lockstep: every item gets an
+// rcold slot; niW lands there and finish() fills cycB (or repacks both into
+// a control item's imm2).
+func (b *cb) appendItem(items []ritem, cold []rcold, u *top, first bool) ([]ritem, []rcold) {
+	op := u.op &^ topCount
+	if u.op&topCount != 0 {
+		// The counter item fetches nothing, so the op after it keeps its
+		// own dispatch code (including the entry compare when first).
+		items = append(items, ritem{kind: cCount, imm: int32(u.cnt) - 1})
+		cold = append(cold, rcold{})
+	}
+	if op == tEnd {
+		// Synthetic tail: settle, commit the whole pass, link to exitPC.
+		items = append(items, ritem{kind: tEnd, rx: uint32(b.tr.exitPC)})
+		cold = append(cold, rcold{niW: int32(b.tr.passInstrs)})
+		return items, cold
+	}
+	it := ritem{
+		kind: op,
+		rd:   u.rd, rs1: u.rs1, s2r: u.s2r,
+		rd2: u.rd2, rs1b: u.rs1b, s2rb: u.s2rb,
+		cm:  condMask[u.cond],
+		imm: u.imm, imm2: u.imm2,
+		line: u.iaddr >> b.shift,
+		fpc:  int32((u.iaddr - TextBase) / 4),
+	}
+	switch {
+	case first:
+		it.f = 2 // entry residency is dynamic: full two-way check
+	case u.nl&1 != 0:
+		it.f = 3 // line-crossing: unconditional probe
+	case isCtlOp(op):
+		it.f = 1 // tracker live => hit; never joins a batch
+	default:
+		it.f = 0 // precounted
+	}
+	if u.nl&2 != 0 {
+		it.f |= 4 // fused second fetch crosses: unconditional probe
+	}
+	switch op {
+	case tCall:
+		it.rd = uint8(sparc.O7)
+		it.imm = int32(u.iaddr) + 4
+	case tBr, tCmpBr:
+		it.rx = uint32(u.tgt)
+	case tBrT, tBrLoop:
+		it.rx = uint32(it.fpc + 1)
+	case tCmpBrT, tCmpBrLoop:
+		it.rx = uint32(it.fpc + 2)
+	}
+	return append(items, it), append(cold, rcold{niW: int32(u.ni) + 1})
+}
+
+// ownStatic is one item's static-cycle contribution to its batch's prefix
+// sums. Div stays a dynamic charge at its (rare) item so the
+// charged-before-the-zero-check contract needs no special case; a branch's
+// taken cost is dynamic by nature (tCall's is static: it always transfers,
+// and its target is stitched into the trace).
+func (b *cb) ownStatic(op topOp) int32 {
+	switch op {
+	case tLd, tLdI, tSt, tStI, tLdSll, tLdOr, tLdCmp, tAddLd, tOrLd, tAddSt, tSubSt:
+		return int32(b.memx)
+	case tLdd, tStd, tLdLd, tLdSt:
+		return 2 * int32(b.memx)
+	case tSMul:
+		return int32(b.mul)
+	case tCall:
+		return int32(b.taken)
+	}
+	return 0
+}
+
+// hasSecondFetch reports whether op is a fused pair (two ifetches).
+func hasSecondFetch(op topOp) bool {
+	switch op {
+	case tSet2, tLdSll, tLdOr, tLdCmp, tSllAdd, tAddLd, tOrLd, tLdLd, tLdSt, tAddSt, tSubSt, tOrAdd, tOrSub:
+		return true
+	}
+	return false
+}
+
+// finish computes the batch bookkeeping over the item stream: per-item
+// precounted-hit and static-cycle prefix sums (a batch runs from one control
+// op to the next — the control settles and resets it), and, for every memory
+// item, the eager repair target: the next precounted first-fetch in
+// instruction order. The scan bounds at any dynamically-fetching item
+// (crossing, entry, control): its own probe re-establishes the tracker, so
+// nothing past it needs repair.
+func (b *cb) finish(items []ritem, cold []rcold) {
+	hb := uint16(0)
+	cyc := int32(0)
+	for i := range items {
+		it := &items[i]
+		if it.kind == cCount {
+			continue
+		}
+		if isCtlOp(it.kind) {
+			// Controls read their settle pair on every execution, so it
+			// rides in the hot item: imm2 (free — no fused second half) is
+			// cycB | niW<<16. maxBlockLen (1024) bounds both well under
+			// their 16/15-bit fields.
+			it.hb = hb
+			it.imm2 = cyc | cold[i].niW<<16
+			hb, cyc = 0, 0
+			continue
+		}
+		if it.f&3 == 0 {
+			hb++
+		}
+		it.hb = hb // through the first fetch: first-half faults charge this
+		if hasSecondFetch(it.kind) && it.f&4 == 0 {
+			hb++
+		}
+		cold[i].cycB = cyc
+		cyc += b.ownStatic(it.kind)
+	}
+	for i := range items {
+		switch items[i].kind {
+		case tLd, tLdI, tLdd, tSt, tStI, tStd, tLdSll, tLdOr, tLdCmp, tAddLd, tOrLd, tLdLd, tLdSt, tAddSt, tSubSt:
+			for j := i + 1; j < len(items); j++ {
+				jt := &items[j]
+				if jt.kind == cCount {
+					continue
+				}
+				if jt.f&3 != 0 || isCtlOp(jt.kind) {
+					break // that fetch probes dynamically itself
+				}
+				items[i].rx = TextBase + uint32(jt.fpc)<<2
+				break
+			}
+		}
+	}
+}
+
+// winPush is tSave's window push — cold relative to the dispatch loop, and
+// kept out of line so run() stays under the inliner's big-function node
+// budget (crossing it demotes every inlinable callee in the hot loop, most
+// damagingly cache.Access, to a real call). Returns the spill charge.
+//
+//go:noinline
+func (m *Machine) winPush(spillC int64) int64 {
+	var parent winRegs
+	parent.o = [8]int32(m.regs[8:16])
+	parent.l = [8]int32(m.regs[16:24])
+	parent.i = [8]int32(m.regs[24:32])
+	m.win = append(m.win, parent)
+	copy(m.regs[24:32], parent.o[:])
+	clear(m.regs[8:24])
+	m.resident++
+	if m.resident > NWindows-1 {
+		m.resident = NWindows - 1
+		return spillC
+	}
+	return 0
+}
+
+// winPop is tRestore's window pop (the caller has already rejected the
+// underflow fault). Out of line for the same node-budget reason as winPush.
+//
+//go:noinline
+func (m *Machine) winPop(spillC int64) int64 {
+	ins := [8]int32(m.regs[24:32])
+	parent := &m.win[len(m.win)-1]
+	copy(m.regs[8:16], ins[:])
+	copy(m.regs[16:24], parent.l[:])
+	copy(m.regs[24:32], parent.i[:])
+	m.win = m.win[:len(m.win)-1]
+	m.resident--
+	if m.resident < 1 {
+		m.resident = 1
+		return spillC
+	}
+	return 0
+}
+
+// hookTail is the post-store half of a hooked store item. On a text patch
+// under the hook it reports exit=true and the caller stops at the store
+// boundary. Otherwise it rebases the batch — pre-hook precounted fetches
+// were flushed, so the next settle's full-batch count must not recount
+// them; ihits wraps negative mod 2^64 here, and every path to a flush
+// first adds a batch prefix that covers the rebase — then re-establishes
+// the next precounted fetch eagerly, exactly as execTrace's next per-op
+// fetch would.
+//
+//go:noinline
+func (s *cst) hookTail(hb uint16, ria, shift uint32, curIL0, curDL0 uint32, ihits0 uint64) (curIL, curDL uint32, ihits uint64, cyc int64, exit bool) {
+	curIL, curDL, ihits = curIL0, curDL0, ihits0
+	if s.m.textGen != s.gen {
+		return curIL, curDL, ihits, 0, true
+	}
+	ihits -= uint64(hb)
+	if ria != 0 {
+		var c int64
+		curIL, curDL, c = fetchSlowV(s.m, ria>>shift, ria, curDL, s.imask)
+		cyc += c
+		ihits--
+	}
+	return curIL, curDL, ihits, cyc, false
+}
+
+// run interprets the trace's compiled item stream — the closure tier's whole
+// hot loop. It keeps the register-threaded state in locals (arguments), and
+// everything rarer (data-hit batches, the adj correction, committed totals)
+// s-resident: a handful of L1 round-trips on slow paths beats spilling the
+// dispatch loop itself.
+func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8) (cfn, uint32, uint32, uint64, uint8) {
+	items := cp.items
+	shift := cp.shift
+	const itemSize = unsafe.Sizeof(ritem{})
+	{
+		var cyc int64
+		// side-exit operands, set before goto hop (one shared exit tail
+		// keeps eight hop sites out of the inliner's node budget)
+		var xCyc, xN int64
+		var xNpc int32
+	pass:
+		for {
+			// Raw-pointer walk: tEnd terminates every trace, and every other
+			// way out is an explicit return/continue, so no bound check.
+			p := unsafe.Pointer(&items[0])
+			for {
+				it := (*ritem)(p)
+				p = unsafe.Add(p, itemSize)
+				// First ifetch, dispatched on the two-bit compile-time code
+				// (0 = precounted: nothing to do here).
+				if k := it.f & 3; k != 0 {
+					if (k == 1 && curIL != noLine) || it.line == curIL {
+						ihits++
+					} else {
+						if !m.cache.Access(TextBase+uint32(it.fpc)<<2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (it.line^curDL)&m.cstate.imask == 0 {
+							curDL = noLine
+						}
+						curIL = it.line
+					}
+				}
+				switch it.kind {
+				case tNop:
+					// fetch only
+
+				case cCount:
+					m.Counters[it.imm]++
+
+				case tAdd:
+					m.regs[it.rd] = m.regs[it.rs1] + m.regs[it.s2r] + it.imm
+				case tAddI:
+					m.regs[it.rd] = m.regs[it.rs1] + it.imm
+				case tSub:
+					m.regs[it.rd] = m.regs[it.rs1] - (m.regs[it.s2r] + it.imm)
+				case tSubI:
+					m.regs[it.rd] = m.regs[it.rs1] - it.imm
+				case tAnd:
+					m.regs[it.rd] = m.regs[it.rs1] & (m.regs[it.s2r] + it.imm)
+				case tAndn:
+					m.regs[it.rd] = m.regs[it.rs1] &^ (m.regs[it.s2r] + it.imm)
+				case tOr:
+					m.regs[it.rd] = m.regs[it.rs1] | (m.regs[it.s2r] + it.imm)
+				case tOrI:
+					m.regs[it.rd] = m.regs[it.rs1] | it.imm
+				case tOrn:
+					m.regs[it.rd] = m.regs[it.rs1] | ^(m.regs[it.s2r] + it.imm)
+				case tXor:
+					m.regs[it.rd] = m.regs[it.rs1] ^ (m.regs[it.s2r] + it.imm)
+				case tXnor:
+					m.regs[it.rd] = ^(m.regs[it.rs1] ^ (m.regs[it.s2r] + it.imm))
+				case tSll:
+					m.regs[it.rd] = m.regs[it.rs1] << (uint32(m.regs[it.s2r]+it.imm) & 31)
+				case tSllI:
+					m.regs[it.rd] = m.regs[it.rs1] << (uint32(it.imm) & 31)
+				case tSrl:
+					m.regs[it.rd] = int32(uint32(m.regs[it.rs1]) >> (uint32(m.regs[it.s2r]+it.imm) & 31))
+				case tSrlI:
+					m.regs[it.rd] = int32(uint32(m.regs[it.rs1]) >> (uint32(it.imm) & 31))
+				case tSra:
+					m.regs[it.rd] = m.regs[it.rs1] >> (uint32(m.regs[it.s2r]+it.imm) & 31)
+				case tSMul:
+					// cycles in the static batch
+					m.regs[it.rd] = m.regs[it.rs1] * (m.regs[it.s2r] + it.imm)
+				case tSDiv:
+					cyc += cp.div // charged before the zero check, as in Step
+					dv := m.regs[it.s2r] + it.imm
+					if dv == 0 {
+						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+							cyc, cp, items, it, 0, 0, "division by zero")
+					}
+					m.regs[it.rd] = m.regs[it.rs1] / dv
+				case tAddcc:
+					a, c := m.regs[it.rs1], m.regs[it.s2r]+it.imm
+					r := a + c
+					ccb = ccAddBits(a, c, r)
+					m.regs[it.rd] = r
+				case tSubcc:
+					a, c := m.regs[it.rs1], m.regs[it.s2r]+it.imm
+					r := a - c
+					ccb = ccSubBits(a, c, r)
+					m.regs[it.rd] = r
+				case tAndcc:
+					r := m.regs[it.rs1] & (m.regs[it.s2r] + it.imm)
+					ccb = ccLogicBits(r)
+					m.regs[it.rd] = r
+				case tAndncc:
+					r := m.regs[it.rs1] &^ (m.regs[it.s2r] + it.imm)
+					ccb = ccLogicBits(r)
+					m.regs[it.rd] = r
+				case tOrcc:
+					r := m.regs[it.rs1] | (m.regs[it.s2r] + it.imm)
+					ccb = ccLogicBits(r)
+					m.regs[it.rd] = r
+				case tXorcc:
+					r := m.regs[it.rs1] ^ (m.regs[it.s2r] + it.imm)
+					ccb = ccLogicBits(r)
+					m.regs[it.rd] = r
+				case tSet:
+					m.regs[it.rd] = it.imm
+				case tCall:
+					m.regs[it.rd] = it.imm // precomputed return address; cp.taken cost is static
+
+				case tLd, tLdI:
+					var ea uint32
+					if it.kind == tLd {
+						ea = uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+					} else {
+						ea = uint32(m.regs[it.rs1] + it.imm)
+					}
+					if ea&3 != 0 {
+						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+							cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
+					}
+					if line := ea >> shift; line == curDL {
+						m.cstate.drh++
+					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+						// Clean D-line change (no I-tracker alias) stays inline: probe
+						// and retarget — the kill-and-repair path is the rare one.
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						curDL = line
+					} else {
+						var c, cv int64
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						cyc += c
+						ihits += uint64(cv)
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					pg := pe.p
+					if pe.base != pb {
+						pg = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+
+				case tLdd:
+					ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+					if ea&7 != 0 {
+						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+							cyc, cp, items, it, 0, 0, "unaligned ldd at %#x", ea)
+					}
+					if line := ea >> shift; line == curDL {
+						m.cstate.drh++
+					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+						// Clean D-line change (no I-tracker alias) stays inline: probe
+						// and retarget — the kill-and-repair path is the rare one.
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						curDL = line
+					} else {
+						var c, cv int64
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						cyc += c
+						ihits += uint64(cv)
+					}
+					m.regs[it.rd] = m.ReadWord(ea)
+					m.regs[it.rd+1] = m.ReadWord(ea + 4)
+
+				case tSt, tStI:
+					var ea uint32
+					if it.kind == tSt {
+						ea = uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+					} else {
+						ea = uint32(m.regs[it.rs1] + it.imm)
+					}
+					if ea&3 != 0 {
+						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+							cyc, cp, items, it, 0, 0, "unaligned store at %#x", ea)
+					}
+					hooked := m.StoreHook != nil
+					if hooked {
+						// Flush exact statistics for the observer, run the
+						// hook, and kill both trackers; the batch rebase (so
+						// the next settle counts only post-hook fetches)
+						// waits for the patch-exit check below, where it is
+						// known the batch will reach a settle.
+						cyc += m.cstate.hookFlush(ihits+uint64(it.hb), ccb, ea, 4)
+						ihits = 0
+						curIL, curDL = noLine, noLine
+					}
+					if line := ea >> shift; line == curDL {
+						m.cstate.dwh++
+					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+						// Clean D-line change (no I-tracker alias) stays inline: probe
+						// and retarget — the kill-and-repair path is the rare one.
+						if !m.cache.Access(ea, cache.DWrite) {
+							cyc += m.costs.MissPenalty
+						}
+						curDL = line
+					} else {
+						var c, cv int64
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						cyc += c
+						ihits += uint64(cv)
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					pg := pe.p
+					if pe.base != pb {
+						pg = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					binary.BigEndian.PutUint32(pg[o:o+4], uint32(m.regs[it.rd]))
+					if hooked {
+						var c int64
+						var ex bool
+						curIL, curDL, ihits, c, ex = m.cstate.hookTail(it.hb, it.rx, shift, curIL, curDL, ihits)
+						cyc += c
+						if ex {
+							cd := &cp.cold[itemIdx(items, it)]
+							return m.cstate.stop(curIL, curDL, ihits, ccb,
+								cyc+int64(cd.cycB)+cp.memx, int64(cd.niW), it.fpc+1)
+						}
+					}
+
+				case tStd:
+					ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+					if ea&7 != 0 {
+						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+							cyc, cp, items, it, 0, 0, "unaligned std at %#x", ea)
+					}
+					hooked := m.StoreHook != nil
+					if hooked {
+						cyc += m.cstate.hookFlush(ihits+uint64(it.hb), ccb, ea, 8)
+						ihits = 0
+						curIL, curDL = noLine, noLine
+					}
+					if line := ea >> shift; line == curDL {
+						m.cstate.dwh++
+					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+						// Clean D-line change (no I-tracker alias) stays inline: probe
+						// and retarget — the kill-and-repair path is the rare one.
+						if !m.cache.Access(ea, cache.DWrite) {
+							cyc += m.costs.MissPenalty
+						}
+						curDL = line
+					} else {
+						var c, cv int64
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						cyc += c
+						ihits += uint64(cv)
+					}
+					m.storeWord(ea, m.regs[it.rd])
+					m.storeWord(ea+4, m.regs[it.rd+1])
+					if hooked {
+						var c int64
+						var ex bool
+						curIL, curDL, ihits, c, ex = m.cstate.hookTail(it.hb, it.rx, shift, curIL, curDL, ihits)
+						cyc += c
+						if ex {
+							cd := &cp.cold[itemIdx(items, it)]
+							return m.cstate.stop(curIL, curDL, ihits, ccb,
+								cyc+int64(cd.cycB)+2*cp.memx, int64(cd.niW), it.fpc+1)
+						}
+					}
+
+				case tSave:
+					// Mirrors Step: operand computed in the caller's window,
+					// destination written in the new one.
+					v := m.regs[it.rs1] + m.regs[it.s2r] + it.imm
+					cyc += m.winPush(cp.spill)
+					m.regs[it.rd] = v
+
+				case tRestore:
+					if len(m.win) < 1 {
+						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+							cyc, cp, items, it, 0, 0, "register window underflow at top frame")
+					}
+					v := m.regs[it.rs1] + m.regs[it.s2r] + it.imm
+					cyc += m.winPop(cp.spill)
+					m.regs[it.rd] = v
+
+				// ---- fused pairs (two instructions, one item) ----
+
+				case tSet2:
+					// sethi half is a fetch-only nop here: the merged
+					// constant commits in the or half, and the intermediate
+					// register value is unobservable inside a trace. The
+					// same-line second fetch is already in the batch.
+					if it.f&4 != 0 {
+						ia2 := TextBase + uint32(it.fpc)<<2 + 4
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						curIL = ia2 >> shift
+						if (curIL^curDL)&m.cstate.imask == 0 {
+							curDL = noLine
+						}
+					}
+					m.regs[it.rd] = it.imm
+
+				case tSllAdd, tOrAdd, tOrSub:
+					if it.kind == tSllAdd {
+						m.regs[it.rd] = m.regs[it.rs1] << (uint32(m.regs[it.s2r]+it.imm) & 31)
+					} else {
+						m.regs[it.rd] = m.regs[it.rs1] | (m.regs[it.s2r] + it.imm)
+					}
+					if it.f&4 != 0 {
+						ia2 := TextBase + uint32(it.fpc)<<2 + 4
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						curIL = ia2 >> shift
+						if (curIL^curDL)&m.cstate.imask == 0 {
+							curDL = noLine
+						}
+					}
+					if it.kind == tOrSub {
+						m.regs[it.rd2] = m.regs[it.rs1b] - (m.regs[it.s2rb] + it.imm2)
+					} else {
+						m.regs[it.rd2] = m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2
+					}
+
+				case tLdSll, tLdOr, tLdCmp:
+					ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+					if ea&3 != 0 {
+						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+							cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
+					}
+					if line := ea >> shift; line == curDL {
+						m.cstate.drh++
+					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+						// Clean D-line change (no I-tracker alias) stays inline: probe
+						// and retarget — the kill-and-repair path is the rare one.
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						curDL = line
+					} else {
+						// Kill repair targets the op's own second fetch when
+						// precounted; a crossing second fetch probes anyway.
+						var ra uint32
+						if it.f&4 == 0 {
+							ra = TextBase + uint32(it.fpc)<<2 + 4
+						}
+						var c, cv int64
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
+						cyc += c
+						ihits += uint64(cv)
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					pg := pe.p
+					if pe.base != pb {
+						pg = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+					if it.f&4 != 0 {
+						ia2 := TextBase + uint32(it.fpc)<<2 + 4
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						curIL = ia2 >> shift
+						if (curIL^curDL)&m.cstate.imask == 0 {
+							curDL = noLine
+						}
+					}
+					switch it.kind {
+					case tLdSll:
+						m.regs[it.rd2] = m.regs[it.rs1b] << (uint32(m.regs[it.s2rb]+it.imm2) & 31)
+					case tLdOr:
+						m.regs[it.rd2] = m.regs[it.rs1b] | (m.regs[it.s2rb] + it.imm2)
+					default: // tLdCmp
+						a, c2 := m.regs[it.rs1b], m.regs[it.s2rb]+it.imm2
+						r := a - c2
+						ccb = ccSubBits(a, c2, r)
+						m.regs[it.rd2] = r
+					}
+
+				case tAddLd, tOrLd, tLdLd:
+					var firstMemx int64
+					if it.kind == tLdLd {
+						firstMemx = cp.memx
+						ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+						if ea&3 != 0 {
+							return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+								cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
+						}
+						if line := ea >> shift; line == curDL {
+							m.cstate.drh++
+						} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+							// Clean D-line change (no I-tracker alias) stays inline: probe
+							// and retarget — the kill-and-repair path is the rare one.
+							if !m.cache.Access(ea, cache.DRead) {
+								cyc += m.costs.MissPenalty
+							}
+							curDL = line
+						} else {
+							var ra uint32
+							if it.f&4 == 0 {
+								ra = TextBase + uint32(it.fpc)<<2 + 4
+							}
+							var c, cv int64
+							curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
+							cyc += c
+							ihits += uint64(cv)
+						}
+						pb := ea &^ (PageBytes - 1)
+						pe := &m.pageCache[pageCacheIdx(ea)]
+						pg := pe.p
+						if pe.base != pb {
+							pg = m.pageSlow(pb)
+						}
+						o := ea & (PageBytes - 4)
+						m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+					} else if it.kind == tAddLd {
+						m.regs[it.rd] = m.regs[it.rs1] + m.regs[it.s2r] + it.imm
+					} else {
+						m.regs[it.rd] = m.regs[it.rs1] | (m.regs[it.s2r] + it.imm)
+					}
+					hb2 := int64(it.hb)
+					if it.f&4 == 0 {
+						hb2++ // the batched second fetch has now executed
+					} else {
+						ia2 := TextBase + uint32(it.fpc)<<2 + 4
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						curIL = ia2 >> shift
+						if (curIL^curDL)&m.cstate.imask == 0 {
+							curDL = noLine
+						}
+					}
+					ea := uint32(m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2)
+					if ea&3 != 0 {
+						return m.cstate.fault(curIL, curDL, ihits+uint64(uint16(hb2)), ccb,
+							cyc+firstMemx, cp, items, it, 1, 1, "unaligned load at %#x", ea)
+					}
+					if line := ea >> shift; line == curDL {
+						m.cstate.drh++
+					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+						// Clean D-line change (no I-tracker alias) stays inline: probe
+						// and retarget — the kill-and-repair path is the rare one.
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						curDL = line
+					} else {
+						var c, cv int64
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						cyc += c
+						ihits += uint64(cv)
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					pg := pe.p
+					if pe.base != pb {
+						pg = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[it.rd2] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+
+				case tLdSt, tAddSt, tSubSt:
+					var firstMemx int64
+					if it.kind == tLdSt {
+						firstMemx = cp.memx
+						ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+						if ea&3 != 0 {
+							return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+								cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
+						}
+						if line := ea >> shift; line == curDL {
+							m.cstate.drh++
+						} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+							// Clean D-line change (no I-tracker alias) stays inline: probe
+							// and retarget — the kill-and-repair path is the rare one.
+							if !m.cache.Access(ea, cache.DRead) {
+								cyc += m.costs.MissPenalty
+							}
+							curDL = line
+						} else {
+							var ra uint32
+							if it.f&4 == 0 {
+								ra = TextBase + uint32(it.fpc)<<2 + 4
+							}
+							var c, cv int64
+							curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
+							cyc += c
+							ihits += uint64(cv)
+						}
+						pb := ea &^ (PageBytes - 1)
+						pe := &m.pageCache[pageCacheIdx(ea)]
+						pg := pe.p
+						if pe.base != pb {
+							pg = m.pageSlow(pb)
+						}
+						o := ea & (PageBytes - 4)
+						m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+					} else if it.kind == tAddSt {
+						m.regs[it.rd] = m.regs[it.rs1] + m.regs[it.s2r] + it.imm
+					} else {
+						m.regs[it.rd] = m.regs[it.rs1] - (m.regs[it.s2r] + it.imm)
+					}
+					hb2 := int64(it.hb)
+					if it.f&4 == 0 {
+						hb2++ // the batched second fetch has now executed
+					} else {
+						ia2 := TextBase + uint32(it.fpc)<<2 + 4
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						curIL = ia2 >> shift
+						if (curIL^curDL)&m.cstate.imask == 0 {
+							curDL = noLine
+						}
+					}
+					ea := uint32(m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2)
+					if ea&3 != 0 {
+						return m.cstate.fault(curIL, curDL, ihits+uint64(uint16(hb2)), ccb,
+							cyc+firstMemx, cp, items, it, 1, 1, "unaligned store at %#x", ea)
+					}
+					hooked := m.StoreHook != nil
+					if hooked {
+						cyc += m.cstate.hookFlush(ihits+uint64(hb2), ccb, ea, 4)
+						ihits = 0
+						curIL, curDL = noLine, noLine
+					}
+					if line := ea >> shift; line == curDL {
+						m.cstate.dwh++
+					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+						// Clean D-line change (no I-tracker alias) stays inline: probe
+						// and retarget — the kill-and-repair path is the rare one.
+						if !m.cache.Access(ea, cache.DWrite) {
+							cyc += m.costs.MissPenalty
+						}
+						curDL = line
+					} else {
+						var c, cv int64
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						cyc += c
+						ihits += uint64(cv)
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					pg := pe.p
+					if pe.base != pb {
+						pg = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					binary.BigEndian.PutUint32(pg[o:o+4], uint32(m.regs[it.rd2]))
+					if hooked {
+						var c int64
+						var ex bool
+						curIL, curDL, ihits, c, ex = m.cstate.hookTail(uint16(hb2), it.rx, shift, curIL, curDL, ihits)
+						cyc += c
+						if ex {
+							cd := &cp.cold[itemIdx(items, it)]
+							return m.cstate.stop(curIL, curDL, ihits, ccb,
+								cyc+int64(cd.cycB)+firstMemx+cp.memx, int64(cd.niW)+1, it.fpc+2)
+						}
+					}
+
+				// ---- control transfers (settle, then the op) ----
+
+				case tBr: // predicted not cp.taken: the cp.taken edge exits
+					ihits += uint64(it.hb)
+					cyc += ctlCyc(it)
+					if it.cm>>uint32(ccb)&1 != 0 {
+						n := ctlNi(it)
+						xCyc, xN, xNpc = cyc+cp.taken, n, int32(it.rx)
+						goto hop
+					}
+
+				case tBrT: // predicted cp.taken (stitched): the not-cp.taken edge exits
+					ihits += uint64(it.hb)
+					cyc += ctlCyc(it)
+					if it.cm>>uint32(ccb)&1 == 0 {
+						n := ctlNi(it)
+						xCyc, xN, xNpc = cyc, n, int32(it.rx)
+						goto hop
+					}
+					cyc += cp.taken
+
+				case tBrLoop:
+					ihits += uint64(it.hb)
+					cyc += ctlCyc(it)
+					if it.cm>>uint32(ccb)&1 != 0 {
+						n := ctlNi(it)
+						m.cstate.inst += n
+						m.cstate.cycs += cyc + cp.taken + m.cstate.base*n
+						m.cstate.rem -= n
+						cyc = 0
+						if m.cstate.rem < cp.passInstrs {
+							// dispatcher clamps the tail exactly
+							return m.cstate.stop(curIL, curDL, ihits, ccb, 0, 0, cp.head)
+						}
+						continue pass
+					}
+					n := ctlNi(it)
+					xCyc, xN, xNpc = cyc, n, int32(it.rx)
+					goto hop
+
+				case tBA:
+					ihits += uint64(it.hb)
+					cyc += ctlCyc(it) + cp.taken
+
+				case tBALoop:
+					ihits += uint64(it.hb)
+					n := ctlNi(it)
+					m.cstate.inst += n
+					m.cstate.cycs += cyc + ctlCyc(it) + cp.taken + m.cstate.base*n
+					m.cstate.rem -= n
+					cyc = 0
+					if m.cstate.rem < cp.passInstrs {
+						return m.cstate.stop(curIL, curDL, ihits, ccb, 0, 0, cp.head)
+					}
+					continue pass
+
+				case tJmpl:
+					ihits += uint64(it.hb)
+					cyc += ctlCyc(it)
+					dest := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+					idx := int32((dest - TextBase) / 4)
+					if dest < TextBase || dest&3 != 0 || int(idx) >= len(m.uops) {
+						// Bad target: exit before the jmpl so Step replays it
+						// and raises the fault. NOT a link — the dispatcher's
+						// terminator path owns this pc.
+						n := ctlNi(it) - 1
+						return m.cstate.stop(curIL, curDL, ihits, ccb,
+							cyc, n, it.fpc)
+					}
+					m.regs[it.rd] = int32(TextBase) + it.fpc<<2 + 4
+					n := ctlNi(it)
+					xCyc, xN, xNpc = cyc+cp.taken, n, idx
+					goto hop
+
+				case tCmpBr, tCmpBrT, tCmpBrLoop:
+					// Fused subcc+branch: settle, second fetch (a guaranteed
+					// hit when same-line: the first fetch just ran), compare,
+					// then the branch with the usual prediction split.
+					ihits += uint64(it.hb)
+					cyc += ctlCyc(it)
+					if it.f&4 == 0 {
+						ihits++
+					} else {
+						ia2 := TextBase + uint32(it.fpc)<<2 + 4
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						curIL = ia2 >> shift
+						if (curIL^curDL)&m.cstate.imask == 0 {
+							curDL = noLine
+						}
+					}
+					a, c2 := m.regs[it.rs1], m.regs[it.s2r]+it.imm
+					r := a - c2
+					ccb = ccSubBits(a, c2, r)
+					m.regs[it.rd] = r
+					br := it.cm>>uint32(ccb)&1 != 0
+					if it.kind == tCmpBrLoop {
+						n := ctlNi(it) + 1
+						if br {
+							m.cstate.inst += n
+							m.cstate.cycs += cyc + cp.taken + m.cstate.base*n
+							m.cstate.rem -= n
+							cyc = 0
+							if m.cstate.rem < cp.passInstrs {
+								return m.cstate.stop(curIL, curDL, ihits, ccb, 0, 0, cp.head)
+							}
+							continue pass
+						}
+						xCyc, xN, xNpc = cyc, n, int32(it.rx)
+						goto hop
+					}
+					if it.kind == tCmpBr {
+						if br {
+							n := ctlNi(it) + 1
+							xCyc, xN, xNpc = cyc+cp.taken, n, int32(it.rx)
+							goto hop
+						}
+					} else { // tCmpBrT
+						if !br {
+							n := ctlNi(it) + 1
+							xCyc, xN, xNpc = cyc, n, int32(it.rx)
+							goto hop
+						}
+						cyc += cp.taken
+					}
+
+				case tEnd:
+					ihits += uint64(it.hb)
+					xCyc, xN, xNpc = cyc+ctlCyc(it), ctlNi(it), int32(it.rx)
+					goto hop
+
+				default:
+					panic(fmt.Sprintf("machine: compiled trace: unhandled item kind %d", it.kind))
+				}
+			}
+		hop:
+			if np := m.cstate.exitNext(xCyc, xN, xNpc); np != nil {
+				cp = np
+				items = cp.items
+				shift = cp.shift
+				cyc = 0
+				continue pass
+			}
+			return nil, curIL, curDL, ihits, ccb
+		}
+	}
+}
+
+// execClosures runs the compiled form of a trace until a side exit, a fault,
+// a mid-trace patch, or the MaxInstrs budget — the closure tier's execTrace.
+// The accounting protocol is execTrace's exactly (see that doc comment);
+// additionally known data hits batch in the cst and flush with the same
+// discipline as ifetch hits. The caller guarantees MaxInstrs-instrs >=
+// passInstrs on entry; back-edges and links re-check against s.rem.
+func (m *Machine) execClosures(cp *closProg, shift, imask, ciLine, cdLine uint32, ihits0 uint64) (uint32, uint32, uint64, error) {
+	_ = shift // geometry is compiled into the closures (syncTraceState gates on it)
+	s := &m.cstate
+	*s = cst{
+		m:     m,
+		cls:   m.cls,
+		imask: imask,
+		gen:   m.textGen,
+		base:  m.costs.Base + m.PerInstrPenalty,
+		rem:   m.MaxInstrs - m.instrs,
+	}
+	f, curIL, curDL, ihits, ccb := cp.entry, ciLine, cdLine, ihits0, m.ccb
+	for f != nil {
+		f, curIL, curDL, ihits, ccb = f(m, curIL, curDL, ihits, ccb)
+	}
+	m.ccb = ccb
+	m.instrs += s.inst
+	m.cycles += s.cycs
+	m.pc = s.npc
+	if s.drh != 0 {
+		m.cache.NoteHits(cache.DRead, s.drh)
+	}
+	if s.dwh != 0 {
+		m.cache.NoteHits(cache.DWrite, s.dwh)
+	}
+	return curIL, curDL, ihits, s.err
+}

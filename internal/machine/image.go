@@ -68,9 +68,18 @@ func (img *Image) Entry() int32 { return img.entry }
 // SizeBytes reports the host memory held by the image (text + block index +
 // compiled traces), for artifact-cache accounting.
 func (img *Image) SizeBytes() int {
-	n := len(img.text)*int(unsafe.Sizeof(sparc.Instr{})) +
+	return len(img.text)*int(unsafe.Sizeof(sparc.Instr{})) +
 		len(img.uops)*int(unsafe.Sizeof(uop{})) +
-		len(img.traces)*int(unsafe.Sizeof((*traceProg)(nil)))
+		len(img.traces)*int(unsafe.Sizeof((*traceProg)(nil))) +
+		img.TraceBytes()
+}
+
+// TraceBytes reports the portion of SizeBytes held by the compiled trace
+// tier alone (trace headers, op streams, invalidation spans) — the part
+// that scales with how much of the text went hot, reported separately so
+// cache accounting can distinguish code from trace footprint.
+func (img *Image) TraceBytes() int {
+	n := 0
 	for _, tr := range img.traces {
 		if tr != nil {
 			n += int(unsafe.Sizeof(traceProg{})) +

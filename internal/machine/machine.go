@@ -129,6 +129,16 @@ type Machine struct {
 	// and under non-trace engines.
 	engine Engine
 	traces []*traceProg
+	// cls is the closure tier (closure.go): cls[i], when non-nil, is the
+	// threaded-closure compilation of traces[i]. Always per machine — the
+	// closures capture this machine's register file and per-site page
+	// memos — and non-nil exactly when EngineClosure is active over
+	// non-empty text. Filled lazily on first dispatch of a traced head.
+	cls []*closProg
+	// cstate is execClosures' reusable spill area (closure.go): dispatching
+	// a compiled closure chain must not allocate, and the pointer handed to
+	// the closures would otherwise force a fresh heap cst per dispatch.
+	cstate cst
 	hot    []uint16
 	// brProf is the per-branch-site edge profile driving trace compilation
 	// for private text: low 16 bits count executions, high 16 taken, both
@@ -137,7 +147,11 @@ type Machine struct {
 	// measured bias instead of static guesses. nil on shared images and
 	// under non-trace engines.
 	brProf []uint32
-	pc     int32
+	// hotThreshold/brProfMin are the trace-tier tuning knobs (trace.go
+	// consts hold the defaults; SetHotThreshold/SetBrProfMin override).
+	hotThreshold uint16
+	brProfMin    uint32
+	pc           int32
 	// regs is the architecturally visible register file of the CURRENT
 	// window, flat: %g0-%g7, %o0-%o7, %l0-%l7, %i0-%i7, plus one scratch
 	// slot (index 32) that absorbs block-engine writes destined for %g0.
@@ -215,12 +229,14 @@ func New(cfg cache.Config, costs Costs) *Machine {
 		pages: make(map[uint32]*[PageBytes]byte),
 		// Pre-size the window stack so deep call chains do not reallocate
 		// it mid-run (the fault-free path stays allocation-free).
-		win:       make([]winRegs, 0, 64),
-		cache:     cache.New(cfg),
-		costs:     costs,
-		heapNext:  HeapBase,
-		freeList:  make(map[uint32][]uint32),
-		MaxInstrs: 4_000_000_000,
+		win:          make([]winRegs, 0, 64),
+		cache:        cache.New(cfg),
+		costs:        costs,
+		heapNext:     HeapBase,
+		freeList:     make(map[uint32][]uint32),
+		MaxInstrs:    4_000_000_000,
+		hotThreshold: hotThreshold,
+		brProfMin:    brProfMin,
 	}
 	for i := range m.pageCache {
 		m.pageCache[i].base = 1 // never matches a page-aligned base

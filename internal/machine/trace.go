@@ -62,6 +62,9 @@ const (
 	// EngineStep executes one instruction at a time through Step — the
 	// reference semantics the other engines are measured against.
 	EngineStep
+	// EngineClosure compiles each trace into threaded Go closures
+	// (closure.go): same traces, same accounting, no per-op switch.
+	EngineClosure
 )
 
 func (e Engine) String() string {
@@ -72,11 +75,14 @@ func (e Engine) String() string {
 		return "block"
 	case EngineStep:
 		return "step"
+	case EngineClosure:
+		return "closure"
 	}
 	return fmt.Sprintf("engine?%d", uint8(e))
 }
 
-// ParseEngine converts a flag value ("step", "block", "trace") to an Engine.
+// ParseEngine converts a flag value ("step", "block", "trace", "closure") to
+// an Engine.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "trace":
@@ -85,8 +91,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineBlock, nil
 	case "step":
 		return EngineStep, nil
+	case "closure":
+		return EngineClosure, nil
 	}
-	return EngineTrace, fmt.Errorf("machine: unknown engine %q (want step, block, or trace)", s)
+	return EngineTrace, fmt.Errorf("machine: unknown engine %q (want step, block, trace, or closure)", s)
 }
 
 // SetEngine selects the execution engine. Safe at any point the machine is
@@ -100,12 +108,36 @@ func (m *Machine) SetEngine(e Engine) {
 // Engine returns the currently selected execution engine.
 func (m *Machine) Engine() Engine { return m.engine }
 
-// hotThreshold is how many times a block head must dispatch before LoadText
-// text compiles a trace for it. Image text skips the counter entirely
-// (BuildImage compiles eagerly). 64 is low enough that every loop that
-// matters compiles within noise, high enough that straight-through startup
-// code never pays compilation.
+// hotThreshold is the default for how many times a block head must dispatch
+// before LoadText text compiles a trace for it. Image text skips the counter
+// entirely (BuildImage compiles eagerly). 64 is low enough that every loop
+// that matters compiles within noise, high enough that straight-through
+// startup code never pays compilation. Tunable per machine via
+// SetHotThreshold (the EXPERIMENTS.md sweep confirms 64 as the default).
 const hotThreshold = 64
+
+// SetHotThreshold overrides the per-head dispatch count that triggers lazy
+// trace compilation of private text (default 64). Clamped to [1, 65534];
+// values already counted keep their progress. Image text is unaffected
+// (compiled eagerly at BuildImage).
+func (m *Machine) SetHotThreshold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > int(hotNever)-1 {
+		n = int(hotNever) - 1
+	}
+	m.hotThreshold = uint16(n)
+}
+
+// SetBrProfMin overrides the branch-site execution count below which the
+// edge profile is ignored in favor of static prediction (default 8).
+func (m *Machine) SetBrProfMin(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.brProfMin = uint32(n)
+}
 
 // hotNever marks a head whose compilation was attempted and declined
 // (trivial trace); it is never retried.
@@ -266,11 +298,13 @@ func (tr *traceProg) covers(idx int32) bool {
 // syncTraceState (re)establishes the engine-dependent trace state after any
 // event that changes what the dispatcher may execute: engine selection, text
 // installation, or COW privatization. Invariant: m.traces is non-nil exactly
-// when the trace engine is active over non-empty text, so execBlocks gates
-// the whole tier on one nil check.
+// when the trace (or closure) engine is active over non-empty text, so
+// execBlocks gates the whole tier on one nil check; m.cls is non-nil exactly
+// when the closure engine is active over non-empty text.
 func (m *Machine) syncTraceState() {
-	if m.engine != EngineTrace || len(m.text) == 0 {
-		m.traces, m.hot, m.brProf = nil, nil, nil
+	traced := m.engine == EngineTrace || m.engine == EngineClosure
+	if !traced || len(m.text) == 0 {
+		m.traces, m.hot, m.brProf, m.cls = nil, nil, nil, nil
 		return
 	}
 	if m.imgShared && m.img.traceShift == m.cache.LineShift() {
@@ -279,15 +313,24 @@ func (m *Machine) syncTraceState() {
 		// nothing left to compile.
 		m.traces = m.img.traces
 		m.hot, m.brProf = nil, nil
-		return
+	} else {
+		// Private text — or a shared image whose traces were compiled for a
+		// different I-line geometry, which this machine cannot execute (the nl
+		// bits would mis-batch fetch accounting): compile privately, driven by
+		// the hotness counters. The shared text itself is still borrowed.
+		m.traces = make([]*traceProg, len(m.text))
+		m.hot = make([]uint16, len(m.text))
+		m.brProf = make([]uint32, len(m.text))
 	}
-	// Private text — or a shared image whose traces were compiled for a
-	// different I-line geometry, which this machine cannot execute (the nl
-	// bits would mis-batch fetch accounting): compile privately, driven by
-	// the hotness counters. The shared text itself is still borrowed.
-	m.traces = make([]*traceProg, len(m.text))
-	m.hot = make([]uint16, len(m.text))
-	m.brProf = make([]uint32, len(m.text))
+	if m.engine == EngineClosure {
+		// Compiled closures are ALWAYS per machine — they capture the
+		// machine's register file and per-site page memos — so even on a
+		// shared image each machine threads its own, lazily, from the
+		// shared (or private) trace streams.
+		m.cls = make([]*closProg, len(m.text))
+	} else {
+		m.cls = nil
+	}
 }
 
 // noteHot counts a dispatch of private-text head pc and compiles a trace
@@ -296,9 +339,9 @@ func (m *Machine) syncTraceState() {
 func (m *Machine) noteHot(pc int32) {
 	h := m.hot[pc]
 	switch {
-	case h >= hotThreshold: // hotNever: compilation declined, don't retry
-	case h+1 >= hotThreshold:
-		if tr := compileTrace(m.text, m.uops, pc, m.brProf, m.cache.LineShift()); tr != nil {
+	case h >= m.hotThreshold: // hotNever: compilation declined, don't retry
+	case h+1 >= m.hotThreshold:
+		if tr := compileTrace(m.text, m.uops, pc, m.brProf, m.brProfMin, m.cache.LineShift()); tr != nil {
 			m.traces[pc] = tr
 			m.hot[pc] = 0
 		} else {
@@ -317,6 +360,11 @@ func (m *Machine) invalidateTraces(idx int32) {
 	for i, tr := range m.traces {
 		if tr != nil && tr.covers(idx) {
 			m.traces[i] = nil
+			if m.cls != nil {
+				// The closure tier compiles FROM traces, so a dropped trace
+				// drops its threaded form too (closure.go).
+				m.cls[i] = nil
+			}
 		}
 	}
 }
@@ -381,8 +429,9 @@ func fusePair(a, b *sparc.Instr) topOp {
 	return 0
 }
 
-// brProfMin is the execution count below which a branch site's edge profile
-// is considered noise and the static heuristics decide instead.
+// brProfMin is the default execution count below which a branch site's edge
+// profile is considered noise and the static heuristics decide instead.
+// Tunable per machine via SetBrProfMin.
 const brProfMin = 8
 
 // predictBranch predicts a conditional branch for trace stitching. The edge
@@ -392,9 +441,9 @@ const brProfMin = 8
 // predicted taken (the classic loop heuristic) and forward branches fall to
 // predictTaken's layout heuristic. Predictions never affect correctness —
 // a wrong one is a side exit — only how long the common pass runs.
-func predictBranch(text []sparc.Instr, uops []uop, prof []uint32, brPC, tgt int32) bool {
+func predictBranch(text []sparc.Instr, uops []uop, prof []uint32, profMin uint32, brPC, tgt int32) bool {
 	if prof != nil {
-		if p := prof[brPC]; p&0xffff >= brProfMin {
+		if p := prof[brPC]; p&0xffff >= profMin {
 			return p>>16 >= (p&0xffff+1)/2
 		}
 	}
@@ -438,11 +487,12 @@ func predictTaken(text []sparc.Instr, uops []uop, brPC, tgt int32) bool {
 // (jmpl/save/restore/ta/unimp), or hits the maxBlockLen instruction bound —
 // the same bound that caps block runs and PatchInstr's backward repair, so
 // a single patch never invalidates more than a bounded neighborhood.
-// prof is the per-site edge profile (predictBranch), nil for image text.
+// prof is the per-site edge profile (predictBranch) with its noise floor
+// profMin, nil for image text.
 // shift is the I-line shift the nl bits are computed under; a machine may
 // only execute traces whose shift matches its own cache geometry
 // (syncTraceState enforces this).
-func compileTrace(text []sparc.Instr, uops []uop, entry int32, prof []uint32, shift uint32) *traceProg {
+func compileTrace(text []sparc.Instr, uops []uop, entry int32, prof []uint32, profMin, shift uint32) *traceProg {
 	if uint32(entry) >= uint32(len(uops)) {
 		return nil
 	}
@@ -601,7 +651,7 @@ scan:
 				ni++
 				pc++
 			case tgt == entry && (term.Cond == sparc.BA ||
-				predictBranch(text, uops, prof, pc, tgt)):
+				predictBranch(text, uops, prof, profMin, pc, tgt)):
 				// Predicted-taken back-edge to the head: loop trace. (BA
 				// back-edges too: condMask[BA] is all-ones, so tBrLoop with
 				// cond BA never takes its side exit.)
@@ -622,7 +672,7 @@ scan:
 				}
 				ni++
 				pc = tgt
-			case predictBranch(text, uops, prof, pc, tgt):
+			case predictBranch(text, uops, prof, profMin, pc, tgt):
 				// Predicted taken: stitch to the target and keep compiling.
 				// Backward targets duplicate already-laid-out code into the
 				// trace tail (superblock tail duplication); the consumed-set
@@ -792,7 +842,7 @@ func buildTraces(text []sparc.Instr, uops []uop, entry int32, shift uint32) []*t
 	traces := make([]*traceProg, len(text))
 	for i, h := range heads {
 		if h {
-			traces[i] = compileTrace(text, uops, int32(i), nil, shift)
+			traces[i] = compileTrace(text, uops, int32(i), nil, brProfMin, shift)
 		}
 	}
 	return traces

@@ -80,12 +80,12 @@ func TestImageTracesSurviveSiblingPatch(t *testing.T) {
 }
 
 // TestEngineSelection pins the engine flag surface: parsing, String, and
-// that all three engines produce identical counts on the same program.
+// that all four engines produce identical counts on the same program.
 func TestEngineSelection(t *testing.T) {
 	for _, c := range []struct {
 		s string
 		e Engine
-	}{{"step", EngineStep}, {"block", EngineBlock}, {"trace", EngineTrace}} {
+	}{{"step", EngineStep}, {"block", EngineBlock}, {"trace", EngineTrace}, {"closure", EngineClosure}} {
 		e, err := ParseEngine(c.s)
 		if err != nil || e != c.e {
 			t.Fatalf("ParseEngine(%q) = %v, %v", c.s, e, err)
@@ -100,7 +100,7 @@ func TestEngineSelection(t *testing.T) {
 
 	text := countLoop()
 	var ref *Machine
-	for _, e := range []Engine{EngineStep, EngineBlock, EngineTrace} {
+	for _, e := range []Engine{EngineStep, EngineBlock, EngineTrace, EngineClosure} {
 		m := New(cache.DefaultConfig, DefaultCosts)
 		m.SetEngine(e)
 		m.LoadText(text, 0)
