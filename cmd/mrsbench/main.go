@@ -8,6 +8,7 @@
 //	mrsbench -table fig3       Figure 3 (segment cache locality)
 //	mrsbench -table strategies §1 strategy comparison
 //	mrsbench -table breakeven  §3.3.3 break-even analysis
+//	mrsbench -table kinds      region kinds (load/transition watchpoints)
 //	mrsbench -table all        everything
 //	mrsbench -stress N         N concurrent monitored sessions with mid-run
 //	                           region churn, differentially checked against
@@ -54,7 +55,7 @@ func main() {
 }
 
 func run() error {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2, fig3, strategies, breakeven, ablation, all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, fig3, strategies, breakeven, ablation, kinds, all")
 	engine := flag.String("engine", "trace", "execution engine for every run: step, block, trace, or closure (counts are engine-independent)")
 	hotThreshold := flag.Int("hot-threshold", 0, "dispatches before a block head compiles a trace (0 = machine default 64)")
 	brProfMin := flag.Int("brprof-min", 0, "branch-site executions before the edge profile beats static prediction (0 = machine default 8)")
@@ -310,6 +311,18 @@ func run() error {
 		fmt.Println()
 		return report("ablation", wall, rows)
 	}
+	runKinds := func() error {
+		start := time.Now()
+		rows, err := bench.Kinds(cfg, programs)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		fmt.Println("Region kinds: load and transition watchpoint overhead vs store-only")
+		fmt.Print(bench.FormatKinds(rows))
+		fmt.Println()
+		return report("kinds", wall, rows)
+	}
 
 	runTables := func() error {
 		switch *table {
@@ -325,8 +338,10 @@ func run() error {
 			return runBE()
 		case "ablation":
 			return runAbl()
+		case "kinds":
+			return runKinds()
 		case "all":
-			for _, f := range []func() error{runT1, runT2, runF3, runStrat, runBE, runAbl} {
+			for _, f := range []func() error{runT1, runT2, runF3, runStrat, runBE, runAbl, runKinds} {
 				if err := f(); err != nil {
 					return err
 				}

@@ -42,6 +42,7 @@ func run() error {
 	maxSessions := flag.Int("max-sessions", 0, "session cap per shard (0 = unlimited)")
 	batch := flag.Int("batch", 0, "default hit-coalescing batch size (0 = 64; 1 = one frame per hit)")
 	flush := flag.Duration("flush", 0, "hit batch flush deadline (0 = 500µs)")
+	reconcile := flag.Duration("reconcile-timeout", 0, "bound on draining a run's hits to the client before the run response (0 = 5s)")
 	engine := flag.String("engine", "trace", "execution engine: step, block, trace, or closure (counts are engine-independent)")
 	hotThreshold := flag.Int("hot-threshold", 0, "dispatches before a block head compiles a trace (0 = machine default 64)")
 	brProfMin := flag.Int("brprof-min", 0, "branch-site executions before the edge profile beats static prediction (0 = machine default 8)")
@@ -66,6 +67,7 @@ func run() error {
 		MaxSessionsPerShard: *maxSessions,
 		Batch:               *batch,
 		Flush:               *flush,
+		ReconcileTimeout:    *reconcile,
 		Programs:            cfg.ProgramSource(),
 		NewMachine:          cfg.MachineFactory(),
 	}

@@ -9,6 +9,13 @@
 //	mrsrun -watch counter prog.c
 //	mrsrun -watch grid -strategy cache -v prog.c
 //	mrsrun -watch total -elim prog.c      (eliminated checks + PreMonitor)
+//	mrsrun -watch buf -watch-kind load prog.c       (read watchpoint, §5)
+//	mrsrun -watch flag -watch-kind transition -pred nonzero prog.c
+//
+// -watch-kind selects which accesses deliver hits: all (default), store,
+// load (instruments loads too), or transition (store-triggered, delivered
+// only when -pred's result over the stored word changes; -pred is one of
+// changed, nonzero, sign, mask, eq, with -pred-arg for mask/eq).
 package main
 
 import (
@@ -31,6 +38,9 @@ func main() {
 	strategy := flag.String("strategy", "bitmap-inline-registers",
 		"write check implementation: bitmap, bitmap-inline, bitmap-inline-registers, cache, cache-inline, hash")
 	useElim := flag.Bool("elim", false, "use write-check elimination (PreMonitor arms known writes)")
+	watchKind := flag.String("watch-kind", "all", "access kinds that deliver hits: all, store, load, transition")
+	pred := flag.String("pred", "changed", "transition predicate: changed, nonzero, sign, mask, eq")
+	predArg := flag.Uint("pred-arg", 0, "argument for the mask and eq predicates")
 	verbose := flag.Bool("v", false, "print cycle statistics")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -61,11 +71,34 @@ func main() {
 		"hash": patch.HashCall,
 	}
 
+	// Resolve the watch kind up front: "load" changes how the program is
+	// patched (loads get checks too), not just how regions are created.
+	kindName := strings.ToLower(*watchKind)
+	var kind monitor.Kind
+	transition := kindName == "transition"
+	var transPred monitor.Predicate
+	if transition {
+		pk, err := monitor.ParsePredKind(*pred)
+		if err != nil {
+			fail(err)
+		}
+		transPred = monitor.Predicate{Kind: pk, Arg: uint32(*predArg)}
+	} else {
+		kind, err = monitor.ParseKind(kindName)
+		if err != nil {
+			fail(err)
+		}
+	}
+	checkReads := kindName == "load"
+	if *useElim && kindName != "all" {
+		fail(fmt.Errorf("-watch-kind %s is not supported with -elim (PreMonitor arms write checks)", kindName))
+	}
+
 	mcfg := monitor.DefaultConfig
 	var prog *asm.Program
 	var elimRes *elim.Result
 	if *useElim {
-		res, err := elim.Apply(elim.Options{Mode: elim.Full, Monitor: mcfg}, u)
+		res, err := elim.Apply(elim.Options{Mode: elim.Full, Monitor: mcfg, CheckReads: checkReads}, u)
 		if err != nil {
 			fail(err)
 		}
@@ -82,7 +115,7 @@ func main() {
 		if strat == patch.Cache || strat == patch.CacheInline {
 			mcfg.Flags = true
 		}
-		res, err := patch.Apply(patch.Options{Strategy: strat, Monitor: mcfg}, u)
+		res, err := patch.Apply(patch.Options{Strategy: strat, Monitor: mcfg, CheckReads: checkReads}, u)
 		if err != nil {
 			fail(err)
 		}
@@ -116,12 +149,19 @@ func main() {
 			if size == 0 {
 				size = 4
 			}
-			if rt != nil {
+			switch {
+			case rt != nil:
 				if err := rt.PreMonitorSymbol(svc, name); err != nil {
 					fail(err)
 				}
-			} else if err := svc.CreateRegion(sym.Addr, size); err != nil {
-				fail(err)
+			case transition:
+				if err := svc.CreateTransitionRegion(sym.Addr, size, transPred); err != nil {
+					fail(err)
+				}
+			default:
+				if err := svc.CreateRegionKind(sym.Addr, size, kind); err != nil {
+					fail(err)
+				}
 			}
 			for o := uint32(0); o < size; o += 4 {
 				symOf[sym.Addr+o] = name
@@ -135,9 +175,17 @@ func main() {
 		if name == "" {
 			name = "?"
 		}
-		val := m.ReadWord(h.Addr &^ 3)
-		fmt.Fprintf(os.Stderr, "mrsrun: HIT %s at %#x (new value %d) after %d instructions\n",
-			name, h.Addr, val, h.Instrs)
+		switch {
+		case transition:
+			fmt.Fprintf(os.Stderr, "mrsrun: TRANSITION %s at %#x (%d -> %d) after %d instructions\n",
+				name, h.Addr, int32(h.Old), int32(h.New), h.Instrs)
+		case h.Read:
+			fmt.Fprintf(os.Stderr, "mrsrun: READ %s at %#x (value %d) after %d instructions\n",
+				name, h.Addr, m.ReadWord(h.Addr&^3), h.Instrs)
+		default:
+			fmt.Fprintf(os.Stderr, "mrsrun: HIT %s at %#x (new value %d) after %d instructions\n",
+				name, h.Addr, m.ReadWord(h.Addr&^3), h.Instrs)
+		}
 	}
 
 	code, err := m.Run()

@@ -254,3 +254,43 @@ func TestAblationShape(t *testing.T) {
 		t.Errorf("flag bit costs too much: %.1f%% vs %.1f%%", r.FlagsOn, r.FlagsOff)
 	}
 }
+
+func TestKindsShape(t *testing.T) {
+	cfg := DefaultConfig()
+	progs := testPrograms(t)
+	rows, err := Kinds(cfg, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(progs) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(progs))
+	}
+	for _, r := range rows {
+		// Transition filtering is debugger-side: the patched code is the
+		// store-only variant, so the simulated overhead is identical by
+		// construction.
+		if r.Transition != r.StoreOnly {
+			t.Errorf("%s: transition overhead %.2f%% != store-only %.2f%%",
+				r.Name, r.Transition, r.StoreOnly)
+		}
+		// Read checking adds checks on every load (§5), so a load watchpoint
+		// costs strictly more than a store watchpoint.
+		if r.LoadWatch <= r.StoreOnly {
+			t.Errorf("%s: load watch %.2f%% <= store-only %.2f%%", r.Name, r.LoadWatch, r.StoreOnly)
+		}
+		// Every workload's entry frame stores HitRegion at least once.
+		if r.StoreHits < 1 {
+			t.Errorf("%s: no store hits on HitRegion", r.Name)
+		}
+		// Transition suppression can only drop hits relative to store-only.
+		if r.TransHits > r.StoreHits {
+			t.Errorf("%s: transition hits %d > store hits %d", r.Name, r.TransHits, r.StoreHits)
+		}
+		if r.TransHits < 1 {
+			t.Errorf("%s: predicate 'changed' delivered no hits", r.Name)
+		}
+	}
+	if out := FormatKinds(rows); !contains(out, "AVERAGE") {
+		t.Errorf("FormatKinds missing AVERAGE row")
+	}
+}

@@ -241,7 +241,28 @@ func (c Config) stressSession(srv *monitor.Server, prog *asm.Program, mcfg monit
 				churnErr = err
 				return
 			}
+			// Kind-restricted and transition regions churn alongside the
+			// plain one: same far addresses (no workload traffic), so the
+			// bitmap and shadow-snapshot plumbing is exercised mid-run
+			// without perturbing any simulated count.
+			if err := sess.CreateRegionKind(ChurnRegion+16, 8, monitor.KindLoad); err != nil {
+				churnErr = err
+				return
+			}
+			if err := sess.CreateTransitionRegion(ChurnRegion+24, 4,
+				monitor.Predicate{Kind: monitor.PredNonzero}); err != nil {
+				churnErr = err
+				return
+			}
 			if err := sess.DeleteRegion(ChurnRegion, 16); err != nil {
+				churnErr = err
+				return
+			}
+			if err := sess.DeleteRegion(ChurnRegion+16, 8); err != nil {
+				churnErr = err
+				return
+			}
+			if err := sess.DeleteRegion(ChurnRegion+24, 4); err != nil {
 				churnErr = err
 				return
 			}

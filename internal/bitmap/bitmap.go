@@ -17,6 +17,20 @@
 // per-segment count of monitored words keeps the flag correct across region
 // creation and deletion.
 //
+// # Region kinds
+//
+// Regions carry a kind mask (store, load, or both — the access kinds that
+// should trigger, in the spirit of DeTRAP's load/store/execute trigger kinds
+// behind one interface). Each private segment holds three bit planes packed
+// in one allocation: the "any" plane (the paper's bitmap, the union of all
+// kinds — what Contains/ContainsAccess read, and what the compiled check
+// sequences mirror in simulated memory), then a store plane and a load
+// plane. ContainsKind/ContainsAccessKind read the kind planes with the same
+// two-load lock-free lookup; the segment table, its unmonitored flag, and
+// the per-segment counts all track the any plane, so kind bookkeeping adds
+// no table memory and only 3x the (lazy, rare) private segment storage.
+// The legacy kindless mutators default to KindStore, the paper's semantics.
+//
 // # Concurrency contract
 //
 // The lookup path — Contains, ContainsAccess, SegmentUnmonitored — is
@@ -42,6 +56,35 @@ import (
 	"sync/atomic"
 )
 
+// Kind is a region's access-kind mask: which access kinds trigger on the
+// region's words.
+type Kind uint8
+
+const (
+	// KindStore triggers on stores — the paper's only kind, and the default
+	// for the kindless API.
+	KindStore Kind = 1 << iota
+	// KindLoad triggers on loads (read watchpoints).
+	KindLoad
+	// KindAll triggers on both.
+	KindAll = KindStore | KindLoad
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindStore:
+		return "store"
+	case KindLoad:
+		return "load"
+	case KindAll:
+		return "all"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// valid reports whether k names at least one real kind and no unknown bits.
+func (k Kind) valid() bool { return k != 0 && k&^KindAll == 0 }
+
 // Config describes bitmap geometry.
 type Config struct {
 	// AddrBits is the size of the covered address space in bits (<= 32).
@@ -58,10 +101,11 @@ var DefaultConfig = Config{AddrBits: 32, SegWords: 128}
 
 // Bitmap is a segmented bitmap. The zero value is not usable; call New.
 type Bitmap struct {
-	segShift uint   // log2(bytes per segment)
-	segWords uint32 // words per segment
-	addrMask uint32 // mask of valid address bits
-	numSegs  uint32
+	segShift   uint   // log2(bytes per segment)
+	segWords   uint32 // words per segment
+	planeWords uint32 // uint32 words per bit plane (segWords/32)
+	addrMask   uint32 // mask of valid address bits
+	numSegs    uint32
 	// table[n] = segIdx<<1 | unmonitoredFlag. segIdx indexes segs. Entry 0|1
 	// (zero segment, unmonitored) is the initial value everywhere. Entries
 	// are read with atomic loads on the lookup path and written with atomic
@@ -90,6 +134,10 @@ type Bitmap struct {
 	// double-count segment words nor clear bits while a region still covers
 	// them.
 	refs map[uint32]uint32
+	// refsK is the same per-word refcount split by kind plane (0 = store,
+	// 1 = load), so a word's kind bit clears only when the LAST region of
+	// that kind covering it goes, independent of regions of the other kind.
+	refsK [2]map[uint32]uint32
 
 	monitoredWords uint64
 }
@@ -110,12 +158,15 @@ func New(cfg Config) *Bitmap {
 	}
 	numSegs := uint32(1) << (cfg.AddrBits - segShift)
 	b := &Bitmap{
-		segShift: segShift,
-		segWords: uint32(cfg.SegWords),
-		numSegs:  numSegs,
-		counts:   make(map[uint32]uint32),
-		refs:     make(map[uint32]uint32),
+		segShift:   segShift,
+		segWords:   uint32(cfg.SegWords),
+		planeWords: uint32(cfg.SegWords) / 32,
+		numSegs:    numSegs,
+		counts:     make(map[uint32]uint32),
+		refs:       make(map[uint32]uint32),
 	}
+	b.refsK[0] = make(map[uint32]uint32)
+	b.refsK[1] = make(map[uint32]uint32)
 	if cfg.AddrBits == 32 {
 		b.addrMask = ^uint32(0)
 	} else {
@@ -125,7 +176,7 @@ func New(cfg Config) *Bitmap {
 	for i := range b.table {
 		b.table[i] = 1 // zero segment, unmonitored flag set
 	}
-	b.segs = [][]uint32{make([]uint32, cfg.SegWords/32)}
+	b.segs = [][]uint32{make([]uint32, 3*b.planeWords)}
 	b.publishSegs()
 	return b
 }
@@ -187,7 +238,7 @@ func (b *Bitmap) ensureSeg(n uint32) ([]uint32, int32) {
 	if e>>1 != 0 {
 		return b.segs[e>>1], e >> 1
 	}
-	b.segs = append(b.segs, make([]uint32, b.segWords/32))
+	b.segs = append(b.segs, make([]uint32, 3*b.planeWords))
 	idx := int32(len(b.segs) - 1)
 	b.publishSegs()
 	return b.segs[idx], idx
@@ -203,31 +254,68 @@ func (b *Bitmap) wordCovered(a uint32) bool {
 	return atomic.LoadUint32(&seg[w>>5])&(1<<(w&31)) != 0
 }
 
-// addWord installs one covering region on the word at (masked) address a,
-// setting its bit on the 0->1 transition and bumping the refcount otherwise.
-// Called under mu.
-func (b *Bitmap) addWord(a uint32) {
+// addWord installs one covering region of kind k on the word at (masked)
+// address a: the any-plane bit sets on the 0->1 transition (bumping the
+// refcount otherwise), and each kind plane named by k does the same against
+// its own refcount. Called under mu.
+func (b *Bitmap) addWord(a uint32, k Kind) {
 	n := a >> b.segShift
-	if b.wordCovered(a) {
+	seg, idx := b.ensureSeg(n)
+	w := (a >> 2) & (b.segWords - 1)
+	bit := uint32(1) << (w & 31)
+	if seg[w>>5]&bit != 0 {
 		c := b.refs[a]
 		if c == 0 {
 			c = 1 // bit set with no refs entry means exactly one region
 		}
 		b.refs[a] = c + 1
-		return
+	} else {
+		atomic.StoreUint32(&seg[w>>5], seg[w>>5]|bit)
+		b.counts[n]++
+		atomic.StoreInt32(&b.table[n], idx<<1) // flag clear: segment monitored
+		b.monitoredWords++
 	}
-	seg, idx := b.ensureSeg(n)
-	w := (a >> 2) & (b.segWords - 1)
-	atomic.StoreUint32(&seg[w>>5], seg[w>>5]|1<<(w&31))
-	b.counts[n]++
-	atomic.StoreInt32(&b.table[n], idx<<1) // flag clear: segment monitored
-	b.monitoredWords++
+	for p := uint32(0); p < 2; p++ {
+		if k&(1<<p) == 0 {
+			continue
+		}
+		o := (p+1)*b.planeWords + w>>5
+		if seg[o]&bit != 0 {
+			c := b.refsK[p][a]
+			if c == 0 {
+				c = 1
+			}
+			b.refsK[p][a] = c + 1
+		} else {
+			atomic.StoreUint32(&seg[o], seg[o]|bit)
+		}
+	}
 }
 
-// removeWord drops one covering region from the word at (masked) address a,
-// clearing its bit only on the 1->0 transition. Called under mu; the caller
-// has verified the word is covered.
-func (b *Bitmap) removeWord(a uint32) {
+// removeWord drops one covering region of kind k from the word at (masked)
+// address a, clearing each plane's bit only on its own 1->0 transition.
+// Called under mu; the caller has verified the word is covered.
+func (b *Bitmap) removeWord(a uint32, k Kind) {
+	n := a >> b.segShift
+	e := b.table[n]
+	seg := b.segs[e>>1]
+	w := (a >> 2) & (b.segWords - 1)
+	bit := uint32(1) << (w & 31)
+	for p := uint32(0); p < 2; p++ {
+		if k&(1<<p) == 0 {
+			continue
+		}
+		if c := b.refsK[p][a]; c > 0 {
+			if c == 2 {
+				delete(b.refsK[p], a)
+			} else {
+				b.refsK[p][a] = c - 1
+			}
+			continue
+		}
+		o := (p+1)*b.planeWords + w>>5
+		atomic.StoreUint32(&seg[o], seg[o]&^bit)
+	}
 	if c := b.refs[a]; c > 0 {
 		if c == 2 {
 			delete(b.refs, a)
@@ -236,11 +324,7 @@ func (b *Bitmap) removeWord(a uint32) {
 		}
 		return
 	}
-	n := a >> b.segShift
-	e := b.table[n]
-	seg := b.segs[e>>1]
-	w := (a >> 2) & (b.segWords - 1)
-	atomic.StoreUint32(&seg[w>>5], seg[w>>5]&^(1<<(w&31)))
+	atomic.StoreUint32(&seg[w>>5], seg[w>>5]&^bit)
 	b.monitoredWords--
 	if c := b.counts[n] - 1; c == 0 {
 		delete(b.counts, n)
@@ -254,12 +338,19 @@ func (b *Bitmap) removeWord(a uint32) {
 	}
 }
 
-// Add marks [addr, addr+size) as monitored. The region must be word aligned
-// and must not overlap an existing monitored word (the strict MRS contract;
-// use AddRegion for refcounted overlapping regions).
-func (b *Bitmap) Add(addr, size uint32) error {
+// Add marks [addr, addr+size) as monitored for stores (the paper's kind).
+// The region must be word aligned and must not overlap an existing monitored
+// word (the strict MRS contract; use AddRegion for refcounted overlapping
+// regions).
+func (b *Bitmap) Add(addr, size uint32) error { return b.AddKind(addr, size, KindStore) }
+
+// AddKind is Add with an explicit access-kind mask.
+func (b *Bitmap) AddKind(addr, size uint32, k Kind) error {
 	if err := b.checkAligned(addr, size); err != nil {
 		return err
+	}
+	if !k.valid() {
+		return fmt.Errorf("bitmap: invalid region kind %v", k)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -270,16 +361,23 @@ func (b *Bitmap) Add(addr, size uint32) error {
 		}
 	}
 	for off := uint32(0); off < size; off += 4 {
-		b.addWord((addr + off) & b.addrMask)
+		b.addWord((addr+off)&b.addrMask, k)
 	}
 	return nil
 }
 
-// Remove clears the monitored bits of [addr, addr+size). Every word in the
-// range must currently be monitored.
-func (b *Bitmap) Remove(addr, size uint32) error {
+// Remove clears the monitored bits of [addr, addr+size), previously added
+// for stores. Every word in the range must currently be monitored.
+func (b *Bitmap) Remove(addr, size uint32) error { return b.RemoveKind(addr, size, KindStore) }
+
+// RemoveKind is Remove with an explicit access-kind mask; k must match the
+// kind the region was added with.
+func (b *Bitmap) RemoveKind(addr, size uint32, k Kind) error {
 	if err := b.checkAligned(addr, size); err != nil {
 		return err
+	}
+	if !k.valid() {
+		return fmt.Errorf("bitmap: invalid region kind %v", k)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -289,34 +387,54 @@ func (b *Bitmap) Remove(addr, size uint32) error {
 		}
 	}
 	for off := uint32(0); off < size; off += 4 {
-		b.removeWord((addr + off) & b.addrMask)
+		b.removeWord((addr+off)&b.addrMask, k)
 	}
 	return nil
 }
 
-// AddRegion marks [addr, addr+size) as monitored, refcounting words already
-// covered by other regions: a word overlapped by k regions still counts once
-// in its segment's monitored-word count, so the unmonitored flag cannot flip
-// early when one of the overlapping regions is removed.
+// AddRegion marks [addr, addr+size) as monitored for stores, refcounting
+// words already covered by other regions: a word overlapped by k regions
+// still counts once in its segment's monitored-word count, so the
+// unmonitored flag cannot flip early when one of the overlapping regions is
+// removed.
 func (b *Bitmap) AddRegion(addr, size uint32) error {
+	return b.AddRegionKind(addr, size, KindStore)
+}
+
+// AddRegionKind is AddRegion with an explicit access-kind mask. Kind-plane
+// bits refcount independently, so overlapping regions of different kinds
+// keep each plane exact.
+func (b *Bitmap) AddRegionKind(addr, size uint32, k Kind) error {
 	if err := b.checkAligned(addr, size); err != nil {
 		return err
+	}
+	if !k.valid() {
+		return fmt.Errorf("bitmap: invalid region kind %v", k)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for off := uint32(0); off < size; off += 4 {
-		b.addWord((addr + off) & b.addrMask)
+		b.addWord((addr+off)&b.addrMask, k)
 	}
 	return nil
 }
 
-// RemoveRegion drops one covering region from every word of
+// RemoveRegion drops one store-kind covering region from every word of
 // [addr, addr+size): bits (and segment counts) change only for words whose
 // last covering region this is. Every word in the range must currently be
 // monitored; on error the bitmap is untouched.
 func (b *Bitmap) RemoveRegion(addr, size uint32) error {
+	return b.RemoveRegionKind(addr, size, KindStore)
+}
+
+// RemoveRegionKind is RemoveRegion with an explicit access-kind mask; k must
+// match the kind the region was added with.
+func (b *Bitmap) RemoveRegionKind(addr, size uint32, k Kind) error {
 	if err := b.checkAligned(addr, size); err != nil {
 		return err
+	}
+	if !k.valid() {
+		return fmt.Errorf("bitmap: invalid region kind %v", k)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -326,7 +444,7 @@ func (b *Bitmap) RemoveRegion(addr, size uint32) error {
 		}
 	}
 	for off := uint32(0); off < size; off += 4 {
-		b.removeWord((addr + off) & b.addrMask)
+		b.removeWord((addr+off)&b.addrMask, k)
 	}
 	return nil
 }
@@ -359,6 +477,45 @@ func (b *Bitmap) ContainsAccess(addr, size uint32) bool {
 	}
 }
 
+// ContainsKind reports whether the word containing addr is monitored for an
+// access of kind k (KindStore or KindLoad; KindAll matches either). Same
+// lock-free cost shape as Contains plus one bitmap-word read per set bit in
+// k. Lock-free: safe to call concurrently with mutators.
+func (b *Bitmap) ContainsKind(addr uint32, k Kind) bool {
+	a := addr & b.addrMask
+	e := atomic.LoadInt32(&b.table[a>>b.segShift])
+	segs := *b.segsView.Load()
+	seg := segs[e>>1]
+	w := (a >> 2) & (b.segWords - 1)
+	bit := uint32(1) << (w & 31)
+	for p := uint32(0); p < 2; p++ {
+		if k&(1<<p) == 0 {
+			continue
+		}
+		if atomic.LoadUint32(&seg[(p+1)*b.planeWords+w>>5])&bit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAccessKind reports whether a size-byte access of kind k at addr
+// touches a word monitored for that kind. Lock-free. Like ContainsAccess,
+// each word recomputes its own segment, so an access straddling a segment
+// boundary consults both segments.
+func (b *Bitmap) ContainsAccessKind(addr, size uint32, k Kind) bool {
+	first := addr &^ 3
+	last := (addr + size - 1) &^ 3
+	for a := first; ; a += 4 {
+		if b.ContainsKind(a, k) {
+			return true
+		}
+		if a == last {
+			return false
+		}
+	}
+}
+
 // SegmentCount returns the number of monitored words in the segment
 // containing addr (the auxiliary count; overlapped words count once).
 func (b *Bitmap) SegmentCount(addr uint32) uint32 {
@@ -375,6 +532,6 @@ func (b *Bitmap) MemoryOverheadBytes() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	total := uint64(len(b.table)) * 4
-	total += uint64(len(b.segs)) * uint64(b.segWords/32) * 4
+	total += uint64(len(b.segs)) * uint64(3*b.planeWords) * 4
 	return total
 }

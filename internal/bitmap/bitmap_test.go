@@ -475,3 +475,210 @@ func BenchmarkAddRemove(b *testing.B) {
 		bm.Remove(0x1000, 64)
 	}
 }
+
+// TestContainsAccessSegmentStraddle is the regression test for doubleword
+// accesses that straddle a segment boundary on the lock-free path: each word
+// of the access must be resolved through its own segment-table entry, so a
+// hit in either segment is found even when the other segment is unmonitored
+// (or was never privately allocated).
+func TestContainsAccessSegmentStraddle(t *testing.T) {
+	b := New(DefaultConfig)
+	segBytes := uint32(1) << b.SegShift()
+	boundary := segBytes * 5
+	first := boundary - 4 // last word of segment 4
+	// Monitor only the word AFTER the boundary: segment 4 stays on the
+	// shared zero segment.
+	if err := b.Add(boundary, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !b.ContainsAccess(first, 8) {
+		t.Fatal("straddling access must find the hit in the second segment")
+	}
+	if b.ContainsAccess(first-8, 8) {
+		t.Fatal("access entirely inside the unmonitored segment must miss")
+	}
+	if err := b.Remove(boundary, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Now monitor only the word BEFORE the boundary.
+	if err := b.Add(first, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !b.ContainsAccess(first, 8) {
+		t.Fatal("straddling access must find the hit in the first segment")
+	}
+	if b.ContainsAccess(boundary, 8) {
+		t.Fatal("access entirely past the region must miss")
+	}
+}
+
+// TestRemoveSplitsStraddlingRegion removes the two middle words of a region
+// that crosses a segment boundary, splitting it into two single-word stubs
+// in different segments, and checks every per-word and per-access lookup
+// against the resulting shape.
+func TestRemoveSplitsStraddlingRegion(t *testing.T) {
+	b := New(DefaultConfig)
+	segBytes := uint32(1) << b.SegShift()
+	boundary := segBytes * 7
+	start := boundary - 8
+	// Four words: two on each side of the boundary.
+	if err := b.Add(start, 16); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the straddling middle pair (one word in each segment).
+	if err := b.Remove(start+4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Contains(start) || !b.Contains(start+12) {
+		t.Fatal("outer words must stay monitored")
+	}
+	if b.Contains(start+4) || b.Contains(start+8) {
+		t.Fatal("removed middle words must be clear")
+	}
+	if b.ContainsAccess(start+4, 8) {
+		t.Fatal("doubleword access covering only the removed words must miss")
+	}
+	if !b.ContainsAccess(start, 8) || !b.ContainsAccess(start+8, 8) {
+		t.Fatal("doubleword accesses touching a surviving word must hit")
+	}
+	if b.SegmentUnmonitored(start) || b.SegmentUnmonitored(boundary) {
+		t.Fatal("both segments still hold one monitored word")
+	}
+	if err := b.Remove(start, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Remove(start+12, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !b.SegmentUnmonitored(start) || !b.SegmentUnmonitored(boundary) {
+		t.Fatal("both segments must return to unmonitored")
+	}
+}
+
+func TestKindPlanes(t *testing.T) {
+	b := New(DefaultConfig)
+	if err := b.AddKind(0x1000, 8, KindLoad); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Contains(0x1000) {
+		t.Fatal("any-plane must cover a load-kind region")
+	}
+	if !b.ContainsKind(0x1000, KindLoad) || !b.ContainsKind(0x1004, KindAll) {
+		t.Fatal("load plane must cover the region")
+	}
+	if b.ContainsKind(0x1000, KindStore) {
+		t.Fatal("store plane must not cover a load-only region")
+	}
+	if !b.ContainsAccessKind(0x0FFC, 8, KindLoad) {
+		t.Fatal("doubleword load access must hit the load plane")
+	}
+	if b.ContainsAccessKind(0x0FFC, 8, KindStore) {
+		t.Fatal("doubleword store access must miss the load-only region")
+	}
+	if err := b.RemoveKind(0x1000, 8, KindLoad); err != nil {
+		t.Fatal(err)
+	}
+	if b.Contains(0x1000) || b.ContainsKind(0x1000, KindAll) {
+		t.Fatal("remove must clear every plane")
+	}
+	// Kindless API defaults to the paper's store kind.
+	if err := b.Add(0x2000, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !b.ContainsKind(0x2000, KindStore) || b.ContainsKind(0x2000, KindLoad) {
+		t.Fatal("kindless Add must populate only the store plane")
+	}
+	// Invalid kinds are rejected.
+	if err := b.AddKind(0x3000, 4, 0); err == nil {
+		t.Fatal("kind 0 must be rejected")
+	}
+	if err := b.AddKind(0x3000, 4, Kind(0x80)); err == nil {
+		t.Fatal("unknown kind bits must be rejected")
+	}
+}
+
+// TestKindRefcountOverlap overlaps refcounted regions of different kinds on
+// the same words and checks that each plane clears exactly when its own last
+// covering region goes.
+func TestKindRefcountOverlap(t *testing.T) {
+	b := New(DefaultConfig)
+	addr := uint32(0x5000)
+	if err := b.AddRegionKind(addr, 8, KindStore); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRegionKind(addr, 8, KindStore); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRegionKind(addr+4, 8, KindLoad); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RemoveRegionKind(addr, 8, KindStore); err != nil {
+		t.Fatal(err)
+	}
+	if !b.ContainsKind(addr, KindStore) || !b.ContainsKind(addr+4, KindStore) {
+		t.Fatal("store plane must survive while a store region remains")
+	}
+	if err := b.RemoveRegionKind(addr, 8, KindStore); err != nil {
+		t.Fatal(err)
+	}
+	if b.ContainsKind(addr, KindStore) || b.ContainsKind(addr+4, KindStore) {
+		t.Fatal("store plane must clear with the last store region")
+	}
+	if !b.Contains(addr+4) || !b.ContainsKind(addr+8, KindLoad) {
+		t.Fatal("load region must survive store removals")
+	}
+	if b.Contains(addr) {
+		t.Fatal("word covered only by removed store regions must clear")
+	}
+	if err := b.RemoveRegionKind(addr+4, 8, KindLoad); err != nil {
+		t.Fatal(err)
+	}
+	if b.Contains(addr+4) || b.ContainsKind(addr+8, KindAll) {
+		t.Fatal("all planes must clear when the last region goes")
+	}
+	if b.MonitoredWords() != 0 {
+		t.Fatalf("monitored words = %d, want 0", b.MonitoredWords())
+	}
+}
+
+// TestKindLookupDuringChurn hammers the kind-plane lock-free lookups while a
+// mutator churns regions of both kinds; run under -race this checks the
+// plane reads are properly atomic.
+func TestKindLookupDuringChurn(t *testing.T) {
+	b := New(Config{AddrBits: 20, SegWords: 128})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := uint32(r.Intn(1<<18)) &^ 3
+				k := Kind(1 + r.Intn(3))
+				_ = b.ContainsKind(a, k)
+				_ = b.ContainsAccessKind(a, 8, k)
+			}
+		}(int64(i))
+	}
+	for i := 0; i < 2000; i++ {
+		a := uint32((i*512)%(1<<18)) &^ 3
+		k := KindStore
+		if i%2 == 1 {
+			k = KindLoad
+		}
+		if err := b.AddRegionKind(a, 16, k); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.RemoveRegionKind(a, 16, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

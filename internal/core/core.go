@@ -46,6 +46,19 @@ func (r Region) String() string {
 // size the store width in bytes.
 type HitFunc func(addr uint32, size uint32)
 
+// Kind is a region's access-kind mask: which access kinds trigger a hit.
+// It aliases the bitmap package's kind so the two layers share constants.
+type Kind = bitmap.Kind
+
+const (
+	// KindStore triggers on stores — the paper's only kind.
+	KindStore = bitmap.KindStore
+	// KindLoad triggers on loads (read watchpoints).
+	KindLoad = bitmap.KindLoad
+	// KindAll triggers on both.
+	KindAll = bitmap.KindAll
+)
+
 // Lookup abstracts the address-lookup data structure.
 type Lookup interface {
 	// Add marks the region as monitored; it fails on overlap or misalignment.
@@ -58,9 +71,24 @@ type Lookup interface {
 	ContainsAccess(addr, size uint32) bool
 }
 
+// KindLookup is the optional kind-aware extension of Lookup. A lookup that
+// implements it tracks per-kind coverage itself (the segmented bitmap's kind
+// planes); for one that does not, the service falls back to its region table
+// to filter hits by kind.
+type KindLookup interface {
+	Lookup
+	// AddKind is Add with an explicit access-kind mask.
+	AddKind(addr, size uint32, k Kind) error
+	// RemoveKind is Remove for a region added with kind k.
+	RemoveKind(addr, size uint32, k Kind) error
+	// ContainsAccessKind reports whether a size-byte access of kind k at
+	// addr touches a word monitored for that kind.
+	ContainsAccessKind(addr, size uint32, k Kind) bool
+}
+
 var (
-	_ Lookup = (*bitmap.Bitmap)(nil)
-	_ Lookup = (*hashtable.Table)(nil)
+	_ Lookup     = (*hashtable.Table)(nil)
+	_ KindLookup = (*bitmap.Bitmap)(nil)
 )
 
 // Patcher re-inserts and removes eliminated write checks at run time
@@ -77,6 +105,8 @@ type Patcher interface {
 type Stats struct {
 	Checks      uint64 // CheckWrite calls
 	Hits        uint64 // monitor hits delivered
+	ReadChecks  uint64 // CheckRead calls
+	ReadHits    uint64 // read-watchpoint hits delivered
 	RangeChecks uint64 // CheckRange calls
 	RangeHits   uint64 // conservative range intersections reported
 }
@@ -103,7 +133,9 @@ type Service struct {
 	ranges   *rangecheck.Index
 	callback HitFunc
 	patcher  Patcher
-	regions  map[Region]struct{}
+	regions  map[Region]Kind
+	storable int // regions whose kind includes KindStore
+	loadable int // regions whose kind includes KindLoad
 	symbols  map[string]Region // PreMonitor'd symbol -> its region
 	stats    Stats
 }
@@ -113,7 +145,7 @@ type Service struct {
 func New(opts ...Option) *Service {
 	s := &Service{
 		ranges:  rangecheck.New(),
-		regions: make(map[Region]struct{}),
+		regions: make(map[Region]Kind),
 		symbols: make(map[string]Region),
 	}
 	for _, o := range opts {
@@ -136,38 +168,89 @@ func (s *Service) SetCallback(f HitFunc) {
 	s.callback = f
 }
 
-// CreateMonitoredRegion installs r. The region must be word aligned and
-// disjoint from every installed region.
+// CreateMonitoredRegion installs r with the paper's store kind. The region
+// must be word aligned and disjoint from every installed region.
 func (s *Service) CreateMonitoredRegion(r Region) error {
+	return s.CreateMonitoredRegionKind(r, KindStore)
+}
+
+// CreateMonitoredRegionKind installs r triggering on the access kinds in k.
+func (s *Service) CreateMonitoredRegionKind(r Region, k Kind) error {
+	if k == 0 || k&^KindAll != 0 {
+		return fmt.Errorf("core: invalid region kind %v", k)
+	}
 	if _, dup := s.regions[r]; dup {
 		return fmt.Errorf("core: region %v already monitored", r)
 	}
-	if err := s.lookup.Add(r.Addr, r.Size); err != nil {
+	if kl, ok := s.lookup.(KindLookup); ok {
+		if err := kl.AddKind(r.Addr, r.Size, k); err != nil {
+			return err
+		}
+	} else if err := s.lookup.Add(r.Addr, r.Size); err != nil {
 		return err
 	}
 	if err := s.ranges.Add(r.Addr, r.Size); err != nil {
 		// Keep lookup and range index in sync even on failure.
-		_ = s.lookup.Remove(r.Addr, r.Size)
+		_ = s.removeFromLookup(r, k)
 		return err
 	}
-	s.regions[r] = struct{}{}
+	s.regions[r] = k
+	if k&KindStore != 0 {
+		s.storable++
+	}
+	if k&KindLoad != 0 {
+		s.loadable++
+	}
 	return nil
 }
 
+func (s *Service) removeFromLookup(r Region, k Kind) error {
+	if kl, ok := s.lookup.(KindLookup); ok {
+		return kl.RemoveKind(r.Addr, r.Size, k)
+	}
+	return s.lookup.Remove(r.Addr, r.Size)
+}
+
 // DeleteMonitoredRegion removes a region previously created with exactly
-// these bounds.
+// these bounds (any kind).
 func (s *Service) DeleteMonitoredRegion(r Region) error {
-	if _, ok := s.regions[r]; !ok {
+	k, ok := s.regions[r]
+	if !ok {
 		return fmt.Errorf("core: region %v is not monitored", r)
 	}
-	if err := s.lookup.Remove(r.Addr, r.Size); err != nil {
+	if err := s.removeFromLookup(r, k); err != nil {
 		return err
 	}
 	if err := s.ranges.Remove(r.Addr, r.Size); err != nil {
 		return err
 	}
 	delete(s.regions, r)
+	if k&KindStore != 0 {
+		s.storable--
+	}
+	if k&KindLoad != 0 {
+		s.loadable--
+	}
 	return nil
+}
+
+// RegionKind returns the kind of an installed region, or 0 if r is not
+// monitored.
+func (s *Service) RegionKind(r Region) Kind { return s.regions[r] }
+
+// regionsHit reports whether any installed region with a kind bit in k
+// covers a word of the size-byte access at addr. This is the kind filter for
+// lookups without per-kind coverage (the hash table); region counts are
+// small, so a linear scan on the hit path is fine.
+func (s *Service) regionsHit(addr, size uint32, k Kind) bool {
+	first := addr &^ 3
+	last := (addr + size - 1) &^ 3
+	for r, rk := range s.regions {
+		if rk&k != 0 && first < r.End() && last >= r.Addr {
+			return true
+		}
+	}
+	return false
 }
 
 // Disabled reports whether no regions are installed — the paper's global
@@ -181,11 +264,39 @@ func (s *Service) Regions() int { return len(s.regions) }
 // size bytes at addr. On a monitor hit the notification callback runs.
 func (s *Service) CheckWrite(addr, size uint32) {
 	s.stats.Checks++
-	if len(s.regions) == 0 {
+	if s.storable == 0 {
 		return
 	}
-	if s.lookup.ContainsAccess(addr, size) {
+	if kl, ok := s.lookup.(KindLookup); ok {
+		if kl.ContainsAccessKind(addr, size, KindStore) {
+			s.stats.Hits++
+			s.callback(addr, size)
+		}
+		return
+	}
+	if s.lookup.ContainsAccess(addr, size) && s.regionsHit(addr, size, KindStore) {
 		s.stats.Hits++
+		s.callback(addr, size)
+	}
+}
+
+// CheckRead is the load check: the host calls it on every load of size
+// bytes at addr when read watchpoints are armed. On a hit the notification
+// callback runs.
+func (s *Service) CheckRead(addr, size uint32) {
+	s.stats.ReadChecks++
+	if s.loadable == 0 {
+		return
+	}
+	if kl, ok := s.lookup.(KindLookup); ok {
+		if kl.ContainsAccessKind(addr, size, KindLoad) {
+			s.stats.ReadHits++
+			s.callback(addr, size)
+		}
+		return
+	}
+	if s.lookup.ContainsAccess(addr, size) && s.regionsHit(addr, size, KindLoad) {
+		s.stats.ReadHits++
 		s.callback(addr, size)
 	}
 }

@@ -89,6 +89,11 @@ const (
 type Options struct {
 	Mode    Mode
 	Monitor monitor.Config
+	// CheckReads also instruments load instructions (read watchpoints);
+	// loads run through the same elimination lattice as stores — symbol
+	// match, loop-invariant motion, range checks — so redundant load checks
+	// are eliminated by the analyses that eliminate store checks.
+	CheckReads bool
 }
 
 // Result is the rewritten program plus the site registry.
@@ -211,7 +216,8 @@ func (rw *rewriter) rewriteUnit(u *asm.Unit) (*asm.Unit, error) {
 			}
 		}
 		for pos := range info.AddrOf {
-			if !f.Instruction(pos).Op.IsStore() {
+			op := f.Instruction(pos).Op
+			if !op.IsStore() && !(rw.opts.CheckReads && op.IsLoad()) {
 				continue
 			}
 			item := f.InstrItem(pos)
@@ -255,19 +261,31 @@ func (rw *rewriter) rewriteUnit(u *asm.Unit) (*asm.Unit, error) {
 		}
 		in := it.Instr
 		switch {
-		case in.Op.IsStore():
+		case in.Op.IsStore() || (rw.opts.CheckReads && in.Op.IsLoad()):
 			d := storePlan[i]
 			if d == nil {
-				// A store outside any function (no func record): check it.
+				// An access outside any function (no func record): check it.
 				d = &decision{checked: true}
 			}
 			if d.checked {
-				it.CountName = patch.CounterWrites
-				nu.Items = append(nu.Items, it)
-				emitSrc(it.Section, patch.CheckText(patch.Options{
+				if in.Op.IsLoad() {
+					it.CountName = patch.CounterReads
+				} else {
+					it.CountName = patch.CounterWrites
+				}
+				check := patch.CheckText(patch.Options{
 					Strategy: patch.BitmapInlineRegisters,
 					Monitor:  rw.opts.Monitor,
-				}, in, patch.WriteHeap, rw.nextID()))
+				}, in, patch.WriteHeap, rw.nextID())
+				// A load that clobbers its own address register must be
+				// checked before it executes (see patch.LoadClobbersAddress).
+				if patch.LoadClobbersAddress(in) {
+					emitSrc(it.Section, check)
+					nu.Items = append(nu.Items, it)
+				} else {
+					nu.Items = append(nu.Items, it)
+					emitSrc(it.Section, check)
+				}
 			} else {
 				rw.emitSite(nu, emitSrc, it, d)
 			}
@@ -311,18 +329,25 @@ func (rw *rewriter) emitSite(nu *asm.Unit, emitSrc func(string, string), it asm.
 	nu.Items = append(nu.Items, it)
 	nu.Items = append(nu.Items, asm.Item{Kind: asm.ItemLabel, Label: siteRetLabel(id), Section: it.Section})
 
-	// Patch block: the displaced store, its check, and the return branch.
+	// Patch block: the displaced store, its check, and the return branch. A
+	// clobbering load's check goes first (see patch.LoadClobbersAddress).
 	rw.patch = append(rw.patch, asm.Item{Kind: asm.ItemLabel, Label: sitePatchLabel(id), Section: "text"})
 	st := it
 	st.CountName = counter
-	rw.patch = append(rw.patch, st)
 	gu := rw.parseGen(patch.CheckText(patch.Options{
 		Strategy: patch.BitmapInlineRegisters,
 		Monitor:  rw.opts.Monitor,
 	}, it.Instr, patch.WriteHeap, rw.nextID()))
+	before := patch.LoadClobbersAddress(it.Instr)
+	if !before {
+		rw.patch = append(rw.patch, st)
+	}
 	for _, pit := range gu.Items {
 		pit.Section = "text"
 		rw.patch = append(rw.patch, pit)
+	}
+	if before {
+		rw.patch = append(rw.patch, st)
 	}
 	rw.patch = append(rw.patch, asm.Item{
 		Kind:      asm.ItemInstr,
@@ -348,7 +373,8 @@ func (rw *rewriter) tryLoopElim(u *asm.Unit, f *cfg.Func, info *ir.Info,
 		li := loopInfos[l]
 		addr := info.AddrOf[pos]
 
-		double := f.Instruction(pos).Op == sparc.Std
+		op := f.Instruction(pos).Op
+		double := op == sparc.Std || op == sparc.Ldd
 		extra := int32(0)
 		if double {
 			extra = 4

@@ -32,9 +32,9 @@
 // re-decodes the patched micro-op and recomputes the block index for the
 // (bounded) straight-line run ending at the patched index. A patch that
 // lands inside the currently executing block is caught by a text generation
-// counter checked on the only re-entrant path a block interior has
-// (StoreHook); the block then exits cleanly and re-dispatches against the
-// fresh index.
+// counter checked on the only re-entrant paths a block interior has
+// (StoreHook and LoadHook); the block then exits cleanly and re-dispatches
+// against the fresh index.
 package machine
 
 import (
@@ -426,6 +426,19 @@ dispatch:
 					if ea&3 != 0 {
 						return m.blockFault(pc, k, cyc, base, ihits-uint64(end-k-1), "unaligned load at %#x", ea)
 					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						// Same contract as StoreHook below: debit the prepaid
+						// ifetch hits, flush the earned ones, and end the chunk
+						// so a hook that patches or invalidates is safe.
+						ihits -= uint64(end - k - 1)
+						end = k + 1
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
 					cyc += m.costs.MemExtra
 					if line := ea >> shift; line == curDLine {
 						m.cache.NoteHits(cache.DRead, 1)
@@ -446,11 +459,27 @@ dispatch:
 					// check on the 4-byte load).
 					o := ea & (PageBytes - 4)
 					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.instrs += int64(k) + 1
+						m.cycles += cyc + base*(int64(k)+1)
+						m.pc = pc + int32(k) + 1
+						continue dispatch
+					}
 
 				case sparc.Ldd:
 					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.s2i)
 					if ea&7 != 0 {
 						return m.blockFault(pc, k, cyc, base, ihits-uint64(end-k-1), "unaligned ldd at %#x", ea)
+					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						ihits -= uint64(end - k - 1)
+						end = k + 1
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 8)
+						curILine = noLine
+						curDLine = noLine
 					}
 					cyc += m.costs.MemExtra
 					if line := ea >> shift; line == curDLine {
@@ -466,9 +495,28 @@ dispatch:
 						}
 						curDLine = line
 					}
-					cyc += m.costs.MemExtra // second word
+					cyc += m.costs.MemExtra // second word (see dataAccess2)
+					if line2 := (ea + 4) >> shift; line2 != curDLine {
+						// Lines narrower than a doubleword: the second word
+						// has its own line and is probed like any access.
+						if !m.cache.Access(ea+4, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line2^curILine)&imask == 0 {
+							curILine = noLine
+							ihits -= uint64(end - k - 1)
+							end = k + 1
+						}
+						curDLine = line2
+					}
 					m.regs[u.rd] = m.ReadWord(ea)
 					m.regs[u.rd+1] = m.ReadWord(ea + 4)
+					if hooked && m.textGen != gen {
+						m.instrs += int64(k) + 1
+						m.cycles += cyc + base*(int64(k)+1)
+						m.pc = pc + int32(k) + 1
+						continue dispatch
+					}
 
 				case sparc.St:
 					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.s2i)
@@ -546,7 +594,18 @@ dispatch:
 						}
 						curDLine = line
 					}
-					cyc += m.costs.MemExtra
+					cyc += m.costs.MemExtra // second word (see dataAccess2)
+					if line2 := (ea + 4) >> shift; line2 != curDLine {
+						if !m.cache.Access(ea+4, cache.DWrite) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line2^curILine)&imask == 0 {
+							curILine = noLine
+							ihits -= uint64(end - k - 1)
+							end = k + 1
+						}
+						curDLine = line2
+					}
 					m.storeWord(ea, m.regs[u.rd])
 					m.storeWord(ea+4, m.regs[u.rd+1])
 					if hooked && m.textGen != gen {

@@ -15,7 +15,7 @@
 // transfers are evaluated inline; the trace back-edge is a pointer reset,
 // not a dispatch. Per-pass hot state (both line trackers, hit/cycle
 // accumulators, the CC byte) stays in locals and spills to the shared cst
-// only at trace exits, faults, and StoreHook boundaries. Trace-to-trace
+// only at trace exits, faults, and hook (StoreHook/LoadHook) boundaries. Trace-to-trace
 // linking is a tail-dispatch: the exiting closure hands the trampoline
 // (execClosures) the next trace's entry closure, threading it on demand, so
 // chained traces run without a block-dispatcher round-trip.
@@ -70,7 +70,7 @@
 // The proof obligation is unchanged: simulated instruction counts, cycles,
 // cache statistics, event counters, and fault points bit-identical to Step.
 // Patch safety reuses the trace tier's contract verbatim: spans + textGen (a
-// hooked store that patches text exits at the store boundary), and COW
+// hooked store or load that patches text exits at the access boundary), and COW
 // privatization drops this machine's closures only (invalidateTraces nils
 // cls alongside traces; syncTraceState rebuilds both slices).
 package machine
@@ -270,6 +270,59 @@ func dataSlowV(m *Machine, ea uint32, kind cache.Kind, line, curIL, curDL, imask
 	return curIL, curDL, cyc, conv
 }
 
+// dataSlow2V is the doubleword straddle slow path: ea and ea+4 fall on
+// different D-lines (only possible with lines narrower than 8 bytes — Ldd/Std
+// enforce 8-byte alignment), so both words probe, in program order, one
+// reference each (see dataAccess2). Any I-tracker kill defers its eager
+// repair until AFTER the second word's probe: execTrace probes the next
+// fetch only once both data words are done, and the repair must keep that
+// cache-probe order to stay bit-identical.
+//
+//go:noinline
+func dataSlow2V(m *Machine, ea uint32, kind cache.Kind, line, curIL, curDL, imask, ria, shift uint32) (uint32, uint32, int64, int64) {
+	cyc, conv := int64(0), int64(0)
+	kill := false
+	if line == curDL {
+		if kind == cache.DRead {
+			m.cstate.drh++
+		} else {
+			m.cstate.dwh++
+		}
+	} else {
+		if !m.cache.Access(ea, kind) {
+			cyc = m.costs.MissPenalty
+		}
+		if curIL != noLine && (line^curIL)&imask == 0 {
+			curIL = noLine
+			kill = true
+		}
+		curDL = line
+	}
+	// The second word's line differs from the first's by construction, and
+	// curDL now holds the first word's line, so this is always a probe.
+	line2 := (ea + 4) >> shift
+	if !m.cache.Access(ea+4, kind) {
+		cyc += m.costs.MissPenalty
+	}
+	if curIL != noLine && (line2^curIL)&imask == 0 {
+		curIL = noLine
+		kill = true
+	}
+	curDL = line2
+	if kill && ria != 0 {
+		rline := ria >> shift
+		if !m.cache.Access(ria, cache.IFetch) {
+			cyc += m.costs.MissPenalty
+		}
+		if (rline^curDL)&imask == 0 {
+			curDL = noLine
+		}
+		curIL = rline
+		conv = -1
+	}
+	return curIL, curDL, cyc, conv
+}
+
 // stop commits n instructions (cyc dynamic cycles plus the folded base) and
 // returns control to the dispatcher at npc — budget exhaustion and
 // store-boundary patch exits.
@@ -329,6 +382,26 @@ func (s *cst) hookFlush(ihits uint64, ccb uint8, ea uint32, size int32) int64 {
 		s.dwh = 0
 	}
 	return s.m.StoreHook(ea, size)
+}
+
+// loadHookFlush is hookFlush's load twin: drain exact statistics for a
+// LoadHook observer, then run the hook. Same caller contract — zero the
+// local hit count and kill both trackers after the call.
+//
+//go:noinline
+func (s *cst) loadHookFlush(ihits uint64, ccb uint8, ea uint32, size int32) int64 {
+	s.m.ccb = ccb
+	c := s.m.cache
+	c.NoteHits(cache.IFetch, ihits)
+	if s.drh != 0 {
+		c.NoteHits(cache.DRead, s.drh)
+		s.drh = 0
+	}
+	if s.dwh != 0 {
+		c.NoteHits(cache.DWrite, s.dwh)
+		s.dwh = 0
+	}
+	return s.m.LoadHook(ea, size)
 }
 
 // fault commits a fault at the item's text index (cyc arrives as the
@@ -643,25 +716,76 @@ func (m *Machine) winPop(spillC int64) int64 {
 	return 0
 }
 
-// hookTail is the post-store half of a hooked store item. On a text patch
-// under the hook it reports exit=true and the caller stops at the store
-// boundary. Otherwise it rebases the batch — pre-hook precounted fetches
-// were flushed, so the next settle's full-batch count must not recount
-// them; ihits wraps negative mod 2^64 here, and every path to a flush
-// first adds a batch prefix that covers the rebase — then re-establishes
-// the next precounted fetch eagerly, exactly as execTrace's next per-op
-// fetch would.
+// hookedAccess is the whole hooked-access slow path shared by every load and
+// store item: flush-and-hook (hookFlush or loadHookFlush by kind), the word
+// probes with both trackers dead (the kill leaves no known-hit or alias case
+// to handle — every word is a plain probe, a straddled doubleword's second
+// word its own reference, see dataAccess2), the architectural move through
+// the generic ReadWord/storeWord path, then either the batch rebase and
+// eager repair (rebased ihits wraps negative mod 2^64; every path to a flush
+// first adds a batch prefix that covers it, and the repair performs the next
+// precounted fetch's probe exactly as execTrace's next per-op fetch would)
+// or, on a text patch under the hook, the access-boundary commit (exit=true:
+// the caller returns to the trampoline immediately). Keeping all of it out
+// of line keeps the nine hook sites in run() from pushing the loop over the
+// inliner's big-function node budget.
+//
+// ria is the eager-repair target: the next precounted first-fetch address
+// (it.rx) — or, for a hooked FIRST half of a fused pair whose own second
+// fetch is precounted, that second fetch's address. extra/dN/dPc locate the
+// access boundary for the patch exit: the item's static share through the
+// access, and the retired-count/pc deltas for a fused second half.
 //
 //go:noinline
-func (s *cst) hookTail(hb uint16, ria, shift uint32, curIL0, curDL0 uint32, ihits0 uint64) (curIL, curDL uint32, ihits uint64, cyc int64, exit bool) {
-	curIL, curDL, ihits = curIL0, curDL0, ihits0
-	if s.m.textGen != s.gen {
-		return curIL, curDL, ihits, 0, true
+func (s *cst) hookedAccess(cp *closProg, items []ritem, it *ritem, ihits0 uint64, ccb uint8, cyc0 int64, ea uint32, hb uint16, ria uint32, reg uint8, kind cache.Kind, dbl bool, extra int64, dN, dPc int32) (curIL, curDL uint32, ihits uint64, cyc int64, exit bool) {
+	m := s.m
+	size := int32(4)
+	if dbl {
+		size = 8
 	}
-	ihits -= uint64(hb)
+	cyc = cyc0
+	if kind == cache.DWrite {
+		cyc += s.hookFlush(ihits0+uint64(hb), ccb, ea, size)
+	} else {
+		cyc += s.loadHookFlush(ihits0+uint64(hb), ccb, ea, size)
+	}
+	shift := cp.shift
+	if !m.cache.Access(ea, kind) {
+		cyc += m.costs.MissPenalty
+	}
+	curIL, curDL = noLine, ea>>shift
+	if dbl {
+		if l2 := (ea + 4) >> shift; l2 != curDL {
+			if !m.cache.Access(ea+4, kind) {
+				cyc += m.costs.MissPenalty
+			}
+			curDL = l2
+		}
+	}
+	if kind == cache.DWrite {
+		m.storeWord(ea, m.regs[reg])
+		if dbl {
+			m.storeWord(ea+4, m.regs[reg+1])
+		}
+	} else {
+		m.regs[reg] = m.ReadWord(ea)
+		if dbl {
+			m.regs[reg+1] = m.ReadWord(ea + 4)
+		}
+	}
+	if m.textGen != s.gen {
+		cd := &cp.cold[itemIdx(items, it)]
+		n := int64(cd.niW) + int64(dN)
+		s.inst += n
+		s.cycs += cyc + int64(cd.cycB) + extra + s.base*n
+		s.rem -= n
+		s.npc = it.fpc + dPc
+		return curIL, curDL, 0, 0, true
+	}
+	ihits = -uint64(hb)
 	if ria != 0 {
 		var c int64
-		curIL, curDL, c = fetchSlowV(s.m, ria>>shift, ria, curDL, s.imask)
+		curIL, curDL, c = fetchSlowV(m, ria>>shift, ria, curDL, s.imask)
 		cyc += c
 		ihits--
 	}
@@ -798,6 +922,15 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 							cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
 					}
+					if m.LoadHook != nil {
+						var ex bool
+						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+							ihits, ccb, cyc, ea, it.hb, it.rx, it.rd, cache.DRead, false, cp.memx, 0, 1)
+						if ex {
+							return nil, curIL, curDL, ihits, ccb
+						}
+						break
+					}
 					if line := ea >> shift; line == curDL {
 						m.cstate.drh++
 					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
@@ -828,7 +961,23 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 							cyc, cp, items, it, 0, 0, "unaligned ldd at %#x", ea)
 					}
-					if line := ea >> shift; line == curDL {
+					if m.LoadHook != nil {
+						var ex bool
+						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+							ihits, ccb, cyc, ea, it.hb, it.rx, it.rd, cache.DRead, true, 2*cp.memx, 0, 1)
+						if ex {
+							return nil, curIL, curDL, ihits, ccb
+						}
+						break
+					}
+					if line := ea >> shift; (ea+4)>>shift != line {
+						// Straddle (lines narrower than 8 bytes): both words
+						// probe, repair deferred — see dataSlow2V.
+						var c, cv int64
+						curIL, curDL, c, cv = dataSlow2V(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						cyc += c
+						ihits += uint64(cv)
+					} else if line == curDL {
 						m.cstate.drh++
 					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
 						// Clean D-line change (no I-tracker alias) stays inline: probe
@@ -857,16 +1006,17 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 							cyc, cp, items, it, 0, 0, "unaligned store at %#x", ea)
 					}
-					hooked := m.StoreHook != nil
-					if hooked {
-						// Flush exact statistics for the observer, run the
-						// hook, and kill both trackers; the batch rebase (so
-						// the next settle counts only post-hook fetches)
-						// waits for the patch-exit check below, where it is
-						// known the batch will reach a settle.
-						cyc += m.cstate.hookFlush(ihits+uint64(it.hb), ccb, ea, 4)
-						ihits = 0
-						curIL, curDL = noLine, noLine
+					if m.StoreHook != nil {
+						// The whole hooked protocol — flush exact statistics,
+						// run the hook, probe with dead trackers, store, then
+						// rebase-and-repair or patch-exit — lives out of line.
+						var ex bool
+						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+							ihits, ccb, cyc, ea, it.hb, it.rx, it.rd, cache.DWrite, false, cp.memx, 0, 1)
+						if ex {
+							return nil, curIL, curDL, ihits, ccb
+						}
+						break
 					}
 					if line := ea >> shift; line == curDL {
 						m.cstate.dwh++
@@ -891,17 +1041,6 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					}
 					o := ea & (PageBytes - 4)
 					binary.BigEndian.PutUint32(pg[o:o+4], uint32(m.regs[it.rd]))
-					if hooked {
-						var c int64
-						var ex bool
-						curIL, curDL, ihits, c, ex = m.cstate.hookTail(it.hb, it.rx, shift, curIL, curDL, ihits)
-						cyc += c
-						if ex {
-							cd := &cp.cold[itemIdx(items, it)]
-							return m.cstate.stop(curIL, curDL, ihits, ccb,
-								cyc+int64(cd.cycB)+cp.memx, int64(cd.niW), it.fpc+1)
-						}
-					}
 
 				case tStd:
 					ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
@@ -909,13 +1048,23 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 							cyc, cp, items, it, 0, 0, "unaligned std at %#x", ea)
 					}
-					hooked := m.StoreHook != nil
-					if hooked {
-						cyc += m.cstate.hookFlush(ihits+uint64(it.hb), ccb, ea, 8)
-						ihits = 0
-						curIL, curDL = noLine, noLine
+					if m.StoreHook != nil {
+						var ex bool
+						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+							ihits, ccb, cyc, ea, it.hb, it.rx, it.rd, cache.DWrite, true, 2*cp.memx, 0, 1)
+						if ex {
+							return nil, curIL, curDL, ihits, ccb
+						}
+						break
 					}
-					if line := ea >> shift; line == curDL {
+					if line := ea >> shift; (ea+4)>>shift != line {
+						// Straddle (lines narrower than 8 bytes): both words
+						// probe, repair deferred — see dataSlow2V.
+						var c, cv int64
+						curIL, curDL, c, cv = dataSlow2V(m, ea, cache.DWrite, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						cyc += c
+						ihits += uint64(cv)
+					} else if line == curDL {
 						m.cstate.dwh++
 					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
 						// Clean D-line change (no I-tracker alias) stays inline: probe
@@ -932,17 +1081,6 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					}
 					m.storeWord(ea, m.regs[it.rd])
 					m.storeWord(ea+4, m.regs[it.rd+1])
-					if hooked {
-						var c int64
-						var ex bool
-						curIL, curDL, ihits, c, ex = m.cstate.hookTail(it.hb, it.rx, shift, curIL, curDL, ihits)
-						cyc += c
-						if ex {
-							cd := &cp.cold[itemIdx(items, it)]
-							return m.cstate.stop(curIL, curDL, ihits, ccb,
-								cyc+int64(cd.cycB)+2*cp.memx, int64(cd.niW), it.fpc+1)
-						}
-					}
 
 				case tSave:
 					// Mirrors Step: operand computed in the caller's window,
@@ -1007,35 +1145,51 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 							cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
 					}
-					if line := ea >> shift; line == curDL {
-						m.cstate.drh++
-					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
-						// Clean D-line change (no I-tracker alias) stays inline: probe
-						// and retarget — the kill-and-repair path is the rare one.
-						if !m.cache.Access(ea, cache.DRead) {
-							cyc += m.costs.MissPenalty
-						}
-						curDL = line
-					} else {
-						// Kill repair targets the op's own second fetch when
-						// precounted; a crossing second fetch probes anyway.
+					if m.LoadHook != nil {
+						// Repair targets the op's own second fetch when it is
+						// precounted (a crossing one probes for itself below),
+						// exactly like the kill-repair path.
 						var ra uint32
 						if it.f&4 == 0 {
 							ra = TextBase + uint32(it.fpc)<<2 + 4
 						}
-						var c, cv int64
-						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
-						cyc += c
-						ihits += uint64(cv)
+						var ex bool
+						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+							ihits, ccb, cyc, ea, it.hb, ra, it.rd, cache.DRead, false, cp.memx, 0, 1)
+						if ex {
+							return nil, curIL, curDL, ihits, ccb
+						}
+					} else {
+						if line := ea >> shift; line == curDL {
+							m.cstate.drh++
+						} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+							// Clean D-line change (no I-tracker alias) stays inline: probe
+							// and retarget — the kill-and-repair path is the rare one.
+							if !m.cache.Access(ea, cache.DRead) {
+								cyc += m.costs.MissPenalty
+							}
+							curDL = line
+						} else {
+							// Kill repair targets the op's own second fetch when
+							// precounted; a crossing second fetch probes anyway.
+							var ra uint32
+							if it.f&4 == 0 {
+								ra = TextBase + uint32(it.fpc)<<2 + 4
+							}
+							var c, cv int64
+							curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
+							cyc += c
+							ihits += uint64(cv)
+						}
+						pb := ea &^ (PageBytes - 1)
+						pe := &m.pageCache[pageCacheIdx(ea)]
+						pg := pe.p
+						if pe.base != pb {
+							pg = m.pageSlow(pb)
+						}
+						o := ea & (PageBytes - 4)
+						m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
 					}
-					pb := ea &^ (PageBytes - 1)
-					pe := &m.pageCache[pageCacheIdx(ea)]
-					pg := pe.p
-					if pe.base != pb {
-						pg = m.pageSlow(pb)
-					}
-					o := ea & (PageBytes - 4)
-					m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
 					if it.f&4 != 0 {
 						ia2 := TextBase + uint32(it.fpc)<<2 + 4
 						if !m.cache.Access(ia2, cache.IFetch) {
@@ -1060,6 +1214,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 
 				case tAddLd, tOrLd, tLdLd:
 					var firstMemx int64
+					lhooked := m.LoadHook != nil
 					if it.kind == tLdLd {
 						firstMemx = cp.memx
 						ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
@@ -1067,33 +1222,46 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 							return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 								cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
 						}
-						if line := ea >> shift; line == curDL {
-							m.cstate.drh++
-						} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
-							// Clean D-line change (no I-tracker alias) stays inline: probe
-							// and retarget — the kill-and-repair path is the rare one.
-							if !m.cache.Access(ea, cache.DRead) {
-								cyc += m.costs.MissPenalty
-							}
-							curDL = line
-						} else {
+						if lhooked {
 							var ra uint32
 							if it.f&4 == 0 {
 								ra = TextBase + uint32(it.fpc)<<2 + 4
 							}
-							var c, cv int64
-							curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
-							cyc += c
-							ihits += uint64(cv)
+							var ex bool
+							curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+								ihits, ccb, cyc, ea, it.hb, ra, it.rd, cache.DRead, false, cp.memx, 0, 1)
+							if ex {
+								return nil, curIL, curDL, ihits, ccb
+							}
+						} else {
+							if line := ea >> shift; line == curDL {
+								m.cstate.drh++
+							} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+								// Clean D-line change (no I-tracker alias) stays inline: probe
+								// and retarget — the kill-and-repair path is the rare one.
+								if !m.cache.Access(ea, cache.DRead) {
+									cyc += m.costs.MissPenalty
+								}
+								curDL = line
+							} else {
+								var ra uint32
+								if it.f&4 == 0 {
+									ra = TextBase + uint32(it.fpc)<<2 + 4
+								}
+								var c, cv int64
+								curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
+								cyc += c
+								ihits += uint64(cv)
+							}
+							pb := ea &^ (PageBytes - 1)
+							pe := &m.pageCache[pageCacheIdx(ea)]
+							pg := pe.p
+							if pe.base != pb {
+								pg = m.pageSlow(pb)
+							}
+							o := ea & (PageBytes - 4)
+							m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
 						}
-						pb := ea &^ (PageBytes - 1)
-						pe := &m.pageCache[pageCacheIdx(ea)]
-						pg := pe.p
-						if pe.base != pb {
-							pg = m.pageSlow(pb)
-						}
-						o := ea & (PageBytes - 4)
-						m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
 					} else if it.kind == tAddLd {
 						m.regs[it.rd] = m.regs[it.rs1] + m.regs[it.s2r] + it.imm
 					} else {
@@ -1116,6 +1284,15 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					if ea&3 != 0 {
 						return m.cstate.fault(curIL, curDL, ihits+uint64(uint16(hb2)), ccb,
 							cyc+firstMemx, cp, items, it, 1, 1, "unaligned load at %#x", ea)
+					}
+					if lhooked {
+						var ex bool
+						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+							ihits, ccb, cyc, ea, uint16(hb2), it.rx, it.rd2, cache.DRead, false, firstMemx+cp.memx, 1, 2)
+						if ex {
+							return nil, curIL, curDL, ihits, ccb
+						}
+						break
 					}
 					if line := ea >> shift; line == curDL {
 						m.cstate.drh++
@@ -1150,33 +1327,46 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 							return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 								cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
 						}
-						if line := ea >> shift; line == curDL {
-							m.cstate.drh++
-						} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
-							// Clean D-line change (no I-tracker alias) stays inline: probe
-							// and retarget — the kill-and-repair path is the rare one.
-							if !m.cache.Access(ea, cache.DRead) {
-								cyc += m.costs.MissPenalty
-							}
-							curDL = line
-						} else {
+						if m.LoadHook != nil {
 							var ra uint32
 							if it.f&4 == 0 {
 								ra = TextBase + uint32(it.fpc)<<2 + 4
 							}
-							var c, cv int64
-							curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
-							cyc += c
-							ihits += uint64(cv)
+							var ex bool
+							curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+								ihits, ccb, cyc, ea, it.hb, ra, it.rd, cache.DRead, false, cp.memx, 0, 1)
+							if ex {
+								return nil, curIL, curDL, ihits, ccb
+							}
+						} else {
+							if line := ea >> shift; line == curDL {
+								m.cstate.drh++
+							} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+								// Clean D-line change (no I-tracker alias) stays inline: probe
+								// and retarget — the kill-and-repair path is the rare one.
+								if !m.cache.Access(ea, cache.DRead) {
+									cyc += m.costs.MissPenalty
+								}
+								curDL = line
+							} else {
+								var ra uint32
+								if it.f&4 == 0 {
+									ra = TextBase + uint32(it.fpc)<<2 + 4
+								}
+								var c, cv int64
+								curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
+								cyc += c
+								ihits += uint64(cv)
+							}
+							pb := ea &^ (PageBytes - 1)
+							pe := &m.pageCache[pageCacheIdx(ea)]
+							pg := pe.p
+							if pe.base != pb {
+								pg = m.pageSlow(pb)
+							}
+							o := ea & (PageBytes - 4)
+							m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
 						}
-						pb := ea &^ (PageBytes - 1)
-						pe := &m.pageCache[pageCacheIdx(ea)]
-						pg := pe.p
-						if pe.base != pb {
-							pg = m.pageSlow(pb)
-						}
-						o := ea & (PageBytes - 4)
-						m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
 					} else if it.kind == tAddSt {
 						m.regs[it.rd] = m.regs[it.rs1] + m.regs[it.s2r] + it.imm
 					} else {
@@ -1200,11 +1390,14 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						return m.cstate.fault(curIL, curDL, ihits+uint64(uint16(hb2)), ccb,
 							cyc+firstMemx, cp, items, it, 1, 1, "unaligned store at %#x", ea)
 					}
-					hooked := m.StoreHook != nil
-					if hooked {
-						cyc += m.cstate.hookFlush(ihits+uint64(hb2), ccb, ea, 4)
-						ihits = 0
-						curIL, curDL = noLine, noLine
+					if m.StoreHook != nil {
+						var ex bool
+						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+							ihits, ccb, cyc, ea, uint16(hb2), it.rx, it.rd2, cache.DWrite, false, firstMemx+cp.memx, 1, 2)
+						if ex {
+							return nil, curIL, curDL, ihits, ccb
+						}
+						break
 					}
 					if line := ea >> shift; line == curDL {
 						m.cstate.dwh++
@@ -1229,17 +1422,6 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					}
 					o := ea & (PageBytes - 4)
 					binary.BigEndian.PutUint32(pg[o:o+4], uint32(m.regs[it.rd2]))
-					if hooked {
-						var c int64
-						var ex bool
-						curIL, curDL, ihits, c, ex = m.cstate.hookTail(uint16(hb2), it.rx, shift, curIL, curDL, ihits)
-						cyc += c
-						if ex {
-							cd := &cp.cold[itemIdx(items, it)]
-							return m.cstate.stop(curIL, curDL, ihits, ccb,
-								cyc+int64(cd.cycB)+firstMemx+cp.memx, int64(cd.niW)+1, it.fpc+2)
-						}
-					}
 
 				// ---- control transfers (settle, then the op) ----
 

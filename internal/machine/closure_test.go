@@ -276,3 +276,41 @@ func TestClosureTuningKnobs(t *testing.T) {
 		diffStates(t, "hot threshold", ref, m, errRef, err)
 	}
 }
+
+// TestDifferentialPatchInFusedLoadClosure is the closure-tier analog of
+// TestDifferentialPatchInFusedLoad: a LoadHook patches mid-chain from inside
+// a fused-load closure.
+func TestDifferentialPatchInFusedLoadClosure(t *testing.T) {
+	text := []sparc.Instr{
+		{Op: sparc.Sethi, Rd: sparc.L0, Imm: int32(DataBase >> 10), UseImm: true},
+		sparc.RI(sparc.Add, sparc.O1, 1, sparc.O1),
+		{Op: sparc.Ld, Rd: sparc.O2, Rs1: sparc.L0, UseImm: true},
+		sparc.RI(sparc.Subcc, sparc.O1, 100, sparc.G0),
+		sparc.Branch(sparc.BL, 1),
+		{Op: sparc.Ta, Imm: TrapExit, UseImm: true},
+	}
+	patched := sparc.RI(sparc.Add, sparc.O1, 7, sparc.O1)
+	img := BuildImage(text, 0)
+
+	mk := func(e Engine) *Machine {
+		m := New(cache.DefaultConfig, DefaultCosts)
+		m.SetEngine(e)
+		m.LoadImage(img)
+		loads := 0
+		m.LoadHook = func(addr uint32, size int32) int64 {
+			loads++
+			if loads == 9 {
+				if err := m.PatchInstr(1, patched); err != nil {
+					t.Fatalf("patch: %v", err)
+				}
+			}
+			return 0
+		}
+		return m
+	}
+
+	a, b := mk(EngineStep), mk(EngineClosure)
+	errA := stepAll(a)
+	_, errB := b.Run()
+	diffStates(t, "patch in fused load closure", a, b, errA, errB)
+}

@@ -35,9 +35,10 @@
 // index; on a shared image it privatizes first, which drops the image's
 // traces for the patching machine only (siblings keep executing the immutable
 // image traces). A patch landing while a trace is executing — only possible
-// from a StoreHook — is caught by the textGen generation check after the
-// store, exactly as in execBlocks, and the trace exits cleanly after the
-// store instruction so the dispatcher re-enters against fresh state.
+// from a StoreHook or LoadHook — is caught by the textGen generation check
+// after the access, exactly as in execBlocks, and the trace exits cleanly
+// after the hooked instruction so the dispatcher re-enters against fresh
+// state.
 package machine
 
 import (
@@ -960,6 +961,16 @@ chain:
 					if ea&3 != 0 {
 						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
 					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						// Same contract as the store hook below: flush the
+						// earned hits, kill both trackers.
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
 					cyc += m.costs.MemExtra
 					if line := ea >> shift; line == curDLine {
 						m.cache.NoteHits(cache.DRead, 1)
@@ -980,12 +991,24 @@ chain:
 					}
 					o := ea & (PageBytes - 4)
 					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
 
 				case tLd:
 					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
 					if ea&3 != 0 {
 						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
 					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
 					cyc += m.costs.MemExtra
 					if line := ea >> shift; line == curDLine {
 						m.cache.NoteHits(cache.DRead, 1)
@@ -1006,11 +1029,23 @@ chain:
 					}
 					o := ea & (PageBytes - 4)
 					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
 
 				case tLdd:
 					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
 					if ea&7 != 0 {
 						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned ldd at %#x", ea)
+					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 8)
+						curILine = noLine
+						curDLine = noLine
 					}
 					cyc += m.costs.MemExtra
 					if line := ea >> shift; line == curDLine {
@@ -1024,9 +1059,22 @@ chain:
 						}
 						curDLine = line
 					}
-					cyc += m.costs.MemExtra // second word
+					cyc += m.costs.MemExtra // second word (see dataAccess2)
+					if line2 := (ea + 4) >> shift; line2 != curDLine {
+						if !m.cache.Access(ea+4, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line2^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line2
+					}
 					m.regs[u.rd] = m.ReadWord(ea)
 					m.regs[u.rd+1] = m.ReadWord(ea + 4)
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
 
 				case tStI, tSt:
 					var ea uint32
@@ -1103,7 +1151,16 @@ chain:
 						}
 						curDLine = line
 					}
-					cyc += m.costs.MemExtra
+					cyc += m.costs.MemExtra // second word (see dataAccess2)
+					if line2 := (ea + 4) >> shift; line2 != curDLine {
+						if !m.cache.Access(ea+4, cache.DWrite) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line2^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line2
+					}
 					m.storeWord(ea, m.regs[u.rd])
 					m.storeWord(ea+4, m.regs[u.rd+1])
 					if hooked && m.textGen != gen {
@@ -1206,10 +1263,19 @@ chain:
 				case tLdSll, tLdOr, tLdCmp:
 					// Fused ld+ALU pair: the load executes first (it may fault
 					// and has the d-cache probe), then the second half's fetch,
-					// then the ALU op — exactly Step's order.
+					// then the ALU op — exactly Step's order. A load hook that
+					// patches text exits after the load half retires.
 					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
 					if ea&3 != 0 {
 						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
 					}
 					cyc += m.costs.MemExtra
 					if line := ea >> shift; line == curDLine {
@@ -1231,6 +1297,10 @@ chain:
 					}
 					o := ea & (PageBytes - 4)
 					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
 					if u.nl&2 == 0 && curILine != noLine {
 						ihits++
 					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
@@ -1300,6 +1370,14 @@ chain:
 					if ea&3 != 0 {
 						return curILine, curDLine, 0, m.traceFault2(u, cyc, base, ihits, "unaligned load at %#x", ea)
 					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
 					cyc += m.costs.MemExtra
 					if line := ea >> shift; line == curDLine {
 						m.cache.NoteHits(cache.DRead, 1)
@@ -1320,14 +1398,27 @@ chain:
 					}
 					o := ea & (PageBytes - 4)
 					m.regs[u.rd2] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+2, int64(u.ni)+2, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
 
 				case tLdLd:
 					// Fused ld+ld: either half may fault; the first retires
 					// before the second's fetch, so a dependent (pointer-chase)
-					// second load reads the just-written register.
+					// second load reads the just-written register. The load
+					// hook fires per half, with the tSt patch-exit protocol.
 					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
 					if ea&3 != 0 {
 						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
 					}
 					cyc += m.costs.MemExtra
 					if line := ea >> shift; line == curDLine {
@@ -1349,6 +1440,10 @@ chain:
 					}
 					o := ea & (PageBytes - 4)
 					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
 					if u.nl&2 == 0 && curILine != noLine {
 						ihits++
 					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
@@ -1365,6 +1460,14 @@ chain:
 					ea = uint32(m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2)
 					if ea&3 != 0 {
 						return curILine, curDLine, 0, m.traceFault2(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					hooked = m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
 					}
 					cyc += m.costs.MemExtra
 					if line := ea >> shift; line == curDLine {
@@ -1386,6 +1489,10 @@ chain:
 					}
 					o = ea & (PageBytes - 4)
 					m.regs[u.rd2] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+2, int64(u.ni)+2, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
 
 				case tLdSt, tAddSt, tSubSt:
 					// Fused op+store: the first half retires, then the second
@@ -1396,6 +1503,14 @@ chain:
 						ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
 						if ea&3 != 0 {
 							return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
+						}
+						lhooked := m.LoadHook != nil
+						if lhooked {
+							m.cache.NoteHits(cache.IFetch, ihits)
+							ihits = 0
+							cyc += m.LoadHook(ea, 4)
+							curILine = noLine
+							curDLine = noLine
 						}
 						cyc += m.costs.MemExtra
 						if line := ea >> shift; line == curDLine {
@@ -1417,6 +1532,10 @@ chain:
 						}
 						o := ea & (PageBytes - 4)
 						m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+						if lhooked && m.textGen != gen {
+							m.traceExit(int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1, cyc, base)
+							return curILine, curDLine, ihits, nil
+						}
 					case tAddSt:
 						m.regs[u.rd] = m.regs[u.rs1] + m.regs[u.s2r] + u.imm
 					default: // tSubSt

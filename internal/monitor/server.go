@@ -273,6 +273,22 @@ func (s *Session) CreateRegion(addr, size uint32) error {
 	})
 }
 
+// CreateRegionKind installs a region delivering only hits of the access
+// kinds in k, serialized against execution.
+func (s *Session) CreateRegionKind(addr, size uint32, k Kind) error {
+	return s.Do(func(_ *machine.Machine, svc *Service) error {
+		return svc.CreateRegionKind(addr, size, k)
+	})
+}
+
+// CreateTransitionRegion installs a transition watchpoint, serialized
+// against execution.
+func (s *Session) CreateTransitionRegion(addr, size uint32, pred Predicate) error {
+	return s.Do(func(_ *machine.Machine, svc *Service) error {
+		return svc.CreateTransitionRegion(addr, size, pred)
+	})
+}
+
 // DeleteRegion removes a monitored region, serialized against execution.
 func (s *Session) DeleteRegion(addr, size uint32) error {
 	return s.Do(func(_ *machine.Machine, svc *Service) error {

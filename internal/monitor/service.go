@@ -3,9 +3,117 @@ package monitor
 import (
 	"fmt"
 
+	"databreak/internal/bitmap"
 	"databreak/internal/machine"
 	"databreak/internal/sparc"
 )
+
+// Kind is a region's access-kind mask, shared with the bitmap layer.
+type Kind = bitmap.Kind
+
+const (
+	// KindStore delivers store (write) hits only.
+	KindStore = bitmap.KindStore
+	// KindLoad delivers load (read) hits only. Read hits reach the debugger
+	// only when the program was patched with CheckReads.
+	KindLoad = bitmap.KindLoad
+	// KindAll delivers both — the legacy CreateRegion behavior.
+	KindAll = bitmap.KindAll
+)
+
+// PredKind selects a transition predicate: a function of the stored value
+// whose result change is what fires a transition watchpoint.
+type PredKind uint8
+
+const (
+	// PredChanged fires when the stored value changes at all (the default).
+	PredChanged PredKind = iota
+	// PredNonzero fires when the value's zeroness flips.
+	PredNonzero
+	// PredSign fires when the sign bit flips.
+	PredSign
+	// PredMask fires when value&Arg changes.
+	PredMask
+	// PredEQ fires when (value == Arg) flips.
+	PredEQ
+)
+
+func (k PredKind) String() string {
+	switch k {
+	case PredChanged:
+		return "changed"
+	case PredNonzero:
+		return "nonzero"
+	case PredSign:
+		return "sign"
+	case PredMask:
+		return "mask"
+	case PredEQ:
+		return "eq"
+	}
+	return fmt.Sprintf("PredKind(%d)", uint8(k))
+}
+
+// ParsePredKind maps a predicate name to its PredKind; the empty string
+// means PredChanged (the default).
+func ParsePredKind(name string) (PredKind, error) {
+	switch name {
+	case "", "changed":
+		return PredChanged, nil
+	case "nonzero":
+		return PredNonzero, nil
+	case "sign":
+		return PredSign, nil
+	case "mask":
+		return PredMask, nil
+	case "eq":
+		return PredEQ, nil
+	}
+	return 0, fmt.Errorf("monitor: unknown transition predicate %q", name)
+}
+
+// ParseKind maps an access-kind name ("store", "load", "all"; empty means
+// "all") to its Kind mask. "transition" is not a Kind — transition regions
+// are created with CreateTransitionRegion.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "", "all":
+		return KindAll, nil
+	case "store":
+		return KindStore, nil
+	case "load":
+		return KindLoad, nil
+	}
+	return 0, fmt.Errorf("monitor: unknown region kind %q", name)
+}
+
+// Predicate is a transition watchpoint's value predicate.
+type Predicate struct {
+	Kind PredKind
+	Arg  uint32 // PredMask: the mask; PredEQ: the compared value
+}
+
+// eval canonicalizes a word value under the predicate; a transition hit
+// fires exactly when eval(old) != eval(new).
+func (p Predicate) eval(v uint32) uint32 {
+	switch p.Kind {
+	case PredNonzero:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case PredSign:
+		return v >> 31
+	case PredMask:
+		return v & p.Arg
+	case PredEQ:
+		if v == p.Arg {
+			return 1
+		}
+		return 0
+	}
+	return v // PredChanged
+}
 
 // Hit records one monitor hit delivered by check code.
 type Hit struct {
@@ -17,6 +125,22 @@ type Hit struct {
 	PC int32
 	// Instrs is the debuggee instruction count at the hit.
 	Instrs int64
+	// Old and New carry the before/after values of the first word whose
+	// predicate result changed. Meaningful only for transition-region hits
+	// (both zero otherwise).
+	Old uint32
+	New uint32
+}
+
+// regionInfo is the Go-side record of one installed region. The simulated
+// bitmap stays kind-blind — every monitored word traps on both access kinds
+// when the corresponding checks are patched in, keeping the machine-level
+// counts identical across kinds — and the Service filters delivery here.
+type regionInfo struct {
+	addr, size uint32
+	kind       Kind
+	pred       *Predicate // non-nil: transition region (store-triggered)
+	shadow     []uint32   // last known word values, transition regions only
 }
 
 // Service is the debugger-resident half of the monitored region service for
@@ -46,7 +170,11 @@ type Service struct {
 	segAddr   map[uint32]uint32 // segment number -> private segment address
 	counts    map[uint32]uint32 // segment number -> monitored words
 	sumCounts [3]map[uint32]uint32
-	regions   map[[2]uint32]struct{} // {addr,size}
+	regions   map[[2]uint32]*regionInfo // {addr,size}
+	// plainOnly is true while every region is a legacy KindAll region with
+	// no predicate — the common case, where hit delivery needs no region
+	// scan at all.
+	plainOnly bool
 
 	// Hits accumulates every monitor hit (also delivered to OnHit).
 	Hits []Hit
@@ -83,33 +211,105 @@ func NewService(cfg Config, m *machine.Machine) (*Service, error) {
 		hashArena: HashArenaBase,
 		segAddr:   make(map[uint32]uint32),
 		counts:    make(map[uint32]uint32),
-		regions:   make(map[[2]uint32]struct{}),
+		regions:   make(map[[2]uint32]*regionInfo),
+		plainOnly: true,
 	}
 	for i := range s.sumCounts {
 		s.sumCounts[i] = make(map[uint32]uint32)
 	}
-	m.OnMonHit = func(addr uint32, size int32) {
-		h := Hit{Addr: addr, Size: size, PC: m.PC(), Instrs: m.Instrs()}
-		s.HitCount++
-		if !s.NoHitLog {
-			s.Hits = append(s.Hits, h)
-		}
-		if s.OnHit != nil {
-			s.OnHit(h)
-		}
-	}
-	m.OnMonRead = func(addr uint32, size int32) {
-		h := Hit{Addr: addr, Size: size, Read: true, PC: m.PC(), Instrs: m.Instrs()}
-		s.HitCount++
-		if !s.NoHitLog {
-			s.Hits = append(s.Hits, h)
-		}
-		if s.OnHit != nil {
-			s.OnHit(h)
-		}
-	}
+	m.OnMonHit = func(addr uint32, size int32) { s.storeHit(addr, size) }
+	m.OnMonRead = func(addr uint32, size int32) { s.readHit(addr, size) }
 	s.syncRegisters()
 	return s, nil
+}
+
+// deliver records one hit that survived kind and predicate filtering.
+func (s *Service) deliver(h Hit) {
+	s.HitCount++
+	if !s.NoHitLog {
+		s.Hits = append(s.Hits, h)
+	}
+	if s.OnHit != nil {
+		s.OnHit(h)
+	}
+}
+
+// storeHit handles a store-check trap. The trap instruction sits after the
+// store in the check sequence, so simulated memory already holds the new
+// value; transition regions read it here and diff against their shadow
+// copy, making old-value capture exact with no deferred resolution.
+//
+// Suppressed hits — wrong kind, or a transition whose predicate result did
+// not change — are not counted, logged, or forwarded: HitCount tracks
+// delivered hits only, so streaming consumers reconcile against what they
+// can actually receive.
+func (s *Service) storeHit(addr uint32, size int32) {
+	if s.plainOnly {
+		s.deliver(Hit{Addr: addr, Size: size, PC: s.m.PC(), Instrs: s.m.Instrs()})
+		return
+	}
+	first := addr &^ 3
+	last := (addr + uint32(size) - 1) &^ 3
+	fire := false
+	var old, nv uint32
+	got := false
+	for w := first; ; w += 4 {
+		if info := s.regionOf(w); info != nil && info.kind&KindStore != 0 {
+			if info.pred == nil {
+				fire = true
+			} else {
+				i := (w - info.addr) / 4
+				n := uint32(s.m.ReadWord(w))
+				o := info.shadow[i]
+				info.shadow[i] = n
+				if info.pred.eval(o) != info.pred.eval(n) {
+					fire = true
+					if !got {
+						old, nv, got = o, n, true
+					}
+				}
+			}
+		}
+		if w == last {
+			break
+		}
+	}
+	if !fire {
+		return
+	}
+	s.deliver(Hit{Addr: addr, Size: size, PC: s.m.PC(), Instrs: s.m.Instrs(),
+		Old: old, New: nv})
+}
+
+// readHit handles a read-check trap (present only when the program was
+// patched with CheckReads).
+func (s *Service) readHit(addr uint32, size int32) {
+	if s.plainOnly {
+		s.deliver(Hit{Addr: addr, Size: size, Read: true, PC: s.m.PC(), Instrs: s.m.Instrs()})
+		return
+	}
+	first := addr &^ 3
+	last := (addr + uint32(size) - 1) &^ 3
+	for w := first; ; w += 4 {
+		if info := s.regionOf(w); info != nil && info.kind&KindLoad != 0 {
+			s.deliver(Hit{Addr: addr, Size: size, Read: true, PC: s.m.PC(), Instrs: s.m.Instrs()})
+			return
+		}
+		if w == last {
+			break
+		}
+	}
+}
+
+// regionOf returns the installed region covering the word at w, or nil.
+// Linear scan: regions are few and non-overlapping.
+func (s *Service) regionOf(w uint32) *regionInfo {
+	for _, info := range s.regions {
+		if w >= info.addr && w < info.addr+info.size {
+			return info
+		}
+	}
+	return nil
 }
 
 // Config returns the service geometry.
@@ -241,8 +441,37 @@ func (s *Service) Contains(addr uint32) bool {
 	return v&(1<<(w&31)) != 0
 }
 
-// CreateRegion installs the monitored region [addr, addr+size).
+// CreateRegion installs the monitored region [addr, addr+size) with the
+// legacy delivery kind: every check that traps on its words — store always,
+// read when the program was patched with CheckReads — is delivered.
 func (s *Service) CreateRegion(addr, size uint32) error {
+	return s.createRegion(&regionInfo{addr: addr, size: size, kind: KindAll})
+}
+
+// CreateRegionKind installs a region delivering only hits of the access
+// kinds in k. The simulated bitmap (and therefore every machine-level
+// count) is identical for all kinds; filtering happens at delivery.
+func (s *Service) CreateRegionKind(addr, size uint32, k Kind) error {
+	if k == 0 || k&^KindAll != 0 {
+		return fmt.Errorf("monitor: invalid region kind %v", k)
+	}
+	return s.createRegion(&regionInfo{addr: addr, size: size, kind: k})
+}
+
+// CreateTransitionRegion installs a transition watchpoint: store-triggered,
+// but a hit is delivered only when the predicate's result over the stored
+// word actually changes. Old/new word values ride on the delivered Hit. The
+// region's initial values are snapshotted from simulated memory now.
+func (s *Service) CreateTransitionRegion(addr, size uint32, pred Predicate) error {
+	if pred.Kind > PredEQ {
+		return fmt.Errorf("monitor: invalid transition predicate %v", pred.Kind)
+	}
+	info := &regionInfo{addr: addr, size: size, kind: KindStore, pred: &pred}
+	return s.createRegion(info)
+}
+
+func (s *Service) createRegion(info *regionInfo) error {
+	addr, size := info.addr, info.size
 	if err := s.checkRegion(addr, size); err != nil {
 		return err
 	}
@@ -254,6 +483,12 @@ func (s *Service) CreateRegion(addr, size uint32) error {
 			return fmt.Errorf("monitor: word %#x is already monitored", addr+o)
 		}
 	}
+	if info.pred != nil {
+		info.shadow = make([]uint32, size/4)
+		for o := uint32(0); o < size; o += 4 {
+			info.shadow[o/4] = uint32(s.m.ReadWord(addr + o))
+		}
+	}
 	for o := uint32(0); o < size; o += 4 {
 		a := addr + o
 		s.setBit(a, true)
@@ -262,7 +497,10 @@ func (s *Service) CreateRegion(addr, size uint32) error {
 	}
 	s.adjustSummaries(addr, size, +1)
 	s.hashInsert(addr, size)
-	s.regions[[2]uint32{addr, size}] = struct{}{}
+	s.regions[[2]uint32{addr, size}] = info
+	if info.kind != KindAll || info.pred != nil {
+		s.plainOnly = false
+	}
 	s.syncRegisters()
 	return nil
 }
@@ -336,8 +574,24 @@ func (s *Service) DeleteRegion(addr, size uint32) error {
 	s.adjustSummaries(addr, size, -1)
 	s.hashRemove(addr, size)
 	delete(s.regions, [2]uint32{addr, size})
+	s.plainOnly = true
+	for _, info := range s.regions {
+		if info.kind != KindAll || info.pred != nil {
+			s.plainOnly = false
+			break
+		}
+	}
 	s.syncRegisters()
 	return nil
+}
+
+// RegionKind returns the delivery kind of the region created with exactly
+// these bounds, or 0 if none is installed.
+func (s *Service) RegionKind(addr, size uint32) Kind {
+	if info, ok := s.regions[[2]uint32{addr, size}]; ok {
+		return info.kind
+	}
+	return 0
 }
 
 // Regions returns the number of installed regions.

@@ -3,6 +3,7 @@ package mrsnet
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,6 +156,19 @@ func (c *Client) start(m *Msg) (chan *Msg, error) {
 	return ch, nil
 }
 
+// respErr maps a response's error string to a client-side error, restoring
+// the daemon's typed errors (ErrHitReconcileTimeout) so callers can match
+// them with errors.Is across the wire.
+func respErr(r *Msg) error {
+	if r.Err == "" {
+		return nil
+	}
+	if strings.Contains(r.Err, ErrHitReconcileTimeout.Error()) {
+		return fmt.Errorf("mrsnet: %s: %w", r.Err, ErrHitReconcileTimeout)
+	}
+	return fmt.Errorf("mrsnet: %s", r.Err)
+}
+
 // await blocks for the response on ch.
 func (c *Client) await(ch chan *Msg) (*Msg, error) {
 	select {
@@ -162,8 +176,8 @@ func (c *Client) await(ch chan *Msg) (*Msg, error) {
 		if !ok {
 			return nil, c.connErr()
 		}
-		if r.Err != "" {
-			return nil, fmt.Errorf("mrsnet: %s", r.Err)
+		if err := respErr(r); err != nil {
+			return nil, err
 		}
 		return r, nil
 	case <-c.closed:
@@ -171,8 +185,8 @@ func (c *Client) await(ch chan *Msg) (*Msg, error) {
 		select {
 		case r, ok := <-ch:
 			if ok {
-				if r.Err != "" {
-					return nil, fmt.Errorf("mrsnet: %s", r.Err)
+				if err := respErr(r); err != nil {
+					return nil, err
 				}
 				return r, nil
 			}
@@ -268,6 +282,25 @@ func (s *ClientSession) FirstHitAt() time.Time {
 // CreateRegion installs a monitored region.
 func (s *ClientSession) CreateRegion(addr, size uint32) error {
 	_, err := s.c.request(&Msg{Op: OpRegionC, SID: s.sid, Addr: addr, Size: size})
+	return err
+}
+
+// CreateRegionKind installs a monitored region delivering only hits of the
+// named access kind: "store", "load", or "all".
+func (s *ClientSession) CreateRegionKind(addr, size uint32, kind string) error {
+	_, err := s.c.request(&Msg{Op: OpRegionC, SID: s.sid, Addr: addr, Size: size, Kind: kind})
+	return err
+}
+
+// CreateTransitionRegion installs a transition watchpoint: store-triggered,
+// delivered only when the named predicate's result over the stored word
+// changes. pred is one of "changed", "nonzero", "sign", "mask", "eq"
+// (empty = "changed"); arg parameterizes "mask" and "eq".
+func (s *ClientSession) CreateTransitionRegion(addr, size uint32, pred string, arg uint32) error {
+	_, err := s.c.request(&Msg{
+		Op: OpRegionC, SID: s.sid, Addr: addr, Size: size,
+		Kind: "transition", Pred: pred, PredArg: arg,
+	})
 	return err
 }
 

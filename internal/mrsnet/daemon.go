@@ -1,6 +1,7 @@
 package mrsnet
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -62,6 +63,13 @@ import (
 // allocation-light attach path). Must be safe for concurrent use.
 type ProgramSource func(workload string, scale int, strategy patch.Strategy) (*asm.Program, error)
 
+// ErrHitReconcileTimeout reports that a run finished but the daemon could
+// not confirm delivery of all its hits to the connection writer within
+// Options.ReconcileTimeout. The run's simulated result is discarded; the
+// error indicates a stalled hit-routing path, not a debuggee fault. Client
+// callers can match it with errors.Is on run errors.
+var ErrHitReconcileTimeout = errors.New("hit delivery reconciliation timed out")
+
 // Options configures a Daemon.
 type Options struct {
 	// Shards is the number of per-core monitor.Server instances; <= 0 means
@@ -79,6 +87,13 @@ type Options struct {
 	// Flush is the coalescing deadline: a partial batch is flushed this
 	// long after its first hit; <= 0 means 500µs.
 	Flush time.Duration
+	// ReconcileTimeout bounds how long a run response may wait for the
+	// run's hits to reach the connection writer. The wait is normally
+	// microseconds (queue → pump → router); if hit routing stalls — a stuck
+	// writer, a dead pump — the run handler gives up after this long and
+	// fails the run with ErrHitReconcileTimeout instead of hanging the
+	// session forever. <= 0 means 5s.
+	ReconcileTimeout time.Duration
 	// Programs supplies patched programs for attach. Required.
 	Programs ProgramSource
 	// NewMachine builds the simulated machine for a session; nil means the
@@ -100,6 +115,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Flush <= 0 {
 		o.Flush = 500 * time.Microsecond
+	}
+	if o.ReconcileTimeout <= 0 {
+		o.ReconcileTimeout = 5 * time.Second
 	}
 	if o.NewMachine == nil {
 		o.NewMachine = func() *machine.Machine {
@@ -212,6 +230,8 @@ func (d *Daemon) route(sh *shard) {
 			Read:   h.Hit.Read,
 			PC:     h.Hit.PC,
 			Instrs: h.Hit.Instrs,
+			Old:    h.Hit.Old,
+			New:    h.Hit.New,
 		}
 		if s.cn.sendHit(rec) {
 			s.delivered.Add(1)
@@ -629,6 +649,35 @@ func (s *session) unregister() {
 	s.cn.mu.Unlock()
 }
 
+// createRegion maps an OpRegionC frame to the right monitor.Session region
+// call. An empty Kind keeps the legacy deliver-everything behavior.
+func createRegion(ms *monitor.Session, m *Msg) error {
+	switch m.Kind {
+	case "", "all":
+		return ms.CreateRegion(m.Addr, m.Size)
+	case "store":
+		return ms.CreateRegionKind(m.Addr, m.Size, monitor.KindStore)
+	case "load":
+		return ms.CreateRegionKind(m.Addr, m.Size, monitor.KindLoad)
+	case "transition":
+		pred, err := parsePred(m.Pred, m.PredArg)
+		if err != nil {
+			return err
+		}
+		return ms.CreateTransitionRegion(m.Addr, m.Size, pred)
+	}
+	return fmt.Errorf("mrsnet: unknown region kind %q", m.Kind)
+}
+
+// parsePred maps the wire predicate name to a monitor.Predicate.
+func parsePred(name string, arg uint32) (monitor.Predicate, error) {
+	k, err := monitor.ParsePredKind(name)
+	if err != nil {
+		return monitor.Predicate{}, fmt.Errorf("mrsnet: %w", err)
+	}
+	return monitor.Predicate{Kind: k, Arg: arg}, nil
+}
+
 func (cn *conn) handleSessionOp(m *Msg) {
 	s := cn.lookup(m.SID)
 	if s == nil {
@@ -637,7 +686,7 @@ func (cn *conn) handleSessionOp(m *Msg) {
 	}
 	switch m.Op {
 	case OpRegionC:
-		if err := s.ms.CreateRegion(m.Addr, m.Size); err != nil {
+		if err := createRegion(s.ms, m); err != nil {
 			cn.fail(m.Seq, "%v", err)
 			return
 		}
@@ -708,10 +757,19 @@ func (s *session) handleRun(seq uint64) {
 	}
 	// Reconcile delivery: hits traverse shard queue → pump → router
 	// asynchronously; poll until the router has forwarded them all (or the
-	// connection dies). One flush interval is the natural poll quantum.
+	// connection dies). One flush interval is the natural poll quantum. The
+	// deadline guards liveness: if routing stalls (stuck pump, wedged
+	// writer), the response must not hang the session forever — fail it
+	// with the typed reconcile error instead.
+	deadline := time.NewTimer(s.cn.d.opts.ReconcileTimeout)
+	defer deadline.Stop()
 	for s.delivered.Load() < produced {
 		select {
 		case <-s.cn.done:
+			return
+		case <-deadline.C:
+			s.cn.fail(seq, "run %s: %v (%d of %d hits delivered)",
+				s.sid, ErrHitReconcileTimeout, s.delivered.Load(), produced)
 			return
 		case <-time.After(100 * time.Microsecond):
 		}

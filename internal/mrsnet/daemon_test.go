@@ -1,6 +1,7 @@
 package mrsnet
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -352,7 +353,7 @@ func TestErrors(t *testing.T) {
 	if _, err := s.Run(); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if _, err := s.PatchToggle(1 << 20, true); err == nil {
+	if _, err := s.PatchToggle(1<<20, true); err == nil {
 		t.Fatal("out-of-range patch index accepted")
 	}
 
@@ -466,5 +467,188 @@ func TestConcurrentSessions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// daemonSession finds the daemon-side session for sid (test-only peek).
+func daemonSession(d *Daemon, sid string) *session {
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			if s.sid == sid {
+				sh.mu.Unlock()
+				return s
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// TestRunReconcileTimeout is the liveness regression test for the run
+// handler's delivered-vs-produced reconciliation: when hits are produced
+// that can never reach the connection writer (a stalled routing path,
+// simulated here by inflating the service's HitCount directly), the run
+// must fail promptly with ErrHitReconcileTimeout instead of polling
+// forever.
+func TestRunReconcileTimeout(t *testing.T) {
+	d := newTestDaemon(t, Options{ReconcileTimeout: 50 * time.Millisecond})
+	c := dialPipe(t, d, Hello{})
+	s, err := c.Attach(AttachSpec{SID: "stall", Workload: "eqntott", Scale: 1})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if err := s.CreateRegion(hitAddr, hitSize); err != nil {
+		t.Fatalf("region: %v", err)
+	}
+	ds := daemonSession(d, "stall")
+	if ds == nil {
+		t.Fatal("no daemon session for sid")
+	}
+	// Fault injection: hits the service counted but the router will never
+	// forward. Serialized against the run by Session.Do.
+	if err := ds.ms.Do(func(_ *machine.Machine, svc *monitor.Service) error {
+		svc.HitCount += 3
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = s.Run()
+	if err == nil {
+		t.Fatal("run succeeded despite undeliverable hits")
+	}
+	if !errors.Is(err, ErrHitReconcileTimeout) {
+		t.Fatalf("run error = %v, want ErrHitReconcileTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("reconcile failure took %v, deadline not honored", elapsed)
+	}
+	// The session is still usable for control operations after the failed
+	// run (the timeout fails the response, not the session).
+	if err := s.Detach(); err != nil {
+		t.Fatalf("detach after reconcile failure: %v", err)
+	}
+}
+
+// TestRegionKinds drives the wire-level kind field: store-kind regions
+// behave exactly like legacy regions (store traps are the only checks in a
+// write-only patching), load-kind regions deliver nothing without read
+// checks, transitions suppress same-value stores and carry old/new values,
+// and unknown kinds fail cleanly.
+func TestRegionKinds(t *testing.T) {
+	d := newTestDaemon(t, Options{})
+	c := dialPipe(t, d, Hello{})
+
+	var mu sync.Mutex
+	var recs []HitRec
+	c.OnHits = func(batch []HitRec) {
+		mu.Lock()
+		recs = append(recs, batch...)
+		mu.Unlock()
+	}
+
+	// Baseline: legacy (kind-less) region.
+	s1, err := c.Attach(AttachSpec{SID: "k-legacy", Workload: "eqntott", Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.CreateRegion(hitAddr, hitSize); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := s1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.HitTotal == 0 {
+		t.Fatal("baseline run produced no hits")
+	}
+
+	// Explicit store kind: identical delivery.
+	s2, err := c.Attach(AttachSpec{SID: "k-store", Workload: "eqntott", Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.CreateRegionKind(hitAddr, hitSize, "store"); err != nil {
+		t.Fatal(err)
+	}
+	store, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.HitTotal != legacy.HitTotal || store.Cycles != legacy.Cycles {
+		t.Fatalf("store-kind run: hits=%d cycles=%d, legacy hits=%d cycles=%d",
+			store.HitTotal, store.Cycles, legacy.HitTotal, legacy.Cycles)
+	}
+
+	// Load kind: same simulated counts (the bitmap is kind-blind), zero
+	// delivered hits (no read checks are patched in, and store traps are
+	// filtered out at delivery).
+	s3, err := c.Attach(AttachSpec{SID: "k-load", Workload: "eqntott", Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.CreateRegionKind(hitAddr, hitSize, "load"); err != nil {
+		t.Fatal(err)
+	}
+	load, err := s3.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.Cycles != legacy.Cycles || load.Instrs != legacy.Instrs {
+		t.Fatalf("load-kind region changed simulated counts: cycles %d vs %d",
+			load.Cycles, legacy.Cycles)
+	}
+	if load.HitTotal != 0 || s3.Hits() != 0 {
+		t.Fatalf("load-kind region delivered %d hits (client %d), want 0",
+			load.HitTotal, s3.Hits())
+	}
+
+	// Transition: hits only when the stored value changes; old/new ride
+	// along; HitTotal still reconciles against delivered frames.
+	s4, err := c.Attach(AttachSpec{SID: "k-trans", Workload: "eqntott", Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s4.CreateTransitionRegion(hitAddr, hitSize, "changed", 0); err != nil {
+		t.Fatal(err)
+	}
+	trans, err := s4.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trans.Cycles != legacy.Cycles {
+		t.Fatalf("transition region changed simulated cycles: %d vs %d",
+			trans.Cycles, legacy.Cycles)
+	}
+	if trans.HitTotal > legacy.HitTotal {
+		t.Fatalf("transition delivered %d hits, more than the %d stores",
+			trans.HitTotal, legacy.HitTotal)
+	}
+	if s4.Hits() != trans.HitTotal {
+		t.Fatalf("client received %d transition hits, server reported %d",
+			s4.Hits(), trans.HitTotal)
+	}
+	mu.Lock()
+	for _, r := range recs {
+		if r.SID == "k-trans" && r.Old == r.New {
+			mu.Unlock()
+			t.Fatalf("transition hit with old == new: %+v", r)
+		}
+	}
+	mu.Unlock()
+
+	// Unknown kind fails cleanly.
+	s5, err := c.Attach(AttachSpec{SID: "k-bad", Workload: "eqntott", Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s5.CreateRegionKind(hitAddr, hitSize, "exec"); err == nil ||
+		!strings.Contains(err.Error(), "unknown region kind") {
+		t.Fatalf("unknown kind error = %v", err)
+	}
+	if err := s5.CreateTransitionRegion(hitAddr, hitSize, "xor", 0); err == nil ||
+		!strings.Contains(err.Error(), "unknown transition predicate") {
+		t.Fatalf("unknown predicate error = %v", err)
 	}
 }

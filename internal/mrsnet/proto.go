@@ -43,9 +43,17 @@ type Msg struct {
 	Scale    int    `json:"scale,omitempty"`
 	Strategy string `json:"strategy,omitempty"`
 
-	// OpRegionC / OpRegionD.
-	Addr uint32 `json:"addr,omitempty"`
-	Size uint32 `json:"size,omitempty"`
+	// OpRegionC / OpRegionD. Kind selects the access kinds that deliver
+	// hits: "store", "load", "all", or "transition" (store-triggered,
+	// filtered by the value predicate in Pred/PredArg). Empty means "all" —
+	// the legacy behavior, so old clients are unaffected. Pred is one of
+	// "changed", "nonzero", "sign", "mask", "eq" (empty = "changed") and is
+	// honored only with Kind "transition".
+	Addr    uint32 `json:"addr,omitempty"`
+	Size    uint32 `json:"size,omitempty"`
+	Kind    string `json:"kind,omitempty"`
+	Pred    string `json:"pred,omitempty"`
+	PredArg uint32 `json:"pred_arg,omitempty"`
 
 	// OpPatch: the mid-run text-patch toggle (the wire form of the stress
 	// harness's copy-on-write churn). Index is the text index; Unimp picks
@@ -81,4 +89,8 @@ type HitRec struct {
 	Read   bool   `json:"read,omitempty"`
 	PC     int32  `json:"pc"`
 	Instrs int64  `json:"instrs"`
+	// Old and New carry the before/after word values of a transition-region
+	// hit; both zero for other hits.
+	Old uint32 `json:"old,omitempty"`
+	New uint32 `json:"new,omitempty"`
 }

@@ -246,8 +246,13 @@ func (p *patcher) patchUnit(u *asm.Unit) (*asm.Unit, error) {
 			p.res.StaticReads++
 			wt := classifyWrite(u.Items, i)
 			it.CountName = CounterReads
-			p.emit(it)
-			p.emitCheck(&it, wt)
+			if LoadClobbersAddress(it.Instr) {
+				p.emitCheck(&it, wt)
+				p.emit(it)
+			} else {
+				p.emit(it)
+				p.emitCheck(&it, wt)
+			}
 			continue
 		}
 		if it.Kind != asm.ItemInstr || !it.Instr.Op.IsStore() {
@@ -407,6 +412,33 @@ func (p *patcher) emitCheck(it *asm.Item, wt WriteType) {
 	id := p.nextID
 	p.nextID++
 	p.emitSrc(it.Section, CheckText(p.opts, it.Instr, wt, id))
+}
+
+// LoadClobbersAddress reports whether the load's destination register
+// overwrites one of its own address registers (e.g. "ld [%o1], %o1"). The
+// check sequence recomputes the effective address from the instruction's
+// operands, so for such loads it must run before the load: placed after,
+// it would check a garbage address — missing monitored reads and trapping
+// on unrelated addresses. Stores never have this problem (they read their
+// operands and write only memory), which is why the paper can place every
+// write check after the write.
+func LoadClobbersAddress(in sparc.Instr) bool {
+	if !in.Op.IsLoad() {
+		return false
+	}
+	rds := [2]sparc.Reg{in.Rd, in.Rd}
+	if in.Op == sparc.Ldd {
+		rds[1] = in.Rd + 1
+	}
+	for _, rd := range rds {
+		if rd == sparc.G0 {
+			continue
+		}
+		if rd == in.Rs1 || (!in.UseImm && rd == in.Rs2) {
+			return true
+		}
+	}
+	return false
 }
 
 // CheckText renders the check sequence for store st under the given options

@@ -7,6 +7,7 @@ import (
 	"databreak/internal/cache"
 	"databreak/internal/machine"
 	"databreak/internal/monitor"
+	"databreak/internal/sparc"
 )
 
 // buildAndRun patches src with the strategy, assembles, attaches a monitor
@@ -490,5 +491,110 @@ func TestReadCheckingCostsMoreThanWriteOnly(t *testing.T) {
 	both := run(true)
 	if both <= writeOnly {
 		t.Fatalf("read+write (%d cycles) must exceed write-only (%d)", both, writeOnly)
+	}
+}
+
+// progClobberRead chases a pointer: the first load overwrites its own
+// address register with the loaded value ("ld [%o1], %o1"), so its check
+// cannot recompute the effective address after the load executes.
+const progClobberRead = `
+main:
+	save %sp, -96, %sp
+	set ptr, %o1
+	ld [%o1], %o1       ! read ptr; rd clobbers rs1
+	ld [%o1], %i0       ! read cells (non-clobbering)
+	restore
+	retl
+	.data
+cells:	.word 42
+ptr:	.word cells
+`
+
+// A load whose destination is one of its own address registers must be
+// checked before it executes; checked after, the recomputed address is the
+// loaded value, so monitored reads are silently missed (and unrelated
+// addresses can false-hit). Regression test for exactly that bug.
+func TestReadCheckClobberedAddressRegister(t *testing.T) {
+	for _, strat := range allCheckStrategies {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			u := asm.MustParse("p.s", progClobberRead)
+			res, err := Apply(Options{Strategy: strat, CheckReads: true}, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.StaticReads != 2 {
+				t.Fatalf("static reads = %d, want 2", res.StaticReads)
+			}
+			prog, err := asm.Assemble(asm.Options{AddStartup: true}, res.Units...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
+			prog.Load(m)
+			cfg := monitor.DefaultConfig
+			cfg.Flags = strat == Cache || strat == CacheInline
+			svc, err := monitor.NewService(cfg, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Monitor both words; each load must report its true address.
+			ptrAddr, ok := prog.DataLabels["ptr"]
+			if !ok {
+				t.Fatal("no ptr label")
+			}
+			cellsAddr, ok := prog.DataLabels["cells"]
+			if !ok {
+				t.Fatal("no cells label")
+			}
+			if err := svc.CreateRegion(ptrAddr, 4); err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.CreateRegion(cellsAddr, 4); err != nil {
+				t.Fatal(err)
+			}
+			code, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if code != 42 {
+				t.Fatalf("exit = %d, want 42", code)
+			}
+			hits := map[uint32]int{}
+			for _, h := range svc.Hits {
+				if !h.Read {
+					t.Fatalf("unexpected write hit at %#x", h.Addr)
+				}
+				hits[h.Addr]++
+			}
+			if hits[ptrAddr] != 1 || hits[cellsAddr] != 1 || len(hits) != 2 {
+				t.Fatalf("read hits = %v, want one at ptr %#x and one at cells %#x",
+					hits, ptrAddr, cellsAddr)
+			}
+		})
+	}
+}
+
+func TestLoadClobbersAddress(t *testing.T) {
+	ld := func(rs1, rs2, rd sparc.Reg, imm bool) sparc.Instr {
+		return sparc.Instr{Op: sparc.Ld, Rs1: rs1, Rs2: rs2, Rd: rd, UseImm: imm}
+	}
+	cases := []struct {
+		in   sparc.Instr
+		want bool
+	}{
+		{ld(sparc.O1, 0, sparc.O1, true), true},            // ld [%o1], %o1
+		{ld(sparc.O1, 0, sparc.O2, true), false},           // ld [%o1], %o2
+		{ld(sparc.O1, sparc.O3, sparc.O3, false), true},    // ld [%o1+%o3], %o3
+		{ld(sparc.O1, sparc.O3, sparc.O4, false), false},   // ld [%o1+%o3], %o4
+		{ld(sparc.O1, 0, sparc.G0, true), false},           // ld [%o1], %g0
+		{sparc.Instr{Op: sparc.Ldd, Rs1: sparc.O3, Rd: sparc.O2, UseImm: true}, true},  // ldd writes %o2,%o3
+		{sparc.Instr{Op: sparc.Ldd, Rs1: sparc.O1, Rd: sparc.O4, UseImm: true}, false}, // ldd writes %o4,%o5
+		{sparc.Instr{Op: sparc.St, Rs1: sparc.O1, Rd: sparc.O1, UseImm: true}, false},  // stores never clobber
+	}
+	for _, c := range cases {
+		if got := LoadClobbersAddress(c.in); got != c.want {
+			t.Errorf("LoadClobbersAddress(%v) = %v, want %v", c.in, got, c.want)
+		}
 	}
 }
