@@ -73,6 +73,7 @@ func run() error {
 	sessions := flag.Int("sessions", 0, "mrsd: concurrent sessions in the scale phase (0 = one per workload)")
 	hitSessions := flag.Int("hit-sessions", 0, "mrsd: sessions in the hit/latency phase (0 = two per workload, -1 = skip)")
 	batch := flag.Int("batch", 0, "mrsd: hit-coalescing batch size for the main pass (0 = daemon default)")
+	traceStats := flag.Bool("trace-stats", false, "report fusion coverage (dynamic pair/triple frequencies, fused retirement share, items per retired instruction) instead of tables")
 	verbose := flag.Bool("v", false, "progress output")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the harness to this file on exit")
@@ -229,6 +230,23 @@ func run() error {
 		return cacheStats()
 	}
 
+	if *traceStats {
+		start := time.Now()
+		rows, err := bench.TraceStats(cfg, programs)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		fmt.Println("Fusion coverage: dispatch items per retired instruction under the shared trace builder")
+		fmt.Print(bench.FormatTraceStats(rows))
+		if *jsonOut {
+			if err := bench.NewReport("tracestats", cfg, wall, rows).WriteFile("BENCH_tracestats.json"); err != nil {
+				return err
+			}
+		}
+		return cacheStats()
+	}
+
 	// report writes BENCH_<name>.json when -json is set; text output to
 	// stdout is identical with and without it.
 	report := func(name string, wall time.Duration, rows any) error {
@@ -359,7 +377,7 @@ func run() error {
 	// also cross-checks that every engine produces identical counts.
 	if *jsonOut {
 		start := time.Now()
-		rows, err := bench.HostPerf(cfg, 5)
+		rows, err := bench.HostPerf(cfg, 9)
 		if err != nil {
 			return err
 		}

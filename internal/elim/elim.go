@@ -14,6 +14,7 @@ package elim
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"databreak/internal/asm"
@@ -215,7 +216,16 @@ func (rw *rewriter) rewriteUnit(u *asm.Unit) (*asm.Unit, error) {
 				loopInfos[l] = bounds.AnalyzeLoop(info, l)
 			}
 		}
+		// Site IDs, patch-area blocks, and the SymbolSites registry are all
+		// allocated in visit order, so walk the accesses in program order —
+		// ranging over the AddrOf map directly would make the generated text
+		// layout (and the artifact cache's size accounting) vary run to run.
+		positions := make([]int, 0, len(info.AddrOf))
 		for pos := range info.AddrOf {
+			positions = append(positions, pos)
+		}
+		slices.Sort(positions)
+		for _, pos := range positions {
 			op := f.Instruction(pos).Op
 			if !op.IsStore() && !(rw.opts.CheckReads && op.IsLoad()) {
 				continue

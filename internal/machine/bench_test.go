@@ -68,9 +68,11 @@ func compiledWorkload(b *testing.B, name string) *asm.Program {
 }
 
 // BenchmarkRunWorkload runs a full compiled workload per iteration — the
-// unit of work the benchmark matrix fans out over its worker pool — so a
-// regression anywhere in the compile/assemble/execute path shows up here.
-// One sub-benchmark per execution engine: the trace tier's speedup over the
+// unit of work the benchmark matrix fans out over its worker pool: attach
+// the shared image, land the data snapshot, execute (LoadShared, the
+// artifact cache's run-a-cached-artifact path; Load's per-machine text copy
+// and predecode is the cold path the cache exists to avoid). One
+// sub-benchmark per execution engine: the trace tier's speedup over the
 // block engine is this benchmark's trace/block ratio, and CI prints all
 // three next to the matrix wall-clock delta.
 func BenchmarkRunWorkload(b *testing.B) {
@@ -85,7 +87,7 @@ func BenchmarkRunWorkload(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m := machine.New(cache.DefaultConfig, machine.DefaultCosts)
 				m.SetEngine(e)
-				prog.Load(m)
+				prog.LoadShared(m)
 				if _, err := m.Run(); err != nil {
 					b.Fatal(err)
 				}

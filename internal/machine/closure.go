@@ -149,7 +149,8 @@ type ritem struct {
 	//       previous fetch's line, which a crossing line can never match).
 	// f bit 2: the fused second fetch crosses a line (probe); clear on a
 	// fused op means the second fetch is precounted (body) or a direct
-	// guaranteed hit (compare-and-branch).
+	// guaranteed hit (compare-and-branch). f bit 3: same for a fused
+	// triple's third fetch (iaddr+8).
 	f    uint8
 	rd   uint8 // destination (source for stores)
 	rs1  uint8
@@ -157,7 +158,10 @@ type ritem struct {
 	rd2  uint8 // fused second half's operands
 	rs1b uint8
 	s2rb uint8
-	cm   uint16 // control: branch condition mask
+	// cm: control item — branch condition mask; ALU-chain triple — the third
+	// slot's rd3|rs1c<<8 (triples are never control ops, so the field is free;
+	// set2+memop triples carry their memop in the rd2 slots instead).
+	cm uint16
 	// hb: precounted fetches earned through this item's FIRST fetch since
 	// the last settle (a fused op's second precounted fetch lands in the
 	// next item's hb); on a control item, the full batch to settle.
@@ -169,7 +173,11 @@ type ritem struct {
 	// instructions retired through the op's first instr (niW). Read via
 	// ctlCyc/ctlNi; both fit 15 bits because maxBlockLen caps a trace.
 	imm2 int32
-	line uint32 // own first fetch's line
+	// c3: ALU-chain triple — the third slot's s2rc | uint16(imm3)<<16 (the
+	// immediate is a 13-bit SPARC field, so the int16 round-trips exactly).
+	// Free elsewhere: the first fetch's line is derived from fpc at the
+	// probe site, like every other fetch address.
+	c3 uint32
 	// rx: memory item — the ifetch ADDRESS of the next precounted
 	// first-fetch after this item, for eager kill repair (0 = none; its
 	// line is rx>>shift; a fused op's own second fetch is repaired in-case
@@ -218,7 +226,24 @@ func (m *Machine) ClosureBytes() int {
 // cCount is the synthetic counter-bump item kind; imm is the counter index.
 // Placed before its op — both effects are pure counters invisible until the
 // next flush, where both have completed (v. the trace tier's redo dispatch).
-const cCount = tOrSub + 1
+const cCount = topOpEnd
+
+// chainKinds marks the item kinds runOutlined retires itself: the outlined
+// triples/double-words it is entered for, plus the cheap singles and pairs
+// that sit between triples in straight-line runs (the glue the builder could
+// not fuse). The chain loop keeps a call alive while the next item is one of
+// these, so one call typically covers a whole straight-line run.
+var chainKinds = [cCount + 1]bool{
+	tLdSllAdd: true, tSllAddLd: true, tOrLdSll: true, tAddLdSll: true,
+	tLdAddLd: true, tOrOrOr: true, tSet2Ld: true, tSet2St: true,
+	tLdAddSt: true, tLdSubSt: true, tLdOrSt: true,
+	tStI: true, tSllAdd: true, tOrAdd: true, tOrSub: true,
+	tSet2: true, tSet: true, tAdd: true, tAddI: true, tSub: true,
+	tSubI: true, tOr: true, tOrI: true, tSll: true, tSllI: true,
+	// tBA is control but never side-exits (stitched unconditional branch:
+	// taken cost, keep walking), so it chains like a straight-line op.
+	tBA: true,
+}
 
 // fetchSlowV is the full-probe ifetch path for second (fused) fetches and
 // hook repairs, value-threaded so the hoisted trackers stay in registers at
@@ -475,10 +500,11 @@ func ccLogicBits(r int32) uint8 {
 	return bits
 }
 
-// cb is the closure compiler's per-trace context.
+// cb is the closure compiler's per-trace context. It holds no machine
+// state beyond the cost model — the output closProg must stay
+// machine-independent so a shared image can publish it to every attached
+// machine (image.go sharedClosures).
 type cb struct {
-	m     *Machine
-	regs  *[256]int32
 	tr    *traceProg
 	shift uint32
 	taken int64
@@ -502,8 +528,6 @@ func isCtlOp(op topOp) bool {
 func (m *Machine) compileClosures(tr *traceProg) *closProg {
 	cp := &closProg{head: tr.entry, passInstrs: tr.passInstrs}
 	b := &cb{
-		m:     m,
-		regs:  &m.regs,
 		tr:    tr,
 		shift: tr.shift,
 		taken: m.costs.TakenBranch,
@@ -564,8 +588,7 @@ func (b *cb) appendItem(items []ritem, cold []rcold, u *top, first bool) ([]rite
 		rd2: u.rd2, rs1b: u.rs1b, s2rb: u.s2rb,
 		cm:  condMask[u.cond],
 		imm: u.imm, imm2: u.imm2,
-		line: u.iaddr >> b.shift,
-		fpc:  int32((u.iaddr - TextBase) / 4),
+		fpc: int32((u.iaddr - TextBase) / 4),
 	}
 	switch {
 	case first:
@@ -580,7 +603,15 @@ func (b *cb) appendItem(items []ritem, cold []rcold, u *top, first bool) ([]rite
 	if u.nl&2 != 0 {
 		it.f |= 4 // fused second fetch crosses: unconditional probe
 	}
+	if u.nl&4 != 0 {
+		it.f |= 8 // fused third fetch crosses: unconditional probe
+	}
 	switch op {
+	case tLdSllAdd, tSllAddLd, tOrLdSll, tAddLdSll, tLdAddLd, tOrOrOr,
+		tLdAddSt, tLdSubSt, tLdOrSt:
+		// ALU-chain triple: the third slot rides in cm/c3 (see ritem).
+		it.cm = uint16(u.rd3) | uint16(u.rs1c)<<8
+		it.c3 = uint32(u.s2rc) | uint32(uint16(u.tgt))<<16
 	case tCall:
 		it.rd = uint8(sparc.O7)
 		it.imm = int32(u.iaddr) + 4
@@ -601,9 +632,10 @@ func (b *cb) appendItem(items []ritem, cold []rcold, u *top, first bool) ([]rite
 // and its target is stitched into the trace).
 func (b *cb) ownStatic(op topOp) int32 {
 	switch op {
-	case tLd, tLdI, tSt, tStI, tLdSll, tLdOr, tLdCmp, tAddLd, tOrLd, tAddSt, tSubSt:
+	case tLd, tLdI, tSt, tStI, tLdSll, tLdOr, tLdCmp, tAddLd, tOrLd, tAddSt, tSubSt,
+		tLdSllAdd, tSllAddLd, tOrLdSll, tAddLdSll, tSet2Ld, tSet2St:
 		return int32(b.memx)
-	case tLdd, tStd, tLdLd, tLdSt:
+	case tLdd, tStd, tLdLd, tLdSt, tLdAddLd, tLdAddSt, tLdSubSt, tLdOrSt:
 		return 2 * int32(b.memx)
 	case tSMul:
 		return int32(b.mul)
@@ -611,15 +643,6 @@ func (b *cb) ownStatic(op topOp) int32 {
 		return int32(b.taken)
 	}
 	return 0
-}
-
-// hasSecondFetch reports whether op is a fused pair (two ifetches).
-func hasSecondFetch(op topOp) bool {
-	switch op {
-	case tSet2, tLdSll, tLdOr, tLdCmp, tSllAdd, tAddLd, tOrLd, tLdLd, tLdSt, tAddSt, tSubSt, tOrAdd, tOrSub:
-		return true
-	}
-	return false
 }
 
 // finish computes the batch bookkeeping over the item stream: per-item
@@ -651,15 +674,21 @@ func (b *cb) finish(items []ritem, cold []rcold) {
 			hb++
 		}
 		it.hb = hb // through the first fetch: first-half faults charge this
-		if hasSecondFetch(it.kind) && it.f&4 == 0 {
-			hb++
+		if w := topWidth(it.kind); w >= 2 {
+			if it.f&4 == 0 {
+				hb++
+			}
+			if w == 3 && it.f&8 == 0 {
+				hb++
+			}
 		}
 		cold[i].cycB = cyc
 		cyc += b.ownStatic(it.kind)
 	}
 	for i := range items {
 		switch items[i].kind {
-		case tLd, tLdI, tLdd, tSt, tStI, tStd, tLdSll, tLdOr, tLdCmp, tAddLd, tOrLd, tLdLd, tLdSt, tAddSt, tSubSt:
+		case tLd, tLdI, tLdd, tSt, tStI, tStd, tLdSll, tLdOr, tLdCmp, tAddLd, tOrLd, tLdLd, tLdSt, tAddSt, tSubSt,
+			tLdSllAdd, tSllAddLd, tOrLdSll, tAddLdSll, tLdAddLd, tSet2Ld, tSet2St, tLdAddSt, tLdSubSt, tLdOrSt:
 			for j := i + 1; j < len(items); j++ {
 				jt := &items[j]
 				if jt.kind == cCount {
@@ -800,6 +829,12 @@ func (s *cst) hookedAccess(cp *closProg, items []ritem, it *ritem, ihits0 uint64
 func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8) (cfn, uint32, uint32, uint64, uint8) {
 	items := cp.items
 	shift := cp.shift
+	// Loop-invariant hot fields, hoisted so the compiler keeps them in
+	// registers instead of reloading through m after every real call.
+	cs := &m.cstate
+	cc := m.cache
+	imask := cs.imask
+	missP := m.costs.MissPenalty
 	const itemSize = unsafe.Sizeof(ritem{})
 	{
 		var cyc int64
@@ -818,16 +853,17 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 				// First ifetch, dispatched on the two-bit compile-time code
 				// (0 = precounted: nothing to do here).
 				if k := it.f & 3; k != 0 {
-					if (k == 1 && curIL != noLine) || it.line == curIL {
+					ia := TextBase + uint32(it.fpc)<<2
+					if line := ia >> shift; (k == 1 && curIL != noLine) || line == curIL {
 						ihits++
 					} else {
-						if !m.cache.Access(TextBase+uint32(it.fpc)<<2, cache.IFetch) {
-							cyc += m.costs.MissPenalty
+						if !cc.Access(ia, cache.IFetch) {
+							cyc += missP
 						}
-						if (it.line^curDL)&m.cstate.imask == 0 {
+						if (line^curDL)&imask == 0 {
 							curDL = noLine
 						}
-						curIL = it.line
+						curIL = line
 					}
 				}
 				switch it.kind {
@@ -876,7 +912,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					cyc += cp.div // charged before the zero check, as in Step
 					dv := m.regs[it.s2r] + it.imm
 					if dv == 0 {
-						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+						return cs.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 							cyc, cp, items, it, 0, 0, "division by zero")
 					}
 					m.regs[it.rd] = m.regs[it.rs1] / dv
@@ -919,12 +955,12 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						ea = uint32(m.regs[it.rs1] + it.imm)
 					}
 					if ea&3 != 0 {
-						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+						return cs.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 							cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
 					}
 					if m.LoadHook != nil {
 						var ex bool
-						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+						curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
 							ihits, ccb, cyc, ea, it.hb, it.rx, it.rd, cache.DRead, false, cp.memx, 0, 1)
 						if ex {
 							return nil, curIL, curDL, ihits, ccb
@@ -932,17 +968,17 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						break
 					}
 					if line := ea >> shift; line == curDL {
-						m.cstate.drh++
-					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+						cs.drh++
+					} else if curIL == noLine || (line^curIL)&imask != 0 {
 						// Clean D-line change (no I-tracker alias) stays inline: probe
 						// and retarget — the kill-and-repair path is the rare one.
-						if !m.cache.Access(ea, cache.DRead) {
-							cyc += m.costs.MissPenalty
+						if !cc.Access(ea, cache.DRead) {
+							cyc += missP
 						}
 						curDL = line
 					} else {
 						var c, cv int64
-						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, it.rx, shift)
 						cyc += c
 						ihits += uint64(cv)
 					}
@@ -955,46 +991,6 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					o := ea & (PageBytes - 4)
 					m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
 
-				case tLdd:
-					ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
-					if ea&7 != 0 {
-						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
-							cyc, cp, items, it, 0, 0, "unaligned ldd at %#x", ea)
-					}
-					if m.LoadHook != nil {
-						var ex bool
-						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
-							ihits, ccb, cyc, ea, it.hb, it.rx, it.rd, cache.DRead, true, 2*cp.memx, 0, 1)
-						if ex {
-							return nil, curIL, curDL, ihits, ccb
-						}
-						break
-					}
-					if line := ea >> shift; (ea+4)>>shift != line {
-						// Straddle (lines narrower than 8 bytes): both words
-						// probe, repair deferred — see dataSlow2V.
-						var c, cv int64
-						curIL, curDL, c, cv = dataSlow2V(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, it.rx, shift)
-						cyc += c
-						ihits += uint64(cv)
-					} else if line == curDL {
-						m.cstate.drh++
-					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
-						// Clean D-line change (no I-tracker alias) stays inline: probe
-						// and retarget — the kill-and-repair path is the rare one.
-						if !m.cache.Access(ea, cache.DRead) {
-							cyc += m.costs.MissPenalty
-						}
-						curDL = line
-					} else {
-						var c, cv int64
-						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, it.rx, shift)
-						cyc += c
-						ihits += uint64(cv)
-					}
-					m.regs[it.rd] = m.ReadWord(ea)
-					m.regs[it.rd+1] = m.ReadWord(ea + 4)
-
 				case tSt, tStI:
 					var ea uint32
 					if it.kind == tSt {
@@ -1003,7 +999,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						ea = uint32(m.regs[it.rs1] + it.imm)
 					}
 					if ea&3 != 0 {
-						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+						return cs.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 							cyc, cp, items, it, 0, 0, "unaligned store at %#x", ea)
 					}
 					if m.StoreHook != nil {
@@ -1011,7 +1007,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						// run the hook, probe with dead trackers, store, then
 						// rebase-and-repair or patch-exit — lives out of line.
 						var ex bool
-						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+						curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
 							ihits, ccb, cyc, ea, it.hb, it.rx, it.rd, cache.DWrite, false, cp.memx, 0, 1)
 						if ex {
 							return nil, curIL, curDL, ihits, ccb
@@ -1019,17 +1015,17 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						break
 					}
 					if line := ea >> shift; line == curDL {
-						m.cstate.dwh++
-					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+						cs.dwh++
+					} else if curIL == noLine || (line^curIL)&imask != 0 {
 						// Clean D-line change (no I-tracker alias) stays inline: probe
 						// and retarget — the kill-and-repair path is the rare one.
-						if !m.cache.Access(ea, cache.DWrite) {
-							cyc += m.costs.MissPenalty
+						if !cc.Access(ea, cache.DWrite) {
+							cyc += missP
 						}
 						curDL = line
 					} else {
 						var c, cv int64
-						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, imask, it.rx, shift)
 						cyc += c
 						ihits += uint64(cv)
 					}
@@ -1042,46 +1038,6 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					o := ea & (PageBytes - 4)
 					binary.BigEndian.PutUint32(pg[o:o+4], uint32(m.regs[it.rd]))
 
-				case tStd:
-					ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
-					if ea&7 != 0 {
-						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
-							cyc, cp, items, it, 0, 0, "unaligned std at %#x", ea)
-					}
-					if m.StoreHook != nil {
-						var ex bool
-						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
-							ihits, ccb, cyc, ea, it.hb, it.rx, it.rd, cache.DWrite, true, 2*cp.memx, 0, 1)
-						if ex {
-							return nil, curIL, curDL, ihits, ccb
-						}
-						break
-					}
-					if line := ea >> shift; (ea+4)>>shift != line {
-						// Straddle (lines narrower than 8 bytes): both words
-						// probe, repair deferred — see dataSlow2V.
-						var c, cv int64
-						curIL, curDL, c, cv = dataSlow2V(m, ea, cache.DWrite, line, curIL, curDL, m.cstate.imask, it.rx, shift)
-						cyc += c
-						ihits += uint64(cv)
-					} else if line == curDL {
-						m.cstate.dwh++
-					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
-						// Clean D-line change (no I-tracker alias) stays inline: probe
-						// and retarget — the kill-and-repair path is the rare one.
-						if !m.cache.Access(ea, cache.DWrite) {
-							cyc += m.costs.MissPenalty
-						}
-						curDL = line
-					} else {
-						var c, cv int64
-						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, m.cstate.imask, it.rx, shift)
-						cyc += c
-						ihits += uint64(cv)
-					}
-					m.storeWord(ea, m.regs[it.rd])
-					m.storeWord(ea+4, m.regs[it.rd+1])
-
 				case tSave:
 					// Mirrors Step: operand computed in the caller's window,
 					// destination written in the new one.
@@ -1091,7 +1047,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 
 				case tRestore:
 					if len(m.win) < 1 {
-						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+						return cs.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 							cyc, cp, items, it, 0, 0, "register window underflow at top frame")
 					}
 					v := m.regs[it.rs1] + m.regs[it.s2r] + it.imm
@@ -1107,11 +1063,11 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					// same-line second fetch is already in the batch.
 					if it.f&4 != 0 {
 						ia2 := TextBase + uint32(it.fpc)<<2 + 4
-						if !m.cache.Access(ia2, cache.IFetch) {
-							cyc += m.costs.MissPenalty
+						if !cc.Access(ia2, cache.IFetch) {
+							cyc += missP
 						}
 						curIL = ia2 >> shift
-						if (curIL^curDL)&m.cstate.imask == 0 {
+						if (curIL^curDL)&imask == 0 {
 							curDL = noLine
 						}
 					}
@@ -1125,11 +1081,11 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					}
 					if it.f&4 != 0 {
 						ia2 := TextBase + uint32(it.fpc)<<2 + 4
-						if !m.cache.Access(ia2, cache.IFetch) {
-							cyc += m.costs.MissPenalty
+						if !cc.Access(ia2, cache.IFetch) {
+							cyc += missP
 						}
 						curIL = ia2 >> shift
-						if (curIL^curDL)&m.cstate.imask == 0 {
+						if (curIL^curDL)&imask == 0 {
 							curDL = noLine
 						}
 					}
@@ -1142,7 +1098,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 				case tLdSll, tLdOr, tLdCmp:
 					ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
 					if ea&3 != 0 {
-						return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+						return cs.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 							cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
 					}
 					if m.LoadHook != nil {
@@ -1154,19 +1110,19 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 							ra = TextBase + uint32(it.fpc)<<2 + 4
 						}
 						var ex bool
-						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+						curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
 							ihits, ccb, cyc, ea, it.hb, ra, it.rd, cache.DRead, false, cp.memx, 0, 1)
 						if ex {
 							return nil, curIL, curDL, ihits, ccb
 						}
 					} else {
 						if line := ea >> shift; line == curDL {
-							m.cstate.drh++
-						} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+							cs.drh++
+						} else if curIL == noLine || (line^curIL)&imask != 0 {
 							// Clean D-line change (no I-tracker alias) stays inline: probe
 							// and retarget — the kill-and-repair path is the rare one.
-							if !m.cache.Access(ea, cache.DRead) {
-								cyc += m.costs.MissPenalty
+							if !cc.Access(ea, cache.DRead) {
+								cyc += missP
 							}
 							curDL = line
 						} else {
@@ -1177,7 +1133,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 								ra = TextBase + uint32(it.fpc)<<2 + 4
 							}
 							var c, cv int64
-							curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
+							curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, ra, shift)
 							cyc += c
 							ihits += uint64(cv)
 						}
@@ -1192,11 +1148,11 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					}
 					if it.f&4 != 0 {
 						ia2 := TextBase + uint32(it.fpc)<<2 + 4
-						if !m.cache.Access(ia2, cache.IFetch) {
-							cyc += m.costs.MissPenalty
+						if !cc.Access(ia2, cache.IFetch) {
+							cyc += missP
 						}
 						curIL = ia2 >> shift
-						if (curIL^curDL)&m.cstate.imask == 0 {
+						if (curIL^curDL)&imask == 0 {
 							curDL = noLine
 						}
 					}
@@ -1219,7 +1175,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						firstMemx = cp.memx
 						ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
 						if ea&3 != 0 {
-							return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+							return cs.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 								cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
 						}
 						if lhooked {
@@ -1228,19 +1184,19 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 								ra = TextBase + uint32(it.fpc)<<2 + 4
 							}
 							var ex bool
-							curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+							curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
 								ihits, ccb, cyc, ea, it.hb, ra, it.rd, cache.DRead, false, cp.memx, 0, 1)
 							if ex {
 								return nil, curIL, curDL, ihits, ccb
 							}
 						} else {
 							if line := ea >> shift; line == curDL {
-								m.cstate.drh++
-							} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+								cs.drh++
+							} else if curIL == noLine || (line^curIL)&imask != 0 {
 								// Clean D-line change (no I-tracker alias) stays inline: probe
 								// and retarget — the kill-and-repair path is the rare one.
-								if !m.cache.Access(ea, cache.DRead) {
-									cyc += m.costs.MissPenalty
+								if !cc.Access(ea, cache.DRead) {
+									cyc += missP
 								}
 								curDL = line
 							} else {
@@ -1249,7 +1205,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 									ra = TextBase + uint32(it.fpc)<<2 + 4
 								}
 								var c, cv int64
-								curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
+								curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, ra, shift)
 								cyc += c
 								ihits += uint64(cv)
 							}
@@ -1272,22 +1228,22 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						hb2++ // the batched second fetch has now executed
 					} else {
 						ia2 := TextBase + uint32(it.fpc)<<2 + 4
-						if !m.cache.Access(ia2, cache.IFetch) {
-							cyc += m.costs.MissPenalty
+						if !cc.Access(ia2, cache.IFetch) {
+							cyc += missP
 						}
 						curIL = ia2 >> shift
-						if (curIL^curDL)&m.cstate.imask == 0 {
+						if (curIL^curDL)&imask == 0 {
 							curDL = noLine
 						}
 					}
 					ea := uint32(m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2)
 					if ea&3 != 0 {
-						return m.cstate.fault(curIL, curDL, ihits+uint64(uint16(hb2)), ccb,
+						return cs.fault(curIL, curDL, ihits+uint64(uint16(hb2)), ccb,
 							cyc+firstMemx, cp, items, it, 1, 1, "unaligned load at %#x", ea)
 					}
 					if lhooked {
 						var ex bool
-						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+						curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
 							ihits, ccb, cyc, ea, uint16(hb2), it.rx, it.rd2, cache.DRead, false, firstMemx+cp.memx, 1, 2)
 						if ex {
 							return nil, curIL, curDL, ihits, ccb
@@ -1295,17 +1251,17 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						break
 					}
 					if line := ea >> shift; line == curDL {
-						m.cstate.drh++
-					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+						cs.drh++
+					} else if curIL == noLine || (line^curIL)&imask != 0 {
 						// Clean D-line change (no I-tracker alias) stays inline: probe
 						// and retarget — the kill-and-repair path is the rare one.
-						if !m.cache.Access(ea, cache.DRead) {
-							cyc += m.costs.MissPenalty
+						if !cc.Access(ea, cache.DRead) {
+							cyc += missP
 						}
 						curDL = line
 					} else {
 						var c, cv int64
-						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, it.rx, shift)
 						cyc += c
 						ihits += uint64(cv)
 					}
@@ -1324,7 +1280,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						firstMemx = cp.memx
 						ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
 						if ea&3 != 0 {
-							return m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+							return cs.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
 								cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
 						}
 						if m.LoadHook != nil {
@@ -1333,19 +1289,19 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 								ra = TextBase + uint32(it.fpc)<<2 + 4
 							}
 							var ex bool
-							curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+							curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
 								ihits, ccb, cyc, ea, it.hb, ra, it.rd, cache.DRead, false, cp.memx, 0, 1)
 							if ex {
 								return nil, curIL, curDL, ihits, ccb
 							}
 						} else {
 							if line := ea >> shift; line == curDL {
-								m.cstate.drh++
-							} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+								cs.drh++
+							} else if curIL == noLine || (line^curIL)&imask != 0 {
 								// Clean D-line change (no I-tracker alias) stays inline: probe
 								// and retarget — the kill-and-repair path is the rare one.
-								if !m.cache.Access(ea, cache.DRead) {
-									cyc += m.costs.MissPenalty
+								if !cc.Access(ea, cache.DRead) {
+									cyc += missP
 								}
 								curDL = line
 							} else {
@@ -1354,7 +1310,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 									ra = TextBase + uint32(it.fpc)<<2 + 4
 								}
 								var c, cv int64
-								curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, ra, shift)
+								curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, ra, shift)
 								cyc += c
 								ihits += uint64(cv)
 							}
@@ -1377,22 +1333,22 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						hb2++ // the batched second fetch has now executed
 					} else {
 						ia2 := TextBase + uint32(it.fpc)<<2 + 4
-						if !m.cache.Access(ia2, cache.IFetch) {
-							cyc += m.costs.MissPenalty
+						if !cc.Access(ia2, cache.IFetch) {
+							cyc += missP
 						}
 						curIL = ia2 >> shift
-						if (curIL^curDL)&m.cstate.imask == 0 {
+						if (curIL^curDL)&imask == 0 {
 							curDL = noLine
 						}
 					}
 					ea := uint32(m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2)
 					if ea&3 != 0 {
-						return m.cstate.fault(curIL, curDL, ihits+uint64(uint16(hb2)), ccb,
+						return cs.fault(curIL, curDL, ihits+uint64(uint16(hb2)), ccb,
 							cyc+firstMemx, cp, items, it, 1, 1, "unaligned store at %#x", ea)
 					}
 					if m.StoreHook != nil {
 						var ex bool
-						curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+						curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
 							ihits, ccb, cyc, ea, uint16(hb2), it.rx, it.rd2, cache.DWrite, false, firstMemx+cp.memx, 1, 2)
 						if ex {
 							return nil, curIL, curDL, ihits, ccb
@@ -1400,17 +1356,17 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						break
 					}
 					if line := ea >> shift; line == curDL {
-						m.cstate.dwh++
-					} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+						cs.dwh++
+					} else if curIL == noLine || (line^curIL)&imask != 0 {
 						// Clean D-line change (no I-tracker alias) stays inline: probe
 						// and retarget — the kill-and-repair path is the rare one.
-						if !m.cache.Access(ea, cache.DWrite) {
-							cyc += m.costs.MissPenalty
+						if !cc.Access(ea, cache.DWrite) {
+							cyc += missP
 						}
 						curDL = line
 					} else {
 						var c, cv int64
-						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, imask, it.rx, shift)
 						cyc += c
 						ihits += uint64(cv)
 					}
@@ -1422,6 +1378,31 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					}
 					o := ea & (PageBytes - 4)
 					binary.BigEndian.PutUint32(pg[o:o+4], uint32(m.regs[it.rd2]))
+
+					// ---- fused triples (three instructions, one item; the third
+					// slot's operands unpack from cm/c3, see ritem) ----
+
+				case tLdd, tStd:
+					// Double-word pairs: rare path (see runOutlinedDW).
+					fn, nIL, nDL, nih, nccb, ncyc, done := cp.runOutlinedDW(m, items, it, curIL, curDL, ihits, ccb, cyc)
+					if done {
+						return fn, nIL, nDL, nih, nccb
+					}
+					curIL, curDL, ihits, ccb, cyc = nIL, nDL, nih, nccb, ncyc
+
+				case tLdSllAdd, tSllAddLd, tOrLdSll, tAddLdSll, tLdAddLd, tOrOrOr,
+					tSet2Ld, tSet2St, tLdAddSt, tLdSubSt, tLdOrSt:
+					// Fused triples and double-word pairs retire out of line.
+					// runOutlined chains through consecutive outlined items
+					// before coming back (triples cluster in straight-line code,
+					// so one call retires a whole run); done means fault or hook
+					// exit, with the results forwarded verbatim.
+					var fn cfn
+					var done bool
+					p, fn, curIL, curDL, ihits, ccb, cyc, done = cp.runOutlined(m, items, p, it, curIL, curDL, ihits, ccb, cyc)
+					if done {
+						return fn, curIL, curDL, ihits, ccb
+					}
 
 				// ---- control transfers (settle, then the op) ----
 
@@ -1449,13 +1430,13 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					cyc += ctlCyc(it)
 					if it.cm>>uint32(ccb)&1 != 0 {
 						n := ctlNi(it)
-						m.cstate.inst += n
-						m.cstate.cycs += cyc + cp.taken + m.cstate.base*n
-						m.cstate.rem -= n
+						cs.inst += n
+						cs.cycs += cyc + cp.taken + cs.base*n
+						cs.rem -= n
 						cyc = 0
-						if m.cstate.rem < cp.passInstrs {
+						if cs.rem < cp.passInstrs {
 							// dispatcher clamps the tail exactly
-							return m.cstate.stop(curIL, curDL, ihits, ccb, 0, 0, cp.head)
+							return cs.stop(curIL, curDL, ihits, ccb, 0, 0, cp.head)
 						}
 						continue pass
 					}
@@ -1470,12 +1451,12 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 				case tBALoop:
 					ihits += uint64(it.hb)
 					n := ctlNi(it)
-					m.cstate.inst += n
-					m.cstate.cycs += cyc + ctlCyc(it) + cp.taken + m.cstate.base*n
-					m.cstate.rem -= n
+					cs.inst += n
+					cs.cycs += cyc + ctlCyc(it) + cp.taken + cs.base*n
+					cs.rem -= n
 					cyc = 0
-					if m.cstate.rem < cp.passInstrs {
-						return m.cstate.stop(curIL, curDL, ihits, ccb, 0, 0, cp.head)
+					if cs.rem < cp.passInstrs {
+						return cs.stop(curIL, curDL, ihits, ccb, 0, 0, cp.head)
 					}
 					continue pass
 
@@ -1489,7 +1470,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						// and raises the fault. NOT a link — the dispatcher's
 						// terminator path owns this pc.
 						n := ctlNi(it) - 1
-						return m.cstate.stop(curIL, curDL, ihits, ccb,
+						return cs.stop(curIL, curDL, ihits, ccb,
 							cyc, n, it.fpc)
 					}
 					m.regs[it.rd] = int32(TextBase) + it.fpc<<2 + 4
@@ -1507,11 +1488,11 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 						ihits++
 					} else {
 						ia2 := TextBase + uint32(it.fpc)<<2 + 4
-						if !m.cache.Access(ia2, cache.IFetch) {
-							cyc += m.costs.MissPenalty
+						if !cc.Access(ia2, cache.IFetch) {
+							cyc += missP
 						}
 						curIL = ia2 >> shift
-						if (curIL^curDL)&m.cstate.imask == 0 {
+						if (curIL^curDL)&imask == 0 {
 							curDL = noLine
 						}
 					}
@@ -1523,12 +1504,12 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 					if it.kind == tCmpBrLoop {
 						n := ctlNi(it) + 1
 						if br {
-							m.cstate.inst += n
-							m.cstate.cycs += cyc + cp.taken + m.cstate.base*n
-							m.cstate.rem -= n
+							cs.inst += n
+							cs.cycs += cyc + cp.taken + cs.base*n
+							cs.rem -= n
 							cyc = 0
-							if m.cstate.rem < cp.passInstrs {
-								return m.cstate.stop(curIL, curDL, ihits, ccb, 0, 0, cp.head)
+							if cs.rem < cp.passInstrs {
+								return cs.stop(curIL, curDL, ihits, ccb, 0, 0, cp.head)
 							}
 							continue pass
 						}
@@ -1560,7 +1541,7 @@ func (cp *closProg) run(m *Machine, curIL, curDL uint32, ihits uint64, ccb uint8
 				}
 			}
 		hop:
-			if np := m.cstate.exitNext(xCyc, xN, xNpc); np != nil {
+			if np := cs.exitNext(xCyc, xN, xNpc); np != nil {
 				cp = np
 				items = cp.items
 				shift = cp.shift
@@ -1604,4 +1585,871 @@ func (m *Machine) execClosures(cp *closProg, shift, imask, ciLine, cdLine uint32
 		m.cache.NoteHits(cache.DWrite, s.dwh)
 	}
 	return curIL, curDL, ihits, s.err
+}
+
+// runOutlined retires the item kinds run keeps out of its own body: every
+// fused triple (the double-word pairs tLdd/tStd take their own rare path,
+// runOutlinedDW). These bodies would push run past the compiler's
+// big-function node budget and demote every cache probe on the hot
+// pair/single path to a real call — one extra call per outlined item is far
+// cheaper than uninlining the whole dispatch loop. To amortize even that
+// call, runOutlined keeps retiring as long as the NEXT item is also an
+// outlined kind — triples cluster in the straight-line address chains minic
+// emits, so one call often covers a whole run — and hands the advanced
+// stream pointer back to the caller.
+// done reports that the dispatch must return (a fault or a hook exit, with
+// the non-pointer results forwarded verbatim); otherwise the caller resumes
+// its walk at the returned pointer with the returned threaded state.
+func (cp *closProg) runOutlined(m *Machine, items []ritem, p unsafe.Pointer, it *ritem, curIL, curDL uint32, ihits uint64, ccb uint8, cyc int64) (unsafe.Pointer, cfn, uint32, uint32, uint64, uint8, int64, bool) {
+	shift := cp.shift
+	// Loop-invariant hot fields, hoisted so the compiler keeps them in
+	// registers instead of reloading through m after every real call.
+	cs := &m.cstate
+	cc := m.cache
+	imask := cs.imask
+	missP := m.costs.MissPenalty
+	const itemSize = unsafe.Sizeof(ritem{})
+	for {
+		switch it.kind {
+		case tLdSllAdd:
+			// ld+sll+add: the load is slot A with tLdSll's exact
+			// protocol (hook/fault/kill-repair against the own second
+			// fetch), then the two ALU slots with their fetches.
+			ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+			if ea&3 != 0 {
+				fn, fIL, fDL, fih, fcb := cs.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+					cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
+				return p, fn, fIL, fDL, fih, fcb, 0, true
+			}
+			if m.LoadHook != nil {
+				var ra uint32
+				if it.f&4 == 0 {
+					ra = TextBase + uint32(it.fpc)<<2 + 4
+				}
+				var ex bool
+				curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
+					ihits, ccb, cyc, ea, it.hb, ra, it.rd, cache.DRead, false, cp.memx, 0, 1)
+				if ex {
+					return p, nil, curIL, curDL, ihits, ccb, 0, true
+				}
+			} else {
+				if line := ea >> shift; line == curDL {
+					cs.drh++
+				} else if curIL == noLine || (line^curIL)&imask != 0 {
+					if !cc.Access(ea, cache.DRead) {
+						cyc += missP
+					}
+					curDL = line
+				} else {
+					var ra uint32
+					if it.f&4 == 0 {
+						ra = TextBase + uint32(it.fpc)<<2 + 4
+					}
+					var c, cv int64
+					curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, ra, shift)
+					cyc += c
+					ihits += uint64(cv)
+				}
+				pb := ea &^ (PageBytes - 1)
+				pe := &m.pageCache[pageCacheIdx(ea)]
+				pg := pe.p
+				if pe.base != pb {
+					pg = m.pageSlow(pb)
+				}
+				o := ea & (PageBytes - 4)
+				m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+			}
+			if it.f&4 != 0 {
+				ia2 := TextBase + uint32(it.fpc)<<2 + 4
+				if !cc.Access(ia2, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia2 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			m.regs[it.rd2] = m.regs[it.rs1b] << (uint32(m.regs[it.s2rb]+it.imm2) & 31)
+			if it.f&8 != 0 {
+				ia3 := TextBase + uint32(it.fpc)<<2 + 8
+				if !cc.Access(ia3, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia3 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			m.regs[uint8(it.cm)] = m.regs[uint8(it.cm>>8)] + m.regs[it.c3&0xff] + int32(int16(it.c3>>16))
+
+		case tSllAddLd:
+			// sll+add+ld: two ALU slots, then a slot-C load that
+			// faults with both earlier slots retired (dN/dPc 2) and
+			// kill-repairs against the next item's precounted fetch.
+			m.regs[it.rd] = m.regs[it.rs1] << (uint32(m.regs[it.s2r]+it.imm) & 31)
+			hb3 := int64(it.hb)
+			if it.f&4 == 0 {
+				hb3++ // the batched second fetch has now executed
+			} else {
+				ia2 := TextBase + uint32(it.fpc)<<2 + 4
+				if !cc.Access(ia2, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia2 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			m.regs[it.rd2] = m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2
+			if it.f&8 == 0 {
+				hb3++
+			} else {
+				ia3 := TextBase + uint32(it.fpc)<<2 + 8
+				if !cc.Access(ia3, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia3 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			ea := uint32(m.regs[uint8(it.cm>>8)] + m.regs[it.c3&0xff] + int32(int16(it.c3>>16)))
+			if ea&3 != 0 {
+				fn, fIL, fDL, fih, fcb := cs.fault(curIL, curDL, ihits+uint64(uint16(hb3)), ccb,
+					cyc, cp, items, it, 2, 2, "unaligned load at %#x", ea)
+				return p, fn, fIL, fDL, fih, fcb, 0, true
+			}
+			if m.LoadHook != nil {
+				var ex bool
+				curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
+					ihits, ccb, cyc, ea, uint16(hb3), it.rx, uint8(it.cm), cache.DRead, false, cp.memx, 2, 3)
+				if ex {
+					return p, nil, curIL, curDL, ihits, ccb, 0, true
+				}
+				break
+			}
+			if line := ea >> shift; line == curDL {
+				cs.drh++
+			} else if curIL == noLine || (line^curIL)&imask != 0 {
+				if !cc.Access(ea, cache.DRead) {
+					cyc += missP
+				}
+				curDL = line
+			} else {
+				var c, cv int64
+				curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, it.rx, shift)
+				cyc += c
+				ihits += uint64(cv)
+			}
+			pb := ea &^ (PageBytes - 1)
+			pe := &m.pageCache[pageCacheIdx(ea)]
+			pg := pe.p
+			if pe.base != pb {
+				pg = m.pageSlow(pb)
+			}
+			o := ea & (PageBytes - 4)
+			m.regs[uint8(it.cm)] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+
+		case tOrLdSll, tAddLdSll:
+			// alu+ld+sll: the slot-B load faults with one slot retired
+			// (dN/dPc 1) and kill-repairs against the op's own third
+			// fetch when precounted (a crossing one probes below).
+			if it.kind == tOrLdSll {
+				m.regs[it.rd] = m.regs[it.rs1] | (m.regs[it.s2r] + it.imm)
+			} else {
+				m.regs[it.rd] = m.regs[it.rs1] + m.regs[it.s2r] + it.imm
+			}
+			hb2 := int64(it.hb)
+			if it.f&4 == 0 {
+				hb2++ // the batched second fetch has now executed
+			} else {
+				ia2 := TextBase + uint32(it.fpc)<<2 + 4
+				if !cc.Access(ia2, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia2 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			ea := uint32(m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2)
+			if ea&3 != 0 {
+				fn, fIL, fDL, fih, fcb := cs.fault(curIL, curDL, ihits+uint64(uint16(hb2)), ccb,
+					cyc, cp, items, it, 1, 1, "unaligned load at %#x", ea)
+				return p, fn, fIL, fDL, fih, fcb, 0, true
+			}
+			if m.LoadHook != nil {
+				var ra uint32
+				if it.f&8 == 0 {
+					ra = TextBase + uint32(it.fpc)<<2 + 8
+				}
+				var ex bool
+				curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
+					ihits, ccb, cyc, ea, uint16(hb2), ra, it.rd2, cache.DRead, false, cp.memx, 1, 2)
+				if ex {
+					return p, nil, curIL, curDL, ihits, ccb, 0, true
+				}
+			} else {
+				if line := ea >> shift; line == curDL {
+					cs.drh++
+				} else if curIL == noLine || (line^curIL)&imask != 0 {
+					if !cc.Access(ea, cache.DRead) {
+						cyc += missP
+					}
+					curDL = line
+				} else {
+					var ra uint32
+					if it.f&8 == 0 {
+						ra = TextBase + uint32(it.fpc)<<2 + 8
+					}
+					var c, cv int64
+					curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, ra, shift)
+					cyc += c
+					ihits += uint64(cv)
+				}
+				pb := ea &^ (PageBytes - 1)
+				pe := &m.pageCache[pageCacheIdx(ea)]
+				pg := pe.p
+				if pe.base != pb {
+					pg = m.pageSlow(pb)
+				}
+				o := ea & (PageBytes - 4)
+				m.regs[it.rd2] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+			}
+			if it.f&8 != 0 {
+				ia3 := TextBase + uint32(it.fpc)<<2 + 8
+				if !cc.Access(ia3, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia3 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			m.regs[uint8(it.cm)] = m.regs[uint8(it.cm>>8)] << (uint32(m.regs[it.c3&0xff]+int32(int16(it.c3>>16))) & 31)
+
+		case tLdAddLd:
+			// ld+add+ld pointer chase: slot A is tLdLd's first half,
+			// slot C reads the registers as they stand after A and B —
+			// program order, even when the add clobbers an address
+			// register the slot-C load names.
+			{
+				ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+				if ea&3 != 0 {
+					fn, fIL, fDL, fih, fcb := cs.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+						cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
+					return p, fn, fIL, fDL, fih, fcb, 0, true
+				}
+				if m.LoadHook != nil {
+					var ra uint32
+					if it.f&4 == 0 {
+						ra = TextBase + uint32(it.fpc)<<2 + 4
+					}
+					var ex bool
+					curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
+						ihits, ccb, cyc, ea, it.hb, ra, it.rd, cache.DRead, false, cp.memx, 0, 1)
+					if ex {
+						return p, nil, curIL, curDL, ihits, ccb, 0, true
+					}
+				} else {
+					if line := ea >> shift; line == curDL {
+						cs.drh++
+					} else if curIL == noLine || (line^curIL)&imask != 0 {
+						if !cc.Access(ea, cache.DRead) {
+							cyc += missP
+						}
+						curDL = line
+					} else {
+						var ra uint32
+						if it.f&4 == 0 {
+							ra = TextBase + uint32(it.fpc)<<2 + 4
+						}
+						var c, cv int64
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, ra, shift)
+						cyc += c
+						ihits += uint64(cv)
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					pg := pe.p
+					if pe.base != pb {
+						pg = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+				}
+			}
+			hb3 := int64(it.hb)
+			if it.f&4 == 0 {
+				hb3++ // the batched second fetch has now executed
+			} else {
+				ia2 := TextBase + uint32(it.fpc)<<2 + 4
+				if !cc.Access(ia2, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia2 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			m.regs[it.rd2] = m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2
+			if it.f&8 == 0 {
+				hb3++
+			} else {
+				ia3 := TextBase + uint32(it.fpc)<<2 + 8
+				if !cc.Access(ia3, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia3 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			ea := uint32(m.regs[uint8(it.cm>>8)] + m.regs[it.c3&0xff] + int32(int16(it.c3>>16)))
+			if ea&3 != 0 {
+				fn, fIL, fDL, fih, fcb := cs.fault(curIL, curDL, ihits+uint64(uint16(hb3)), ccb,
+					cyc+cp.memx, cp, items, it, 2, 2, "unaligned load at %#x", ea)
+				return p, fn, fIL, fDL, fih, fcb, 0, true
+			}
+			if m.LoadHook != nil {
+				var ex bool
+				curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
+					ihits, ccb, cyc, ea, uint16(hb3), it.rx, uint8(it.cm), cache.DRead, false, 2*cp.memx, 2, 3)
+				if ex {
+					return p, nil, curIL, curDL, ihits, ccb, 0, true
+				}
+				break
+			}
+			if line := ea >> shift; line == curDL {
+				cs.drh++
+			} else if curIL == noLine || (line^curIL)&imask != 0 {
+				if !cc.Access(ea, cache.DRead) {
+					cyc += missP
+				}
+				curDL = line
+			} else {
+				var c, cv int64
+				curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, it.rx, shift)
+				cyc += c
+				ihits += uint64(cv)
+			}
+			pb := ea &^ (PageBytes - 1)
+			pe := &m.pageCache[pageCacheIdx(ea)]
+			pg := pe.p
+			if pe.base != pb {
+				pg = m.pageSlow(pb)
+			}
+			o := ea & (PageBytes - 4)
+			m.regs[uint8(it.cm)] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+
+		case tSet2Ld:
+			// sethi+or+ld: the merged constant commits after the or's
+			// fetch, before the slot-C load that typically uses rd as
+			// its address base. The memop rides in the rd2 slots but
+			// is the THIRD instruction: faults and patch exits land
+			// at +2/+3.
+			hb3 := int64(it.hb)
+			if it.f&4 == 0 {
+				hb3++
+			} else {
+				ia2 := TextBase + uint32(it.fpc)<<2 + 4
+				if !cc.Access(ia2, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia2 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			m.regs[it.rd] = it.imm
+			if it.f&8 == 0 {
+				hb3++
+			} else {
+				ia3 := TextBase + uint32(it.fpc)<<2 + 8
+				if !cc.Access(ia3, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia3 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			ea := uint32(m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2)
+			if ea&3 != 0 {
+				fn, fIL, fDL, fih, fcb := cs.fault(curIL, curDL, ihits+uint64(uint16(hb3)), ccb,
+					cyc, cp, items, it, 2, 2, "unaligned load at %#x", ea)
+				return p, fn, fIL, fDL, fih, fcb, 0, true
+			}
+			if m.LoadHook != nil {
+				var ex bool
+				curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
+					ihits, ccb, cyc, ea, uint16(hb3), it.rx, it.rd2, cache.DRead, false, cp.memx, 2, 3)
+				if ex {
+					return p, nil, curIL, curDL, ihits, ccb, 0, true
+				}
+				break
+			}
+			if line := ea >> shift; line == curDL {
+				cs.drh++
+			} else if curIL == noLine || (line^curIL)&imask != 0 {
+				if !cc.Access(ea, cache.DRead) {
+					cyc += missP
+				}
+				curDL = line
+			} else {
+				var c, cv int64
+				curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, it.rx, shift)
+				cyc += c
+				ihits += uint64(cv)
+			}
+			pb := ea &^ (PageBytes - 1)
+			pe := &m.pageCache[pageCacheIdx(ea)]
+			pg := pe.p
+			if pe.base != pb {
+				pg = m.pageSlow(pb)
+			}
+			o := ea & (PageBytes - 4)
+			m.regs[it.rd2] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+
+		case tSet2St:
+			// tSet2Ld with a store in slot C: tSt's full protocol.
+			hb3 := int64(it.hb)
+			if it.f&4 == 0 {
+				hb3++
+			} else {
+				ia2 := TextBase + uint32(it.fpc)<<2 + 4
+				if !cc.Access(ia2, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia2 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			m.regs[it.rd] = it.imm
+			if it.f&8 == 0 {
+				hb3++
+			} else {
+				ia3 := TextBase + uint32(it.fpc)<<2 + 8
+				if !cc.Access(ia3, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia3 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			ea := uint32(m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2)
+			if ea&3 != 0 {
+				fn, fIL, fDL, fih, fcb := cs.fault(curIL, curDL, ihits+uint64(uint16(hb3)), ccb,
+					cyc, cp, items, it, 2, 2, "unaligned store at %#x", ea)
+				return p, fn, fIL, fDL, fih, fcb, 0, true
+			}
+			if m.StoreHook != nil {
+				var ex bool
+				curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
+					ihits, ccb, cyc, ea, uint16(hb3), it.rx, it.rd2, cache.DWrite, false, cp.memx, 2, 3)
+				if ex {
+					return p, nil, curIL, curDL, ihits, ccb, 0, true
+				}
+				break
+			}
+			if line := ea >> shift; line == curDL {
+				cs.dwh++
+			} else if curIL == noLine || (line^curIL)&imask != 0 {
+				if !cc.Access(ea, cache.DWrite) {
+					cyc += missP
+				}
+				curDL = line
+			} else {
+				var c, cv int64
+				curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, imask, it.rx, shift)
+				cyc += c
+				ihits += uint64(cv)
+			}
+			pb := ea &^ (PageBytes - 1)
+			pe := &m.pageCache[pageCacheIdx(ea)]
+			pg := pe.p
+			if pe.base != pb {
+				pg = m.pageSlow(pb)
+			}
+			o := ea & (PageBytes - 4)
+			binary.BigEndian.PutUint32(pg[o:o+4], uint32(m.regs[it.rd2]))
+
+		case tLdAddSt, tLdSubSt, tLdOrSt:
+			// Canonical read-modify-write: the slot-A load follows
+			// tLdSt's first half, and the slot-C store recomputes its
+			// address from the live registers (sameAddr guarantees its
+			// fields equal the load's) — program-order exact even when
+			// the op clobbers the address register. Load hooks exit at
+			// +1, store hooks at +3.
+			{
+				ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+				if ea&3 != 0 {
+					fn, fIL, fDL, fih, fcb := cs.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+						cyc, cp, items, it, 0, 0, "unaligned load at %#x", ea)
+					return p, fn, fIL, fDL, fih, fcb, 0, true
+				}
+				if m.LoadHook != nil {
+					var ra uint32
+					if it.f&4 == 0 {
+						ra = TextBase + uint32(it.fpc)<<2 + 4
+					}
+					var ex bool
+					curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
+						ihits, ccb, cyc, ea, it.hb, ra, it.rd, cache.DRead, false, cp.memx, 0, 1)
+					if ex {
+						return p, nil, curIL, curDL, ihits, ccb, 0, true
+					}
+				} else {
+					if line := ea >> shift; line == curDL {
+						cs.drh++
+					} else if curIL == noLine || (line^curIL)&imask != 0 {
+						if !cc.Access(ea, cache.DRead) {
+							cyc += missP
+						}
+						curDL = line
+					} else {
+						var ra uint32
+						if it.f&4 == 0 {
+							ra = TextBase + uint32(it.fpc)<<2 + 4
+						}
+						var c, cv int64
+						curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, imask, ra, shift)
+						cyc += c
+						ihits += uint64(cv)
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					pg := pe.p
+					if pe.base != pb {
+						pg = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[it.rd] = int32(binary.BigEndian.Uint32(pg[o : o+4]))
+				}
+			}
+			hb3 := int64(it.hb)
+			if it.f&4 == 0 {
+				hb3++ // the batched second fetch has now executed
+			} else {
+				ia2 := TextBase + uint32(it.fpc)<<2 + 4
+				if !cc.Access(ia2, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia2 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			switch it.kind {
+			case tLdAddSt:
+				m.regs[it.rd2] = m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2
+			case tLdSubSt:
+				m.regs[it.rd2] = m.regs[it.rs1b] - (m.regs[it.s2rb] + it.imm2)
+			default: // tLdOrSt
+				m.regs[it.rd2] = m.regs[it.rs1b] | (m.regs[it.s2rb] + it.imm2)
+			}
+			if it.f&8 == 0 {
+				hb3++
+			} else {
+				ia3 := TextBase + uint32(it.fpc)<<2 + 8
+				if !cc.Access(ia3, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia3 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			ea := uint32(m.regs[uint8(it.cm>>8)] + m.regs[it.c3&0xff] + int32(int16(it.c3>>16)))
+			if ea&3 != 0 {
+				fn, fIL, fDL, fih, fcb := cs.fault(curIL, curDL, ihits+uint64(uint16(hb3)), ccb,
+					cyc+cp.memx, cp, items, it, 2, 2, "unaligned store at %#x", ea)
+				return p, fn, fIL, fDL, fih, fcb, 0, true
+			}
+			if m.StoreHook != nil {
+				var ex bool
+				curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
+					ihits, ccb, cyc, ea, uint16(hb3), it.rx, uint8(it.cm), cache.DWrite, false, 2*cp.memx, 2, 3)
+				if ex {
+					return p, nil, curIL, curDL, ihits, ccb, 0, true
+				}
+				break
+			}
+			if line := ea >> shift; line == curDL {
+				cs.dwh++
+			} else if curIL == noLine || (line^curIL)&imask != 0 {
+				if !cc.Access(ea, cache.DWrite) {
+					cyc += missP
+				}
+				curDL = line
+			} else {
+				var c, cv int64
+				curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, imask, it.rx, shift)
+				cyc += c
+				ihits += uint64(cv)
+			}
+			pb := ea &^ (PageBytes - 1)
+			pe := &m.pageCache[pageCacheIdx(ea)]
+			pg := pe.p
+			if pe.base != pb {
+				pg = m.pageSlow(pb)
+			}
+			o := ea & (PageBytes - 4)
+			binary.BigEndian.PutUint32(pg[o:o+4], uint32(m.regs[uint8(it.cm)]))
+
+		case tOrOrOr:
+			// Three ALU slots: only the interior fetches touch cache
+			// state.
+			m.regs[it.rd] = m.regs[it.rs1] | (m.regs[it.s2r] + it.imm)
+			if it.f&4 != 0 {
+				ia2 := TextBase + uint32(it.fpc)<<2 + 4
+				if !cc.Access(ia2, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia2 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			m.regs[it.rd2] = m.regs[it.rs1b] | (m.regs[it.s2rb] + it.imm2)
+			if it.f&8 != 0 {
+				ia3 := TextBase + uint32(it.fpc)<<2 + 8
+				if !cc.Access(ia3, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia3 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			m.regs[uint8(it.cm)] = m.regs[uint8(it.cm>>8)] | (m.regs[it.c3&0xff] + int32(int16(it.c3>>16)))
+
+		// ---- chain-extension kinds: the cheap singles and pairs that sit
+		// between triples in straight-line runs. run()'s dispatch never
+		// enters here with one of these — only the chain step below reaches
+		// them — they just keep a run alive across the glue items. Bodies
+		// are verbatim copies of run()'s. ----
+
+		case tAdd:
+			m.regs[it.rd] = m.regs[it.rs1] + m.regs[it.s2r] + it.imm
+		case tAddI:
+			m.regs[it.rd] = m.regs[it.rs1] + it.imm
+		case tSub:
+			m.regs[it.rd] = m.regs[it.rs1] - (m.regs[it.s2r] + it.imm)
+		case tSubI:
+			m.regs[it.rd] = m.regs[it.rs1] - it.imm
+		case tOr:
+			m.regs[it.rd] = m.regs[it.rs1] | (m.regs[it.s2r] + it.imm)
+		case tOrI:
+			m.regs[it.rd] = m.regs[it.rs1] | it.imm
+		case tSll:
+			m.regs[it.rd] = m.regs[it.rs1] << (uint32(m.regs[it.s2r]+it.imm) & 31)
+		case tSllI:
+			m.regs[it.rd] = m.regs[it.rs1] << (uint32(it.imm) & 31)
+		case tSet:
+			m.regs[it.rd] = it.imm
+
+		case tSet2:
+			if it.f&4 != 0 {
+				ia2 := TextBase + uint32(it.fpc)<<2 + 4
+				if !cc.Access(ia2, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia2 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			m.regs[it.rd] = it.imm
+
+		case tSllAdd, tOrAdd, tOrSub:
+			if it.kind == tSllAdd {
+				m.regs[it.rd] = m.regs[it.rs1] << (uint32(m.regs[it.s2r]+it.imm) & 31)
+			} else {
+				m.regs[it.rd] = m.regs[it.rs1] | (m.regs[it.s2r] + it.imm)
+			}
+			if it.f&4 != 0 {
+				ia2 := TextBase + uint32(it.fpc)<<2 + 4
+				if !cc.Access(ia2, cache.IFetch) {
+					cyc += missP
+				}
+				curIL = ia2 >> shift
+				if (curIL^curDL)&imask == 0 {
+					curDL = noLine
+				}
+			}
+			if it.kind == tOrSub {
+				m.regs[it.rd2] = m.regs[it.rs1b] - (m.regs[it.s2rb] + it.imm2)
+			} else {
+				m.regs[it.rd2] = m.regs[it.rs1b] + m.regs[it.s2rb] + it.imm2
+			}
+
+		case tStI:
+			ea := uint32(m.regs[it.rs1] + it.imm)
+			if ea&3 != 0 {
+				fn, fIL, fDL, fih, fcb := cs.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+					cyc, cp, items, it, 0, 0, "unaligned store at %#x", ea)
+				return p, fn, fIL, fDL, fih, fcb, 0, true
+			}
+			if m.StoreHook != nil {
+				var ex bool
+				curIL, curDL, ihits, cyc, ex = cs.hookedAccess(cp, items, it,
+					ihits, ccb, cyc, ea, it.hb, it.rx, it.rd, cache.DWrite, false, cp.memx, 0, 1)
+				if ex {
+					return p, nil, curIL, curDL, ihits, ccb, 0, true
+				}
+				break
+			}
+			if line := ea >> shift; line == curDL {
+				cs.dwh++
+			} else if curIL == noLine || (line^curIL)&imask != 0 {
+				if !cc.Access(ea, cache.DWrite) {
+					cyc += missP
+				}
+				curDL = line
+			} else {
+				var c, cv int64
+				curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, imask, it.rx, shift)
+				cyc += c
+				ihits += uint64(cv)
+			}
+			pb := ea &^ (PageBytes - 1)
+			pe := &m.pageCache[pageCacheIdx(ea)]
+			pg := pe.p
+			if pe.base != pb {
+				pg = m.pageSlow(pb)
+			}
+			o := ea & (PageBytes - 4)
+			binary.BigEndian.PutUint32(pg[o:o+4], uint32(m.regs[it.rd]))
+
+		case tBA:
+			ihits += uint64(it.hb)
+			cyc += ctlCyc(it) + cp.taken
+		}
+		// Chain: if the next item is also an outlined kind, retire it here
+		// instead of bouncing back through the caller's dispatch. The walk is
+		// safe unbounded: tEnd terminates every trace and is never outlined.
+		// (Chaining conditional branches on their predicted edge was tried —
+		// peek the decision, bail to run's hop tail on exits — and measured
+		// ~7% SLOWER: the peek double-evaluates the compare and the extra
+		// cases grow the hottest loop past what the saved bounce buys.)
+		nx := (*ritem)(p)
+		if !chainKinds[nx.kind] {
+			return p, nil, curIL, curDL, ihits, ccb, cyc, false
+		}
+		it = nx
+		p = unsafe.Add(p, itemSize)
+		// First ifetch, same protocol as the caller's per-item prologue.
+		if k := it.f & 3; k != 0 {
+			ia := TextBase + uint32(it.fpc)<<2
+			if line := ia >> shift; (k == 1 && curIL != noLine) || line == curIL {
+				ihits++
+			} else {
+				if !cc.Access(ia, cache.IFetch) {
+					cyc += missP
+				}
+				if (line^curDL)&imask == 0 {
+					curDL = noLine
+				}
+				curIL = line
+			}
+		}
+	}
+}
+
+// runOutlinedDW retires the double-word pairs tLdd/tStd. No compiled
+// workload emits them (minic never generates ldd/std), so they live on
+// their own rare path rather than spending runOutlined's node budget —
+// keeping that function under the big-function threshold is what keeps the
+// cache probes on the chained triple path inlined. Results follow
+// runOutlined's contract minus the stream pointer: done means fault or hook
+// exit.
+func (cp *closProg) runOutlinedDW(m *Machine, items []ritem, it *ritem, curIL, curDL uint32, ihits uint64, ccb uint8, cyc int64) (cfn, uint32, uint32, uint64, uint8, int64, bool) {
+	shift := cp.shift
+	switch it.kind {
+	case tLdd:
+		ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+		if ea&7 != 0 {
+			fn, fIL, fDL, fih, fcb := m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+				cyc, cp, items, it, 0, 0, "unaligned ldd at %#x", ea)
+			return fn, fIL, fDL, fih, fcb, 0, true
+		}
+		if m.LoadHook != nil {
+			var ex bool
+			curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+				ihits, ccb, cyc, ea, it.hb, it.rx, it.rd, cache.DRead, true, 2*cp.memx, 0, 1)
+			if ex {
+				return nil, curIL, curDL, ihits, ccb, 0, true
+			}
+			break
+		}
+		if line := ea >> shift; (ea+4)>>shift != line {
+			// Straddle (lines narrower than 8 bytes): both words
+			// probe, repair deferred — see dataSlow2V.
+			var c, cv int64
+			curIL, curDL, c, cv = dataSlow2V(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+			cyc += c
+			ihits += uint64(cv)
+		} else if line == curDL {
+			m.cstate.drh++
+		} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+			// Clean D-line change (no I-tracker alias) stays inline: probe
+			// and retarget — the kill-and-repair path is the rare one.
+			if !m.cache.Access(ea, cache.DRead) {
+				cyc += m.costs.MissPenalty
+			}
+			curDL = line
+		} else {
+			var c, cv int64
+			curIL, curDL, c, cv = dataSlowV(m, ea, cache.DRead, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+			cyc += c
+			ihits += uint64(cv)
+		}
+		m.regs[it.rd] = m.ReadWord(ea)
+		m.regs[it.rd+1] = m.ReadWord(ea + 4)
+
+	case tStd:
+		ea := uint32(m.regs[it.rs1] + m.regs[it.s2r] + it.imm)
+		if ea&7 != 0 {
+			fn, fIL, fDL, fih, fcb := m.cstate.fault(curIL, curDL, ihits+uint64(it.hb), ccb,
+				cyc, cp, items, it, 0, 0, "unaligned std at %#x", ea)
+			return fn, fIL, fDL, fih, fcb, 0, true
+		}
+		if m.StoreHook != nil {
+			var ex bool
+			curIL, curDL, ihits, cyc, ex = m.cstate.hookedAccess(cp, items, it,
+				ihits, ccb, cyc, ea, it.hb, it.rx, it.rd, cache.DWrite, true, 2*cp.memx, 0, 1)
+			if ex {
+				return nil, curIL, curDL, ihits, ccb, 0, true
+			}
+			break
+		}
+		if line := ea >> shift; (ea+4)>>shift != line {
+			// Straddle (lines narrower than 8 bytes): both words
+			// probe, repair deferred — see dataSlow2V.
+			var c, cv int64
+			curIL, curDL, c, cv = dataSlow2V(m, ea, cache.DWrite, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+			cyc += c
+			ihits += uint64(cv)
+		} else if line == curDL {
+			m.cstate.dwh++
+		} else if curIL == noLine || (line^curIL)&m.cstate.imask != 0 {
+			// Clean D-line change (no I-tracker alias) stays inline: probe
+			// and retarget — the kill-and-repair path is the rare one.
+			if !m.cache.Access(ea, cache.DWrite) {
+				cyc += m.costs.MissPenalty
+			}
+			curDL = line
+		} else {
+			var c, cv int64
+			curIL, curDL, c, cv = dataSlowV(m, ea, cache.DWrite, line, curIL, curDL, m.cstate.imask, it.rx, shift)
+			cyc += c
+			ihits += uint64(cv)
+		}
+		m.storeWord(ea, m.regs[it.rd])
+		m.storeWord(ea+4, m.regs[it.rd+1])
+	}
+	return nil, curIL, curDL, ihits, ccb, cyc, false
 }

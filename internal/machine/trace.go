@@ -235,6 +235,42 @@ const (
 	tOrAdd  // or then add
 	tOrSub  // or then sub
 
+	// Fused interior triples (three instructions, one dispatch), the next
+	// rung of the same ladder: the dominant dynamic straight-line triples of
+	// the compiled workloads, measured by mrsbench -trace-stats — the
+	// load/scale/index address chains (eqntott ld+sll+add 11.8%, sll+add+ld
+	// 11.4%, or+ld+sll 8.5%; the same shapes lead doduc/nasker/spice2g6/
+	// matrix300/tomcatv), espresso's mask-merge or chains (or+or+or 9.9%),
+	// the pointer-chase step ld+add+ld (li 5.5%, gcc 4.8%), sethi+or+memop
+	// address materialization (sethi+or+ld 7-11% everywhere), and the
+	// canonical read-modify-write ld+op+st of the global update pattern.
+	// The third slot's operands live in rd3/rs1c/s2rc with its immediate in
+	// tgt (free on interior ops); all three slots execute in program order,
+	// so intra-run dataflow — including a load clobbering its own address
+	// register — is correct by construction. Triples are only formed when no
+	// instruction is counted.
+	tLdSllAdd // ld, sll, add — the scaled-index address chain
+	tSllAddLd // sll, add, ld
+	tOrLdSll  // or, ld, sll
+	tAddLdSll // add, ld, sll
+	tLdAddLd  // ld, add, ld — the pointer-chase step
+	tOrOrOr   // or, or, or — espresso's mask-merge chain
+	tSet2Ld   // sethi, or, ld — load through a materialized address
+	tSet2St   // sethi, or, st — store through a materialized address
+	// Read-modify-write triples: ld [a], r; op r, x, r; st r, [a]. Only
+	// fused when the store's address expression is textually the load's
+	// (sameAddr), so the third slot needs just the value register rd3 — the
+	// address recomputes from the FIRST slot's operand fields at store time,
+	// which is exactly program order even when the op half clobbers an
+	// address register.
+	tLdAddSt
+	tLdSubSt
+	tLdOrSt
+
+	// topOpEnd is one past the last real trace-op; closure.go's synthetic
+	// item kinds start here.
+	topOpEnd
+
 	// topCount is or-ed into op when the instruction carries an event
 	// counter; the interpreter's default case bumps the counter, strips the
 	// flag, and re-dispatches (same trick as blocks.go opCount). Fused ops
@@ -257,15 +293,21 @@ type top struct {
 	// nl marks compile-time I-line boundaries under the trace's shift:
 	// bit0 — this op's (first) fetch is on a different line than the
 	// previous op's last fetch in pass order (always set on the first op);
-	// bit1 — a fused op's second fetch crosses a line from its first. A
+	// bit1 — a fused op's second fetch crosses a line from its first;
+	// bit2 — a fused triple's third fetch crosses a line from its second. A
 	// clear bit plus a live curILine proves the fetch hits without even
 	// computing the line number.
 	nl   uint8
+	rd3  uint8  // fused triples: third instruction's destination
 	ni   uint16 // simulated instructions retired before this op in one pass
 	cnt  uint16 // event counter index+1; 0 means none
+	rs1c uint8  // fused triples: third instruction's rs1
+	s2rc uint8  // fused triples: third instruction's operand-2 register
 	imm  int32  // operand-2 immediate / synthesized constant
 	imm2 int32  // fused pairs: second instruction's operand-2 immediate
-	tgt  int32  // branch or call target (text index)
+	// tgt: branch or call target (text index); free on interior ops, where a
+	// fused triple stores its third instruction's immediate instead.
+	tgt int32
 	// iaddr is the fetch address of the op's (first) instruction; the text
 	// index is (iaddr-TextBase)/4, so side exits need no extra field.
 	iaddr uint32
@@ -308,7 +350,8 @@ func (m *Machine) syncTraceState() {
 		m.traces, m.hot, m.brProf, m.cls = nil, nil, nil, nil
 		return
 	}
-	if m.imgShared && m.img.traceShift == m.cache.LineShift() {
+	shared := m.imgShared && m.img.traceShift == m.cache.LineShift()
+	if shared {
 		// Shared image with matching cache geometry: the immutable, eagerly
 		// compiled traces. No hotness counters or edge profile — there is
 		// nothing left to compile.
@@ -324,11 +367,16 @@ func (m *Machine) syncTraceState() {
 		m.brProf = make([]uint32, len(m.text))
 	}
 	if m.engine == EngineClosure {
-		// Compiled closures are ALWAYS per machine — they capture the
-		// machine's register file and per-site page memos — so even on a
-		// shared image each machine threads its own, lazily, from the
-		// shared (or private) trace streams.
-		m.cls = make([]*closProg, len(m.text))
+		// The threaded form is machine-independent data — items bake in only
+		// the trace stream and the cost model — so machines attached to a
+		// shared image share one compiled closure tier per cost model
+		// (image.go). Private text threads its own, lazily, as traces
+		// appear.
+		if shared {
+			m.cls = m.img.sharedClosures(m)
+		} else {
+			m.cls = make([]*closProg, len(m.text))
+		}
 	} else {
 		m.cls = nil
 	}
@@ -428,6 +476,158 @@ func fusePair(a, b *sparc.Instr) topOp {
 		}
 	}
 	return 0
+}
+
+// sameAddr reports whether two memory instructions name textually the same
+// effective-address expression. The RMW triples require it so the store slot
+// carries no address operands of its own: the address recomputes from the
+// load slot's fields, which is program-order-exact either way.
+func sameAddr(a, c *sparc.Instr) bool {
+	if a.Rs1 != c.Rs1 || a.UseImm != c.UseImm {
+		return false
+	}
+	if a.UseImm {
+		return a.Imm == c.Imm
+	}
+	return a.Rs2 == c.Rs2
+}
+
+// fuseTriple returns the fused trace-op for the adjacent interior triple
+// (a, b, c), or 0 when the triple has no fused form. Shapes chosen from the
+// measured dynamic adjacencies (see the opcode block); the caller checks that
+// no instruction is counted.
+func fuseTriple(a, b, c *sparc.Instr) topOp {
+	switch a.Op {
+	case sparc.Ld:
+		switch b.Op {
+		case sparc.Sll:
+			if c.Op == sparc.Add {
+				return tLdSllAdd
+			}
+		case sparc.Add:
+			if c.Op == sparc.Ld {
+				return tLdAddLd
+			}
+			if c.Op == sparc.St && sameAddr(a, c) {
+				return tLdAddSt
+			}
+		case sparc.Sub:
+			if c.Op == sparc.St && sameAddr(a, c) {
+				return tLdSubSt
+			}
+		case sparc.Or:
+			if c.Op == sparc.St && sameAddr(a, c) {
+				return tLdOrSt
+			}
+		}
+	case sparc.Sll:
+		if b.Op == sparc.Add && c.Op == sparc.Ld {
+			return tSllAddLd
+		}
+	case sparc.Or:
+		switch b.Op {
+		case sparc.Ld:
+			if c.Op == sparc.Sll {
+				return tOrLdSll
+			}
+		case sparc.Or:
+			if c.Op == sparc.Or {
+				return tOrOrOr
+			}
+		}
+	case sparc.Add:
+		if b.Op == sparc.Ld && c.Op == sparc.Sll {
+			return tAddLdSll
+		}
+	}
+	return 0
+}
+
+// fuseAt decides how many instructions starting at text[i] fuse into one
+// trace-op inside the straight-line window [i, stop), mirroring exactly what
+// compileTrace emits: (op, 3) for a fused triple, (op, 2) for a fused pair or
+// sethi+or constant, (0, 1) when text[i] compiles as a single op. The
+// decision lives here — separate from emission — so FusionPlan reports
+// coverage with the compiler's own rules and can never drift from them.
+func fuseAt(text []sparc.Instr, i, stop int32) (topOp, int32) {
+	in := &text[i]
+	// sethi+or constant synthesis: sethi rd, hi; or rd, lo, rd. Skipped for
+	// %g0 destinations (the sethi write is discarded there, so the pair is
+	// NOT a constant) and counted pairs. An uncounted word memop right after
+	// widens to the address-materialization triple.
+	if in.Op == sparc.Sethi && in.Count == 0 && in.Rd != sparc.G0 && i+1 < stop {
+		if n2 := &text[i+1]; n2.Op == sparc.Or && n2.UseImm &&
+			n2.Count == 0 && n2.Rs1 == in.Rd && n2.Rd == in.Rd {
+			if i+2 < stop && text[i+2].Count == 0 {
+				switch text[i+2].Op {
+				case sparc.Ld:
+					return tSet2Ld, 3
+				case sparc.St:
+					return tSet2St, 3
+				}
+			}
+			return tSet2, 2
+		}
+	}
+	if i+1 < stop && in.Count == 0 && text[i+1].Count == 0 {
+		// Fused interior triples first — a triple plus whatever follows is
+		// never sparser than the pair tiling it replaces — then pairs.
+		if i+2 < stop && text[i+2].Count == 0 {
+			if f := fuseTriple(in, &text[i+1], &text[i+2]); f != 0 {
+				return f, 3
+			}
+		}
+		if f := fusePair(in, &text[i+1]); f != 0 {
+			return f, 2
+		}
+	}
+	return 0, 1
+}
+
+// isTraceTerminator reports whether op ends a straight-line interior run in
+// the trace builder's walk (compileTrace cases these individually; FusionPlan
+// uses it to bound the fusion window inside a dynamic run).
+func isTraceTerminator(op sparc.Op) bool {
+	switch op {
+	case sparc.Br, sparc.Call, sparc.Jmpl, sparc.Save, sparc.Restore,
+		sparc.Ta, sparc.Unimp:
+		return true
+	}
+	return false
+}
+
+// FusionPlan applies the trace builder's fusion rules to one dynamically
+// consecutive instruction run and returns the width in instructions (1, 2, or
+// 3) of each dispatch item the trace and closure tiers would retire for it.
+// Interior fusion windows are bounded at terminators exactly as compileTrace
+// bounds them at block ends, and a conditional branch fuses with an
+// immediately preceding uncounted subcc (tCmpBr*). The mrsbench -trace-stats
+// report is built on this, so its coverage numbers are the compiler's own.
+func FusionPlan(run []sparc.Instr) []int8 {
+	var widths []int8
+	n := int32(len(run))
+	for i := int32(0); i < n; {
+		in := &run[i]
+		if isTraceTerminator(in.Op) {
+			if in.Op == sparc.Br && in.Count == 0 && len(widths) > 0 &&
+				widths[len(widths)-1] == 1 &&
+				run[i-1].Op == sparc.Subcc && run[i-1].Count == 0 {
+				widths[len(widths)-1] = 2 // subcc+branch fuse (tCmpBr*)
+			} else {
+				widths = append(widths, 1)
+			}
+			i++
+			continue
+		}
+		stop := i
+		for stop < n && !isTraceTerminator(run[stop].Op) {
+			stop++
+		}
+		_, w := fuseAt(run, i, stop)
+		widths = append(widths, int8(w))
+		i += w
+	}
+	return widths
 }
 
 // brProfMin is the default execution count below which a branch site's edge
@@ -539,40 +739,39 @@ scan:
 			for i < stop {
 				consumed[i] = true
 				in := &text[i]
-				// sethi+or constant synthesis: sethi rd, hi; or rd, lo, rd.
-				// Skipped for %g0 destinations (the sethi write is discarded
-				// there, so the pair is NOT a constant) and counted pairs.
-				if in.Op == sparc.Sethi && in.Count == 0 && in.Rd != sparc.G0 && i+1 < stop {
-					if n2 := &text[i+1]; n2.Op == sparc.Or && n2.UseImm &&
-						n2.Count == 0 && n2.Rs1 == in.Rd && n2.Rd == in.Rd {
-						consumed[i+1] = true
-						ops = append(ops, top{
-							op: tSet2, rd: uint8(in.Rd),
-							imm:   in.Imm<<10 | n2.Imm,
-							ni:    uint16(ni),
-							iaddr: TextBase + uint32(i)*4,
-						})
-						ni += 2
-						i += 2
-						continue
+				if f, w := fuseAt(text, i, stop); w > 1 {
+					for k := int32(1); k < w; k++ {
+						consumed[i+k] = true
 					}
-				}
-				// Fused interior pairs: one dispatch retires both halves.
-				if i+1 < stop && in.Count == 0 && text[i+1].Count == 0 {
-					if f := fusePair(in, &text[i+1]); f != 0 {
+					t := top{op: f, ni: uint16(ni), iaddr: TextBase + uint32(i)*4}
+					switch f {
+					case tSet2:
+						// The synthesized constant lives in imm; the or's
+						// operands are implied (rd op= lo).
+						t.rd = uint8(in.Rd)
+						t.imm = in.Imm<<10 | text[i+1].Imm
+					case tSet2Ld, tSet2St:
+						// Slots A+B are the synthesized constant (rd, imm);
+						// the memop rides in the pair's second-slot fields.
+						u3, _ := decodeUop(&text[i+2])
+						t.rd = uint8(in.Rd)
+						t.imm = in.Imm<<10 | text[i+1].Imm
+						t.rd2, t.rs1b, t.s2rb, t.imm2 = u3.rd, u3.rs1, u3.s2r, u3.s2i
+					default:
 						u1, _ := decodeUop(in)
 						u2, _ := decodeUop(&text[i+1])
-						consumed[i+1] = true
-						ops = append(ops, top{
-							op: f, rd: u1.rd, rs1: u1.rs1, s2r: u1.s2r, imm: u1.s2i,
-							rd2: u2.rd, rs1b: u2.rs1, s2rb: u2.s2r, imm2: u2.s2i,
-							ni:    uint16(ni),
-							iaddr: TextBase + uint32(i)*4,
-						})
-						ni += 2
-						i += 2
-						continue
+						t.rd, t.rs1, t.s2r, t.imm = u1.rd, u1.rs1, u1.s2r, u1.s2i
+						t.rd2, t.rs1b, t.s2rb, t.imm2 = u2.rd, u2.rs1, u2.s2r, u2.s2i
+						if w == 3 {
+							u3, _ := decodeUop(&text[i+2])
+							t.rd3, t.rs1c, t.s2rc = u3.rd, u3.rs1, u3.s2r
+							t.tgt = u3.s2i // imm3: tgt is free on interior ops
+						}
 					}
+					ops = append(ops, t)
+					ni += int(w)
+					i += w
+					continue
 				}
 				u, _ := decodeUop(in)
 				t := top{
@@ -764,10 +963,16 @@ scan:
 			u.nl = 1
 		}
 		lastLine = line
-		if topWide2(u.op) {
+		if w := topWidth(u.op); w >= 2 {
 			if line2 := (u.iaddr + 4) >> shift; line2 != lastLine {
 				u.nl |= 2
 				lastLine = line2
+			}
+			if w == 3 {
+				if line3 := (u.iaddr + 8) >> shift; line3 != lastLine {
+					u.nl |= 4
+					lastLine = line3
+				}
 			}
 		}
 	}
@@ -782,17 +987,20 @@ scan:
 	}
 }
 
-// topWide2 reports whether op is a two-instruction (fused) trace-op, whose
-// second fetch happens at iaddr+4. Fused ops are never counted, so the
-// topCount flag need not be stripped.
-func topWide2(op topOp) bool {
+// topWidth reports how many instructions (and ifetches, at iaddr, +4, +8) a
+// trace-op retires: 1, 2, or 3. Fused ops are never counted, so the topCount
+// flag need not be stripped.
+func topWidth(op topOp) int32 {
 	switch op {
 	case tSet2, tCmpBr, tCmpBrT, tCmpBrLoop,
 		tLdSll, tLdOr, tLdCmp, tSllAdd, tAddLd, tOrLd,
 		tLdLd, tLdSt, tAddSt, tSubSt, tOrAdd, tOrSub:
-		return true
+		return 2
+	case tLdSllAdd, tSllAddLd, tOrLdSll, tAddLdSll, tLdAddLd, tOrOrOr,
+		tSet2Ld, tSet2St, tLdAddSt, tLdSubSt, tLdOrSt:
+		return 3
 	}
-	return false
+	return 1
 }
 
 // spansOf collapses the consumed index set into sorted disjoint [lo,hi)
@@ -874,6 +1082,19 @@ func (m *Machine) traceFault2(u *top, cyc, base int64, ihits uint64, format stri
 	m.instrs += n
 	m.cycles += cyc + base*n
 	m.pc = int32((u.iaddr-TextBase)/4) + 1
+	return m.fault(m.text[m.pc], format, args...)
+}
+
+// traceFault3 is traceFault for a fault in the THIRD slot of a fused triple:
+// the first two slots already retired, so three instructions commit and pc
+// lands on the third instruction. The caller has already accounted the third
+// instruction's fetch.
+func (m *Machine) traceFault3(u *top, cyc, base int64, ihits uint64, format string, args ...any) error {
+	m.cache.NoteHits(cache.IFetch, ihits)
+	n := int64(u.ni) + 3
+	m.instrs += n
+	m.cycles += cyc + base*n
+	m.pc = int32((u.iaddr-TextBase)/4) + 2
 	return m.fault(m.text[m.pc], format, args...)
 }
 
@@ -1611,6 +1832,613 @@ chain:
 						m.regs[u.rd2] = m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2
 					} else {
 						m.regs[u.rd2] = m.regs[u.rs1b] - (m.regs[u.s2rb] + u.imm2)
+					}
+
+				case tLdSllAdd:
+					// Fused ld+sll+add triple (the eqntott index-scale-add
+					// chain): the load retires with the full hook/fault
+					// protocol of tLd, then the second fetch, the shift, the
+					// third fetch, and the add. Slot C's operands live in
+					// rd3/rs1c/s2rc with tgt reused as its immediate.
+					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					m.regs[u.rd2] = m.regs[u.rs1b] << (uint32(m.regs[u.s2rb]+u.imm2) & 31)
+					if u.nl&4 == 0 && curILine != noLine {
+						ihits++
+					} else if ia3 := u.iaddr + 8; ia3>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia3, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia3>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia3 >> shift
+					}
+					m.regs[u.rd3] = m.regs[u.rs1c] + m.regs[u.s2rc] + u.tgt
+
+				case tSllAddLd:
+					// Fused sll+add+ld (address-scale then dereference): two
+					// ALU slots, then a slot-C load that may fault with both
+					// earlier slots retired (traceFault3) and takes the full
+					// hook/patch-exit protocol at +3.
+					m.regs[u.rd] = m.regs[u.rs1] << (uint32(m.regs[u.s2r]+u.imm) & 31)
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					m.regs[u.rd2] = m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2
+					if u.nl&4 == 0 && curILine != noLine {
+						ihits++
+					} else if ia3 := u.iaddr + 8; ia3>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia3, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia3>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia3 >> shift
+					}
+					ea := uint32(m.regs[u.rs1c] + m.regs[u.s2rc] + u.tgt)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault3(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[u.rd3] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+3, int64(u.ni)+3, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+
+				case tOrLdSll, tAddLdSll:
+					// Fused alu+ld+sll: the slot-B load faults with one slot
+					// retired (traceFault2) and a patching hook exits at +2 —
+					// the slot-C shift has not executed and re-dispatches
+					// against fresh text.
+					if op == tOrLdSll {
+						m.regs[u.rd] = m.regs[u.rs1] | (m.regs[u.s2r] + u.imm)
+					} else {
+						m.regs[u.rd] = m.regs[u.rs1] + m.regs[u.s2r] + u.imm
+					}
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					ea := uint32(m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault2(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[u.rd2] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+2, int64(u.ni)+2, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+					if u.nl&4 == 0 && curILine != noLine {
+						ihits++
+					} else if ia3 := u.iaddr + 8; ia3>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia3, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia3>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia3 >> shift
+					}
+					m.regs[u.rd3] = m.regs[u.rs1c] << (uint32(m.regs[u.s2rc]+u.tgt) & 31)
+
+				case tLdAddLd:
+					// Fused ld+add+ld pointer chase (li/gcc): either load may
+					// fault or hook-patch; slot A exits at +1, slot C at +3.
+					// The slot-C address reads the registers as they stand
+					// after slots A and B, exactly program order.
+					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					m.regs[u.rd2] = m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2
+					if u.nl&4 == 0 && curILine != noLine {
+						ihits++
+					} else if ia3 := u.iaddr + 8; ia3>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia3, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia3>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia3 >> shift
+					}
+					ea = uint32(m.regs[u.rs1c] + m.regs[u.s2rc] + u.tgt)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault3(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					hooked = m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb = ea &^ (PageBytes - 1)
+					pe = &m.pageCache[pageCacheIdx(ea)]
+					p = pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o = ea & (PageBytes - 4)
+					m.regs[u.rd3] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+3, int64(u.ni)+3, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+
+				case tOrOrOr:
+					// Three ALU slots (espresso's mask-merge runs): only the
+					// interior fetches touch cache state.
+					m.regs[u.rd] = m.regs[u.rs1] | (m.regs[u.s2r] + u.imm)
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					m.regs[u.rd2] = m.regs[u.rs1b] | (m.regs[u.s2rb] + u.imm2)
+					if u.nl&4 == 0 && curILine != noLine {
+						ihits++
+					} else if ia3 := u.iaddr + 8; ia3>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia3, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia3>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia3 >> shift
+					}
+					m.regs[u.rd3] = m.regs[u.rs1c] | (m.regs[u.s2rc] + u.tgt)
+
+				case tSet2Ld:
+					// Fused sethi+or+ld (address materialization then
+					// dereference): the merged constant commits after the
+					// or's fetch — before the slot-C load, which typically
+					// uses rd as its address base. The load's operands are in
+					// the rd2/rs1b/s2rb/imm2 slots but it is the THIRD
+					// instruction: faults use traceFault3, patch-exits +3.
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					m.regs[u.rd] = u.imm
+					if u.nl&4 == 0 && curILine != noLine {
+						ihits++
+					} else if ia3 := u.iaddr + 8; ia3>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia3, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia3>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia3 >> shift
+					}
+					ea := uint32(m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault3(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					hooked := m.LoadHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[u.rd2] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+3, int64(u.ni)+3, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+
+				case tSet2St:
+					// tSet2Ld with a store in slot C: full StoreHook/patch
+					// protocol of tSt, committing three instructions.
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					m.regs[u.rd] = u.imm
+					if u.nl&4 == 0 && curILine != noLine {
+						ihits++
+					} else if ia3 := u.iaddr + 8; ia3>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia3, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia3>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia3 >> shift
+					}
+					ea := uint32(m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault3(u, cyc, base, ihits, "unaligned store at %#x", ea)
+					}
+					hooked := m.StoreHook != nil
+					if hooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.StoreHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DWrite, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DWrite) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					binary.BigEndian.PutUint32(p[o:o+4], uint32(m.regs[u.rd2]))
+					if hooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+3, int64(u.ni)+3, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+
+				case tLdAddSt, tLdSubSt, tLdOrSt:
+					// Canonical read-modify-write: ld [a], r; op r, x, r2;
+					// st r2, [a]. Fusion requires the store's address operands
+					// to equal the load's (sameAddr), and the store recomputes
+					// its address from the registers as they stand after slot
+					// B — so even an op that clobbers the address register is
+					// program-order exact. Load hooks exit at +1, store hooks
+					// at +3; either access can fault with the earlier slots
+					// retired.
+					ea := uint32(m.regs[u.rs1] + m.regs[u.s2r] + u.imm)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault(u, cyc, base, ihits, "unaligned load at %#x", ea)
+					}
+					lhooked := m.LoadHook != nil
+					if lhooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.LoadHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DRead, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DRead) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb := ea &^ (PageBytes - 1)
+					pe := &m.pageCache[pageCacheIdx(ea)]
+					p := pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o := ea & (PageBytes - 4)
+					m.regs[u.rd] = int32(binary.BigEndian.Uint32(p[o : o+4]))
+					if lhooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+1, int64(u.ni)+1, cyc, base)
+						return curILine, curDLine, ihits, nil
+					}
+					if u.nl&2 == 0 && curILine != noLine {
+						ihits++
+					} else if ia2 := u.iaddr + 4; ia2>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia2, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia2>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia2 >> shift
+					}
+					switch op {
+					case tLdAddSt:
+						m.regs[u.rd2] = m.regs[u.rs1b] + m.regs[u.s2rb] + u.imm2
+					case tLdSubSt:
+						m.regs[u.rd2] = m.regs[u.rs1b] - (m.regs[u.s2rb] + u.imm2)
+					default: // tLdOrSt
+						m.regs[u.rd2] = m.regs[u.rs1b] | (m.regs[u.s2rb] + u.imm2)
+					}
+					if u.nl&4 == 0 && curILine != noLine {
+						ihits++
+					} else if ia3 := u.iaddr + 8; ia3>>shift == curILine {
+						ihits++
+					} else {
+						if !m.cache.Access(ia3, cache.IFetch) {
+							cyc += m.costs.MissPenalty
+						}
+						if (ia3>>shift^curDLine)&imask == 0 {
+							curDLine = noLine
+						}
+						curILine = ia3 >> shift
+					}
+					ea = uint32(m.regs[u.rs1c] + m.regs[u.s2rc] + u.tgt)
+					if ea&3 != 0 {
+						return curILine, curDLine, 0, m.traceFault3(u, cyc, base, ihits, "unaligned store at %#x", ea)
+					}
+					shooked := m.StoreHook != nil
+					if shooked {
+						m.cache.NoteHits(cache.IFetch, ihits)
+						ihits = 0
+						cyc += m.StoreHook(ea, 4)
+						curILine = noLine
+						curDLine = noLine
+					}
+					cyc += m.costs.MemExtra
+					if line := ea >> shift; line == curDLine {
+						m.cache.NoteHits(cache.DWrite, 1)
+					} else {
+						if !m.cache.Access(ea, cache.DWrite) {
+							cyc += m.costs.MissPenalty
+						}
+						if (line^curILine)&imask == 0 {
+							curILine = noLine
+						}
+						curDLine = line
+					}
+					pb = ea &^ (PageBytes - 1)
+					pe = &m.pageCache[pageCacheIdx(ea)]
+					p = pe.p
+					if pe.base != pb {
+						p = m.pageSlow(pb)
+					}
+					o = ea & (PageBytes - 4)
+					binary.BigEndian.PutUint32(p[o:o+4], uint32(m.regs[u.rd3]))
+					if shooked && m.textGen != gen {
+						m.traceExit(int32((u.iaddr-TextBase)/4)+3, int64(u.ni)+3, cyc, base)
+						return curILine, curDLine, ihits, nil
 					}
 
 				case tBr: // predicted not taken
